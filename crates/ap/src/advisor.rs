@@ -1,0 +1,173 @@
+//! Resource sizing: from a datapath to a processor request.
+//!
+//! §1: "Application designers know the optimal amount of resources, and
+//! thus they should be able to control the reconfiguration through a
+//! certain methodology." This module is that methodology, computed from
+//! the global configuration stream alone:
+//!
+//! * **capacity** — the compute working set (streaming needs it resident,
+//!   §2.5), or for scalar workloads the knee of the Denning working-set
+//!   curve;
+//! * **channels** — the paper's Figure 3 rule (≈ half the array for
+//!   random dependency structure) tightened by the stream's own measured
+//!   span profile;
+//! * **memory objects** — the stream's distinct memory references.
+
+use vlsi_object::{GlobalConfigStream, ObjectId};
+
+/// A sizing recommendation for one datapath.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResourceAdvice {
+    /// Compute objects the processor should provide.
+    pub compute_objects: usize,
+    /// Memory objects referenced by the stream.
+    pub memory_objects: usize,
+    /// CSD channels that keep the configuration routable.
+    pub channels: usize,
+    /// Whether the datapath can stream (working set ≤ recommended
+    /// capacity by construction) or must run as virtual hardware.
+    pub streams: bool,
+}
+
+impl ResourceAdvice {
+    /// Total objects (compute + memory).
+    pub fn total_objects(&self) -> usize {
+        self.compute_objects + self.memory_objects
+    }
+
+    /// Clusters to request from a chip whose clusters carry
+    /// `compute_per_cluster` compute and `memory_per_cluster` memory
+    /// objects.
+    pub fn clusters(&self, compute_per_cluster: usize, memory_per_cluster: usize) -> usize {
+        let by_compute = self.compute_objects.div_ceil(compute_per_cluster.max(1));
+        let by_memory = self.memory_objects.div_ceil(memory_per_cluster.max(1));
+        by_compute.max(by_memory).max(1)
+    }
+}
+
+/// Sizes a processor for `stream`, given which referenced IDs are memory
+/// objects.
+pub fn advise(stream: &GlobalConfigStream, memory_ids: &[ObjectId]) -> ResourceAdvice {
+    let ws = stream.working_set();
+    let memory_objects = ws.iter().filter(|id| memory_ids.contains(id)).count();
+    let compute_ws = ws.len() - memory_objects;
+    // Streaming needs the compute working set resident (§2.5).
+    let compute_objects = compute_ws.max(1);
+    // Channel demand: one channel per producer->consumer pair active at
+    // once; Figure 3's bound is half the array, and a chain-shaped stream
+    // needs far fewer. Estimate from the count of distinct chained pairs,
+    // capped by the Figure 3 rule.
+    let mut pairs: Vec<(ObjectId, ObjectId)> = Vec::new();
+    for e in stream.elements() {
+        for src in e.sources() {
+            if src != e.sink && !pairs.contains(&(src, e.sink)) {
+                pairs.push((src, e.sink));
+            }
+        }
+    }
+    let positions = compute_objects + memory_objects;
+    let channels = pairs.len().min(positions.div_ceil(2)).max(1);
+    ResourceAdvice {
+        compute_objects,
+        memory_objects,
+        channels,
+        streams: true,
+    }
+}
+
+/// Sizes a processor for *scalar* (virtual-hardware) execution of a
+/// stream whose working set need not be resident: picks the knee of the
+/// working-set curve — the smallest window-`tau` coverage that captures
+/// `coverage` (e.g. 0.9) of the saturated working set.
+pub fn advise_scalar(stream: &GlobalConfigStream, coverage: f64) -> ResourceAdvice {
+    let ws = stream.working_set().len().max(1);
+    let curve = stream.working_set_curve(ws * 2);
+    let target = coverage.clamp(0.0, 1.0) * ws as f64;
+    let knee = curve
+        .iter()
+        .position(|&v| v >= target)
+        .map(|tau| curve[tau].ceil() as usize)
+        .unwrap_or(ws);
+    ResourceAdvice {
+        compute_objects: knee.clamp(1, ws),
+        memory_objects: 0,
+        channels: knee.div_ceil(2).max(1),
+        streams: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_object::{GlobalConfigElement, StreamBuilder};
+
+    fn id(v: u32) -> ObjectId {
+        ObjectId(v)
+    }
+
+    #[test]
+    fn advice_for_a_chain() {
+        // load -> a -> b -> store.
+        let stream = StreamBuilder::new()
+            .chain(id(0), id(1000))
+            .chain(id(1), id(0))
+            .store(id(1001), id(1))
+            .build();
+        let advice = advise(&stream, &[id(1000), id(1001)]);
+        assert_eq!(advice.compute_objects, 2);
+        assert_eq!(advice.memory_objects, 2);
+        assert_eq!(advice.channels, 2); // capped at positions/2
+        assert!(advice.streams);
+        // On the default 4+4 cluster this is a single-cluster processor.
+        assert_eq!(advice.clusters(4, 4), 1);
+    }
+
+    #[test]
+    fn advice_scales_with_fanout() {
+        let wide = StreamBuilder::new()
+            .chain(id(1), id(0))
+            .chain(id(2), id(0))
+            .chain(id(3), id(0))
+            .chain(id(4), id(0))
+            .build();
+        let advice = advise(&wide, &[]);
+        assert_eq!(advice.compute_objects, 5);
+        assert!(advice.channels >= 2);
+    }
+
+    #[test]
+    fn cluster_rounding_respects_both_resources() {
+        let a = ResourceAdvice {
+            compute_objects: 3,
+            memory_objects: 9,
+            channels: 4,
+            streams: true,
+        };
+        // Memory dominates: ceil(9/4) = 3 clusters.
+        assert_eq!(a.clusters(4, 4), 3);
+        assert_eq!(a.total_objects(), 12);
+    }
+
+    #[test]
+    fn scalar_advice_finds_a_knee_below_the_working_set() {
+        // A looping reference pattern over 8 objects where windows of ~8
+        // references cover most of the set.
+        let stream: GlobalConfigStream = (0..64)
+            .map(|i| GlobalConfigElement::unary(id(i % 8), id((i + 1) % 8)))
+            .collect();
+        let advice = advise_scalar(&stream, 0.9);
+        assert!(advice.compute_objects <= 8);
+        assert!(advice.compute_objects >= 4);
+        assert!(!advice.streams);
+    }
+
+    #[test]
+    fn degenerate_streams() {
+        let one = StreamBuilder::new().request(id(0)).build();
+        let a = advise(&one, &[]);
+        assert_eq!(a.compute_objects, 1);
+        assert_eq!(a.channels, 1);
+        let s = advise_scalar(&one, 0.9);
+        assert_eq!(s.compute_objects, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors of the adaptive-processor layer.
+
+use std::fmt;
+use vlsi_csd::CsdError;
+use vlsi_object::{ObjectError, ObjectId};
+
+/// Errors raised while configuring or executing on an adaptive processor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ApError {
+    /// The object model rejected an operation.
+    Object(ObjectError),
+    /// The CSD network rejected a chaining request.
+    Csd(CsdError),
+    /// The datapath's working set exceeds the array capacity `C`, so it
+    /// cannot stream (§2.5: "the reconfigured datapath has to be smaller
+    /// than the capacity C, since the streaming does not allow swapping
+    /// out part of the datapath").
+    WorkingSetExceedsCapacity {
+        /// Objects the datapath needs resident.
+        working_set: usize,
+        /// Compute-object capacity of the array.
+        capacity: usize,
+    },
+    /// The working set exceeds the WSRF's acquirement entries.
+    WorkingSetExceedsWsrf {
+        /// Objects the datapath needs acquired.
+        working_set: usize,
+        /// WSRF entry count.
+        wsrf_entries: usize,
+    },
+    /// A source object was referenced before any element defined it.
+    UndefinedSource(ObjectId),
+    /// Execution hit the cycle budget without draining the datapath —
+    /// either deadlock (a steer that never fires) or starvation.
+    ExecutionTimeout {
+        /// Cycles simulated before giving up.
+        cycles: u64,
+    },
+    /// The datapath has no configured elements.
+    EmptyDatapath,
+}
+
+impl fmt::Display for ApError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApError::Object(e) => write!(f, "object model: {e}"),
+            ApError::Csd(e) => write!(f, "CSD network: {e}"),
+            ApError::WorkingSetExceedsCapacity {
+                working_set,
+                capacity,
+            } => write!(
+                f,
+                "working set of {working_set} objects exceeds array capacity {capacity}"
+            ),
+            ApError::WorkingSetExceedsWsrf {
+                working_set,
+                wsrf_entries,
+            } => write!(
+                f,
+                "working set of {working_set} objects exceeds WSRF capacity {wsrf_entries}"
+            ),
+            ApError::UndefinedSource(id) => {
+                write!(f, "source object {id} referenced before definition")
+            }
+            ApError::ExecutionTimeout { cycles } => {
+                write!(f, "datapath did not drain within {cycles} cycles")
+            }
+            ApError::EmptyDatapath => write!(f, "empty datapath"),
+        }
+    }
+}
+
+impl std::error::Error for ApError {}
+
+impl From<ObjectError> for ApError {
+    fn from(e: ObjectError) -> ApError {
+        ApError::Object(e)
+    }
+}
+
+impl From<CsdError> for ApError {
+    fn from(e: CsdError) -> ApError {
+        ApError::Csd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: ApError = ObjectError::UnknownObject(ObjectId(1)).into();
+        assert!(matches!(e, ApError::Object(_)));
+        let e: ApError = CsdError::EmptyFanOut.into();
+        assert!(matches!(e, ApError::Csd(_)));
+    }
+
+    #[test]
+    fn display() {
+        let e = ApError::WorkingSetExceedsCapacity {
+            working_set: 20,
+            capacity: 16,
+        };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("16"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Counters reported by the adaptive-processor layers.
+
+/// Aggregated statistics of one adaptive processor.
+///
+/// Every field is a monotonically increasing counter; deltas between two
+/// snapshots describe an interval. The split between *configuration* and
+/// *execution* mirrors the paper's separation of the management pipeline
+/// (§2.2) from datapath operation (§2.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ApMetrics {
+    // --- configuration (management pipeline) ---
+    /// Pipeline cycles spent configuring (all five stages).
+    pub config_cycles: u64,
+    /// Object-cache hits during the request stage.
+    pub object_hits: u64,
+    /// Object-cache misses (loads from the library).
+    pub object_misses: u64,
+    /// Stack shifts performed (one per object entered at the top).
+    pub stack_shifts: u64,
+    /// Objects swapped out (write-backs into the library).
+    pub swap_outs: u64,
+    /// Chaining grants obtained on the CSD network.
+    pub chains: u64,
+    /// Chaining requests that failed (routability).
+    pub chain_failures: u64,
+    // --- execution (datapath) ---
+    /// Datapath cycles simulated.
+    pub exec_cycles: u64,
+    /// Operation firings.
+    pub firings: u64,
+    /// Words loaded from memory blocks.
+    pub loads: u64,
+    /// Words stored to memory blocks.
+    pub stores: u64,
+    /// Release tokens fired (object frees, §2.3).
+    pub release_tokens: u64,
+}
+
+impl ApMetrics {
+    /// Object-cache hit rate over the configuration so far (0 when no
+    /// requests were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.object_hits + self.object_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.object_hits as f64 / total as f64
+        }
+    }
+
+    /// Operations per execution cycle (the effective ILP of the datapath).
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            self.firings as f64 / self.exec_cycles as f64
+        }
+    }
+
+    /// Field-wise sum, for aggregating scaled (fused) processors.
+    pub fn merge(&self, other: &ApMetrics) -> ApMetrics {
+        ApMetrics {
+            config_cycles: self.config_cycles + other.config_cycles,
+            object_hits: self.object_hits + other.object_hits,
+            object_misses: self.object_misses + other.object_misses,
+            stack_shifts: self.stack_shifts + other.stack_shifts,
+            swap_outs: self.swap_outs + other.swap_outs,
+            chains: self.chains + other.chains,
+            chain_failures: self.chain_failures + other.chain_failures,
+            exec_cycles: self.exec_cycles + other.exec_cycles,
+            firings: self.firings + other.firings,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            release_tokens: self.release_tokens + other.release_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let mut m = ApMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        m.object_hits = 3;
+        m.object_misses = 1;
+        assert!((m.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_per_cycle() {
+        let m = ApMetrics {
+            exec_cycles: 10,
+            firings: 25,
+            ..ApMetrics::default()
+        };
+        assert!((m.ops_per_cycle() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = ApMetrics {
+            config_cycles: 1,
+            object_hits: 2,
+            release_tokens: 5,
+            ..ApMetrics::default()
+        };
+        let b = ApMetrics {
+            config_cycles: 10,
+            object_hits: 20,
+            release_tokens: 50,
+            ..ApMetrics::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.config_cycles, 11);
+        assert_eq!(m.object_hits, 22);
+        assert_eq!(m.release_tokens, 55);
+    }
+}

@@ -1,0 +1,701 @@
+//! The five-stage management pipeline (§2.2, Figure 1).
+//!
+//! The pipeline does not execute data operations — it *manages resources*:
+//! it walks the global configuration data stream and turns each element
+//! into resident, acquired, chained objects.
+//!
+//! | # | Stage | What it does here |
+//! |---|-------|-------------------|
+//! | 1 | **Pointer update** | advances the stream pointer (independent of the rest) |
+//! | 2 | **Request fetch**  | fetches the stream element |
+//! | 3 | **Request evaluation** | evaluates the request (memory-access requests are classified here) |
+//! | 4 | **Request** | searches for the requested objects; a miss inserts the library-load sequence |
+//! | 5 | **Acquirement** | acquires the objects into the WSRF and routes their chaining over the CSD network |
+//!
+//! Miss handling follows §2.3: missed logical objects are loaded from the
+//! library into the **configuration buffers** (Table 3 provides three,
+//! [`CFB_COUNT`]), then a stack shift enters them at the top of the stack,
+//! then the request is replayed ("After logical objects have been entered,
+//! the objects are requested again and will be chained").
+//!
+//! Chaining happens as a final pass over the stream once the working set is
+//! resident and positions are stable; each chain is the three-cycle
+//! Figure 2 handshake. The paper's streaming rule (§2.5) makes this
+//! faithful: a streaming datapath must fit the array, so its final
+//! placement is exactly what the chaining pass sees.
+
+use crate::error::ApError;
+use crate::stack::{ObjectStack, ReferenceOutcome};
+use crate::wsrf::WorkingSetRegisterFile;
+use vlsi_csd::DynamicCsd;
+use vlsi_object::{BoundObject, GlobalConfigStream, LogicalObject, ObjectId, ObjectLibrary};
+
+/// Configuration buffers available for concurrent library loads
+/// (Table 3: "64b x2 Reg. in CFB x3").
+pub const CFB_COUNT: usize = 3;
+
+/// Depth of the pipeline (cycles to fill it before the first element
+/// completes).
+pub const PIPELINE_DEPTH: u64 = 5;
+
+/// The five stages, in order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineStage {
+    /// Stage 1: pointer update.
+    PointerUpdate,
+    /// Stage 2: request fetch.
+    RequestFetch,
+    /// Stage 3: request evaluation.
+    RequestEvaluation,
+    /// Stage 4: request (object search / miss insertion).
+    Request,
+    /// Stage 5: acquirement (WSRF + routing).
+    Acquirement,
+}
+
+/// All stages in pipeline order.
+pub const STAGES: [PipelineStage; 5] = [
+    PipelineStage::PointerUpdate,
+    PipelineStage::RequestFetch,
+    PipelineStage::RequestEvaluation,
+    PipelineStage::Request,
+    PipelineStage::Acquirement,
+];
+
+/// One observable event of the configuration procedure — Figure 1 as
+/// data. Collected by [`Pipeline::configure_traced`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// Stage 2: a stream element was fetched.
+    Fetched {
+        /// Element index in the stream.
+        index: usize,
+        /// The element's sink object.
+        sink: ObjectId,
+    },
+    /// Stage 4: the request hit — the object acknowledged from the array.
+    Hit {
+        /// The requested object.
+        id: ObjectId,
+        /// Its stack distance at the time.
+        distance: usize,
+    },
+    /// Stage 4: the request missed; the library-load sequence is inserted.
+    Miss {
+        /// The requested object.
+        id: ObjectId,
+    },
+    /// Miss service: objects entered through the configuration buffers
+    /// and a stack shift, stalling the pipeline.
+    Loaded {
+        /// Objects entered at the top of the stack.
+        ids: Vec<ObjectId>,
+        /// Stall cycles charged.
+        stall: u64,
+    },
+    /// Miss service: an LRU victim was written back to the library.
+    Evicted {
+        /// The victim.
+        id: ObjectId,
+    },
+    /// Stage 5: a chain was granted on the CSD network.
+    Chained {
+        /// Producing object.
+        source: ObjectId,
+        /// Consuming object.
+        sink: ObjectId,
+        /// Hop span of the granted channel.
+        hops: usize,
+    },
+}
+
+/// Result of configuring a stream through the pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigureOutcome {
+    /// Total pipeline cycles, including fill, miss stalls, and chaining
+    /// handshakes.
+    pub cycles: u64,
+    /// Object-cache hits observed at the request stage.
+    pub hits: u64,
+    /// Object-cache misses (library loads).
+    pub misses: u64,
+    /// Logical objects evicted (LRU victims) and written back.
+    pub evictions: u64,
+    /// CSD routes established by the acquirement stage.
+    pub routes: u64,
+    /// Memory objects that were referenced (they live outside the stack,
+    /// §2.6.2, and never miss).
+    pub memory_refs: u64,
+    /// Total hop span of the established chains — with [`routes`](Self::routes),
+    /// gives the mean physical chain length the §4 wire-delay analysis
+    /// keys on.
+    pub chain_hops: u64,
+    /// The CSD routes this configuration established, so the caller can
+    /// tear down exactly this datapath's chains later (several datapaths
+    /// may be resident at once, §1).
+    pub route_ids: Vec<vlsi_csd::RouteId>,
+}
+
+/// The management pipeline of one adaptive processor.
+///
+/// The pipeline borrows the processor's structural state for the duration
+/// of one `configure` call; it owns nothing but its constants.
+#[derive(Clone, Copy, Debug)]
+pub struct Pipeline {
+    /// Configuration buffers available for concurrent miss loads.
+    pub cfb_count: usize,
+    /// Cycles to load one logical object from the library.
+    pub load_latency: u32,
+    /// Whether the §2.5 scheduling table overlaps victim write-backs with
+    /// miss loads (disable for the no-table baseline).
+    pub overlapped_replacement: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            cfb_count: CFB_COUNT,
+            load_latency: ObjectLibrary::LOAD_LATENCY,
+            overlapped_replacement: true,
+        }
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with the paper's constants.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Runs the stream through the pipeline, making every referenced
+    /// compute object resident and acquired, then chains every element over
+    /// the CSD network.
+    ///
+    /// `memory_ids` lists the IDs that bind to memory objects; they are
+    /// acquired but not stacked ("An object including a memory unit is
+    /// treated as out of the stack").
+    ///
+    /// On success the stack holds the whole compute working set. Fails if
+    /// the compute working set exceeds the stack capacity (the streaming
+    /// rule, §2.5) or the WSRF, or if chaining runs out of channels.
+    pub fn configure(
+        &self,
+        stream: &GlobalConfigStream,
+        stack: &mut ObjectStack,
+        wsrf: &mut WorkingSetRegisterFile,
+        library: &mut ObjectLibrary,
+        csd: &mut DynamicCsd,
+        memory_ids: &[ObjectId],
+    ) -> Result<ConfigureOutcome, ApError> {
+        self.configure_with(stream, stack, wsrf, library, csd, memory_ids, &mut |_| {})
+    }
+
+    /// [`configure`](Self::configure), additionally collecting the
+    /// Figure 1 event trace (fetch → hit/miss → load/evict → chain).
+    #[allow(clippy::too_many_arguments)]
+    pub fn configure_traced(
+        &self,
+        stream: &GlobalConfigStream,
+        stack: &mut ObjectStack,
+        wsrf: &mut WorkingSetRegisterFile,
+        library: &mut ObjectLibrary,
+        csd: &mut DynamicCsd,
+        memory_ids: &[ObjectId],
+    ) -> Result<(ConfigureOutcome, Vec<TraceEvent>), ApError> {
+        let mut events = Vec::new();
+        let out = self.configure_with(stream, stack, wsrf, library, csd, memory_ids, &mut |e| {
+            events.push(e)
+        })?;
+        Ok((out, events))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn configure_with(
+        &self,
+        stream: &GlobalConfigStream,
+        stack: &mut ObjectStack,
+        wsrf: &mut WorkingSetRegisterFile,
+        library: &mut ObjectLibrary,
+        csd: &mut DynamicCsd,
+        memory_ids: &[ObjectId],
+        emit: &mut dyn FnMut(TraceEvent),
+    ) -> Result<ConfigureOutcome, ApError> {
+        if stream.is_empty() {
+            return Err(ApError::EmptyDatapath);
+        }
+        let mut out = ConfigureOutcome::default();
+
+        // Streaming rule up front: the compute working set must fit C.
+        let compute_ws: Vec<ObjectId> = stream
+            .working_set()
+            .into_iter()
+            .filter(|id| !memory_ids.contains(id))
+            .collect();
+        if compute_ws.len() > stack.capacity() {
+            return Err(ApError::WorkingSetExceedsCapacity {
+                working_set: compute_ws.len(),
+                capacity: stack.capacity(),
+            });
+        }
+
+        // Pipeline fill.
+        out.cycles = PIPELINE_DEPTH;
+
+        // Stages 1-4 for every element: pointer update / fetch / evaluate
+        // overlap at one element per cycle; the request stage adds stalls
+        // on misses.
+        for (index, element) in stream.elements().iter().enumerate() {
+            out.cycles += 1; // one element drains per cycle when hitting
+            emit(TraceEvent::Fetched {
+                index,
+                sink: element.sink,
+            });
+            let mut missed: Vec<ObjectId> = Vec::new();
+            for id in element.referenced() {
+                if memory_ids.contains(&id) {
+                    // Memory objects are reachable but outside the stack.
+                    out.memory_refs += 1;
+                    wsrf.acquire(id)?;
+                    continue;
+                }
+                if wsrf.search(id) {
+                    if let Some(distance) = stack.position_of(id) {
+                        // Central hit detection: already acquired and
+                        // resident. Refresh recency in the stack.
+                        stack.reference(id);
+                        out.hits += 1;
+                        emit(TraceEvent::Hit { id, distance });
+                        continue;
+                    }
+                }
+                match stack.reference(id) {
+                    ReferenceOutcome::Hit { distance } => {
+                        out.hits += 1;
+                        emit(TraceEvent::Hit { id, distance });
+                        wsrf.acquire(id)?;
+                    }
+                    ReferenceOutcome::Miss => {
+                        emit(TraceEvent::Miss { id });
+                        if !missed.contains(&id) {
+                            missed.push(id);
+                        }
+                    }
+                }
+            }
+            if !missed.is_empty() {
+                let stall =
+                    self.handle_misses(&missed, stack, wsrf, library, csd, &mut out, emit)?;
+                emit(TraceEvent::Loaded { ids: missed, stall });
+                out.cycles += stall;
+            }
+        }
+
+        // Acquirement/chaining pass: positions are now final. A repeated
+        // source→sink pair reuses its existing chain — the grant persists
+        // in the memory cell, so re-requesting it costs nothing.
+        let mut chained: Vec<(usize, usize)> = Vec::new();
+        for element in stream.elements() {
+            let Some(sink_pos) = self.position_of(element.sink, stack, memory_ids, csd) else {
+                return Err(ApError::UndefinedSource(element.sink));
+            };
+            for src in element.sources() {
+                let Some(src_pos) = self.position_of(src, stack, memory_ids, csd) else {
+                    return Err(ApError::UndefinedSource(src));
+                };
+                if src_pos == sink_pos {
+                    // Adjacent placement: chaining uses the local bypass,
+                    // no global channel is consumed.
+                    continue;
+                }
+                if chained.contains(&(src_pos, sink_pos)) {
+                    continue;
+                }
+                let route = csd.connect(src_pos, sink_pos)?;
+                wsrf.add_route(element.sink, route)?;
+                chained.push((src_pos, sink_pos));
+                out.route_ids.push(route);
+                out.routes += 1;
+                out.chain_hops += src_pos.abs_diff(sink_pos) as u64;
+                emit(TraceEvent::Chained {
+                    source: src,
+                    sink: element.sink,
+                    hops: src_pos.abs_diff(sink_pos),
+                });
+                out.cycles += 3; // Figure 2 handshake: request/grant/ack
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads missed objects through the configuration buffers and enters
+    /// them with stack shifts. Returns the stall cycles incurred.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_misses(
+        &self,
+        missed: &[ObjectId],
+        stack: &mut ObjectStack,
+        wsrf: &mut WorkingSetRegisterFile,
+        library: &mut ObjectLibrary,
+        csd: &mut DynamicCsd,
+        out: &mut ConfigureOutcome,
+        emit: &mut dyn FnMut(TraceEvent),
+    ) -> Result<u64, ApError> {
+        let mut stall = 0u64;
+        let mut evictions = 0usize;
+        for &id in missed {
+            let logical: LogicalObject = library.load(id)?;
+            out.misses += 1;
+            // Entering at the top shifts every resident object (and the
+            // network's segment ownership) one slot toward the bottom.
+            let evicted = stack.insert_top(BoundObject::bind(logical));
+            let torn_down = csd.stack_shift();
+            debug_assert!(
+                torn_down.is_empty(),
+                "configuration established routes before placement settled"
+            );
+            stall += 1; // one cycle per shift
+            if let Some(victim) = evicted {
+                out.evictions += 1;
+                evictions += 1;
+                emit(TraceEvent::Evicted { id: victim.id() });
+                wsrf.release(victim.id());
+                library.write_back(victim.unbind());
+            }
+            wsrf.acquire(id)?;
+        }
+        // Transfer time: loads batch through the CFBs; victim write-backs
+        // overlap them when the §2.5 scheduling table is present.
+        let scheduler = crate::schedule::ReplacementScheduler::configured(
+            self.cfb_count,
+            self.load_latency,
+            self.load_latency,
+            self.overlapped_replacement,
+        );
+        stall += scheduler.miss_penalty(missed.len(), evictions);
+        Ok(stall)
+    }
+
+    /// Resolves an object to its CSD position. Compute objects sit at
+    /// their stack depth; memory objects sit past the end of the stack
+    /// region, in ID order of `memory_ids` (they are out of the stack but
+    /// "the interconnection network has to be reachable to these objects",
+    /// §2.6.2).
+    fn position_of(
+        &self,
+        id: ObjectId,
+        stack: &ObjectStack,
+        memory_ids: &[ObjectId],
+        csd: &DynamicCsd,
+    ) -> Option<usize> {
+        if let Some(mi) = memory_ids.iter().position(|&m| m == id) {
+            let pos = stack.capacity() + mi;
+            return (pos < csd.positions()).then_some(pos);
+        }
+        stack.position_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_object::{GlobalConfigElement, LocalConfig, Operation};
+
+    fn setup(
+        capacity: usize,
+        n_mem: usize,
+        channels: usize,
+    ) -> (
+        ObjectStack,
+        WorkingSetRegisterFile,
+        ObjectLibrary,
+        DynamicCsd,
+    ) {
+        let stack = ObjectStack::new(capacity);
+        let wsrf = WorkingSetRegisterFile::new();
+        let mut library = ObjectLibrary::new();
+        for i in 0..32 {
+            library
+                .register(LogicalObject::compute(
+                    ObjectId(i),
+                    LocalConfig::op(Operation::IAdd),
+                ))
+                .unwrap();
+        }
+        for i in 0..n_mem {
+            library
+                .register(LogicalObject::memory(
+                    ObjectId(100 + i as u32),
+                    LocalConfig::op(Operation::Load),
+                ))
+                .unwrap();
+        }
+        let csd = DynamicCsd::new(capacity + n_mem, channels);
+        (stack, wsrf, library, csd)
+    }
+
+    fn chain(ids: &[(u32, u32)]) -> GlobalConfigStream {
+        ids.iter()
+            .map(|&(sink, src)| GlobalConfigElement::unary(ObjectId(sink), ObjectId(src)))
+            .collect()
+    }
+
+    #[test]
+    fn configure_loads_working_set() {
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(8, 0, 8);
+        let stream = chain(&[(1, 0), (2, 1), (3, 2)]);
+        let out = Pipeline::new()
+            .configure(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap();
+        assert_eq!(out.misses, 4); // objects 0..=3, all compulsory
+        assert_eq!(stack.len(), 4);
+        assert_eq!(wsrf.len(), 4);
+        assert!(out.routes > 0);
+        assert!(out.cycles >= PIPELINE_DEPTH + 3);
+        csd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_configuration_hits() {
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(8, 0, 8);
+        let stream = chain(&[(1, 0), (2, 1)]);
+        let p = Pipeline::new();
+        let first = p
+            .configure(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap();
+        assert_eq!(first.hits, 1); // object 1 re-referenced as source
+                                   // Tear down routes, configure again: everything is resident.
+        let routes: Vec<_> = csd.routes().map(|r| r.id).collect();
+        for r in routes {
+            csd.disconnect(r).unwrap();
+        }
+        let second = p
+            .configure(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap();
+        assert_eq!(second.misses, 0);
+        assert!(second.cycles < first.cycles);
+    }
+
+    #[test]
+    fn working_set_over_capacity_is_rejected() {
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(2, 0, 8);
+        let stream = chain(&[(1, 0), (2, 1), (3, 2)]);
+        let err = Pipeline::new()
+            .configure(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap_err();
+        assert!(matches!(err, ApError::WorkingSetExceedsCapacity { .. }));
+    }
+
+    #[test]
+    fn memory_objects_bypass_the_stack() {
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(4, 2, 8);
+        // load (mem 100) -> compute 1 -> store (mem 101)
+        let stream: GlobalConfigStream = [
+            GlobalConfigElement::unary(ObjectId(1), ObjectId(100)),
+            GlobalConfigElement::unary(ObjectId(101), ObjectId(1)),
+        ]
+        .into_iter()
+        .collect();
+        let out = Pipeline::new()
+            .configure(
+                &stream,
+                &mut stack,
+                &mut wsrf,
+                &mut library,
+                &mut csd,
+                &[ObjectId(100), ObjectId(101)],
+            )
+            .unwrap();
+        assert_eq!(out.memory_refs, 2);
+        assert_eq!(stack.len(), 1, "only the compute object is stacked");
+        assert_eq!(wsrf.len(), 3);
+        // Chains reach positions 4 and 5 (the memory region).
+        assert_eq!(out.routes, 2);
+        csd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn miss_stalls_respect_cfb_parallelism() {
+        // 6 misses with 3 CFBs -> 2 load batches; with 1 CFB -> 6 batches.
+        let stream = chain(&[(1, 0), (3, 2), (5, 4)]);
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(8, 0, 8);
+        let wide = Pipeline::new()
+            .configure(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap();
+        let (mut stack2, mut wsrf2, mut library2, mut csd2) = setup(8, 0, 8);
+        let narrow = Pipeline {
+            cfb_count: 1,
+            ..Pipeline::new()
+        }
+        .configure(
+            &stream,
+            &mut stack2,
+            &mut wsrf2,
+            &mut library2,
+            &mut csd2,
+            &[],
+        )
+        .unwrap();
+        assert!(narrow.cycles > wide.cycles);
+    }
+
+    #[test]
+    fn trace_reproduces_figure1_procedure() {
+        // Configure a 2-element stream cold, then again warm: the traces
+        // must show (miss, load, chain) first and (hit, chain) second.
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(8, 0, 8);
+        let p = Pipeline::new();
+        let stream = chain(&[(1, 0)]);
+        let (_, cold) = p
+            .configure_traced(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap();
+        assert!(matches!(cold[0], TraceEvent::Fetched { index: 0, .. }));
+        let misses = cold
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Miss { .. }))
+            .count();
+        assert_eq!(misses, 2);
+        assert!(cold.iter().any(|e| matches!(e, TraceEvent::Loaded { .. })));
+        assert!(matches!(
+            cold.last(),
+            Some(TraceEvent::Chained { hops: 1, .. })
+        ));
+        // Warm pass: hits, no loads, same chain.
+        let routes: Vec<_> = csd.routes().map(|r| r.id).collect();
+        for r in routes {
+            csd.disconnect(r).unwrap();
+        }
+        let (_, warm) = p
+            .configure_traced(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap();
+        assert!(warm.iter().any(|e| matches!(e, TraceEvent::Hit { .. })));
+        assert!(!warm.iter().any(|e| matches!(e, TraceEvent::Miss { .. })));
+        assert!(!warm.iter().any(|e| matches!(e, TraceEvent::Loaded { .. })));
+    }
+
+    #[test]
+    fn trace_shows_evictions() {
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(2, 0, 8);
+        let p = Pipeline::new();
+        p.configure(
+            &chain(&[(1, 0)]),
+            &mut stack,
+            &mut wsrf,
+            &mut library,
+            &mut csd,
+            &[],
+        )
+        .unwrap();
+        let routes: Vec<_> = csd.routes().map(|r| r.id).collect();
+        for r in routes {
+            csd.disconnect(r).unwrap();
+        }
+        let (_, trace) = p
+            .configure_traced(
+                &chain(&[(3, 2)]),
+                &mut stack,
+                &mut wsrf,
+                &mut library,
+                &mut csd,
+                &[],
+            )
+            .unwrap();
+        let evictions: Vec<_> = trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Evicted { id } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        // First configure requested sink 1 then source 0, so 0 sits on
+        // top and 1 at the bottom: 1 is evicted first.
+        assert_eq!(evictions, vec![ObjectId(1), ObjectId(0)]);
+    }
+
+    #[test]
+    fn scheduling_table_overlaps_writebacks() {
+        // Small stack so misses evict: with the §2.5 table, the victim
+        // write-backs hide behind the loads; the serial baseline pays
+        // them explicitly.
+        let run = |overlapped: bool| -> u64 {
+            let (mut stack, mut wsrf, mut library, mut csd) = setup(2, 0, 8);
+            let p = Pipeline {
+                overlapped_replacement: overlapped,
+                ..Pipeline::new()
+            };
+            let mut cycles = 0;
+            for pair in [(1u32, 0u32), (3, 2), (5, 4), (7, 6)] {
+                // Tear down routes between datapaths.
+                let routes: Vec<_> = csd.routes().map(|r| r.id).collect();
+                for r in routes {
+                    csd.disconnect(r).unwrap();
+                }
+                cycles += p
+                    .configure(
+                        &chain(&[pair]),
+                        &mut stack,
+                        &mut wsrf,
+                        &mut library,
+                        &mut csd,
+                        &[],
+                    )
+                    .unwrap()
+                    .cycles;
+            }
+            cycles
+        };
+        let with_table = run(true);
+        let without = run(false);
+        assert!(
+            with_table < without,
+            "table {with_table} !< serial {without}"
+        );
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(8, 0, 8);
+        let stream = chain(&[(60, 61)]); // not registered
+        let err = Pipeline::new()
+            .configure(&stream, &mut stack, &mut wsrf, &mut library, &mut csd, &[])
+            .unwrap_err();
+        assert!(matches!(err, ApError::Object(_)));
+    }
+
+    #[test]
+    fn eviction_writes_back_and_releases() {
+        // Capacity 2, three objects referenced in sequence as separate
+        // single-object elements (no streaming violation: working set per
+        // stream must fit, so use separate configures).
+        let (mut stack, mut wsrf, mut library, mut csd) = setup(2, 0, 8);
+        let p = Pipeline::new();
+        p.configure(
+            &chain(&[(1, 0)]),
+            &mut stack,
+            &mut wsrf,
+            &mut library,
+            &mut csd,
+            &[],
+        )
+        .unwrap();
+        // Free routes between datapaths.
+        let routes: Vec<_> = csd.routes().map(|r| r.id).collect();
+        for r in routes {
+            csd.disconnect(r).unwrap();
+        }
+        let out = p
+            .configure(
+                &chain(&[(3, 2)]),
+                &mut stack,
+                &mut wsrf,
+                &mut library,
+                &mut csd,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(out.evictions, 2); // 0 and 1 evicted by 3 and 2
+                                      // Request order is sink-first (3 then 2), so 2 ends up on top.
+        assert_eq!(stack.resident_ids(), vec![ObjectId(2), ObjectId(3)]);
+        assert_eq!(library.store_count(), 2);
+        assert!(wsrf.get(ObjectId(0)).is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! The working-set register file (WSRF).
+//!
+//! §2.2: routing "is performed during this \[acquirement\] pipeline stage
+//! using an acquirement signal from special registers called a working-set
+//! register file (WSRF) for maintain the acquired elements". §2.6.1 adds
+//! that "cache hit detection can be centrally processed on the WSRF instead
+//! of searching in the array … Searching in WSRFs can be performed in
+//! parallel."
+//!
+//! The WSRF therefore does two jobs in this model:
+//!
+//! 1. **central hit detection** — a tag lookup answering "is this object
+//!    acquired, and where?" without touching the array;
+//! 2. **acquirement bookkeeping** — remembering, per acquired object, the
+//!    CSD routes that feed it, so the acquirement signal can tell the sink
+//!    "which communication port to use for the chaining" (§2.3).
+//!
+//! Table 3 sizes the real register file at forty 64-bit entries
+//! ([`WSRF_ENTRIES`]); the model enforces that capacity.
+
+use crate::error::ApError;
+use vlsi_csd::RouteId;
+use vlsi_object::ObjectId;
+
+/// Entries in one WSRF (Table 3: "64b x40 Reg. in WSRF").
+pub const WSRF_ENTRIES: usize = 40;
+
+/// One acquirement record: an object admitted to the working set, plus the
+/// routes chaining its input ports.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Acquirement {
+    /// The acquired object.
+    pub id: ObjectId,
+    /// Routes feeding this object's ports (lhs, rhs, pred as granted).
+    pub routes: Vec<RouteId>,
+}
+
+/// The working-set register file of one adaptive processor.
+#[derive(Clone, Debug, Default)]
+pub struct WorkingSetRegisterFile {
+    entries: Vec<Acquirement>,
+    capacity: usize,
+    searches: u64,
+    hits: u64,
+}
+
+impl WorkingSetRegisterFile {
+    /// A WSRF with the paper's forty entries.
+    pub fn new() -> WorkingSetRegisterFile {
+        WorkingSetRegisterFile::with_capacity(WSRF_ENTRIES)
+    }
+
+    /// A WSRF with a custom entry count (for capacity ablations).
+    pub fn with_capacity(capacity: usize) -> WorkingSetRegisterFile {
+        WorkingSetRegisterFile {
+            entries: Vec::new(),
+            capacity,
+            searches: 0,
+            hits: 0,
+        }
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Acquired-entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is acquired.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Central hit detection: is `id` acquired?
+    pub fn search(&mut self, id: ObjectId) -> bool {
+        self.searches += 1;
+        let hit = self.entries.iter().any(|a| a.id == id);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Acquires `id` with no routes yet. Errors when the file is full —
+    /// the working set no longer fits the acquirement hardware.
+    pub fn acquire(&mut self, id: ObjectId) -> Result<(), ApError> {
+        if self.entries.iter().any(|a| a.id == id) {
+            return Ok(()); // already acquired: idempotent
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(ApError::WorkingSetExceedsWsrf {
+                working_set: self.entries.len() + 1,
+                wsrf_entries: self.capacity,
+            });
+        }
+        self.entries.push(Acquirement {
+            id,
+            routes: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Records a granted route feeding `id` (the acquirement signal's
+    /// channel/port information).
+    pub fn add_route(&mut self, id: ObjectId, route: RouteId) -> Result<(), ApError> {
+        match self.entries.iter_mut().find(|a| a.id == id) {
+            Some(a) => {
+                a.routes.push(route);
+                Ok(())
+            }
+            None => Err(ApError::UndefinedSource(id)),
+        }
+    }
+
+    /// Releases `id`, returning its routes so the caller can tear them
+    /// down on the CSD network (the release-token path).
+    pub fn release(&mut self, id: ObjectId) -> Option<Acquirement> {
+        let pos = self.entries.iter().position(|a| a.id == id)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// The record for `id`.
+    pub fn get(&self, id: ObjectId) -> Option<&Acquirement> {
+        self.entries.iter().find(|a| a.id == id)
+    }
+
+    /// Iterates over acquirements in acquisition order.
+    pub fn iter(&self) -> impl Iterator<Item = &Acquirement> {
+        self.entries.iter()
+    }
+
+    /// Releases everything, returning all records (processor release).
+    pub fn release_all(&mut self) -> Vec<Acquirement> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// `(searches, hits)` counters of central hit detection.
+    pub fn search_stats(&self) -> (u64, u64) {
+        (self.searches, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_and_search() {
+        let mut w = WorkingSetRegisterFile::new();
+        assert!(!w.search(ObjectId(1)));
+        w.acquire(ObjectId(1)).unwrap();
+        assert!(w.search(ObjectId(1)));
+        assert_eq!(w.search_stats(), (2, 1));
+    }
+
+    #[test]
+    fn acquire_is_idempotent() {
+        let mut w = WorkingSetRegisterFile::new();
+        w.acquire(ObjectId(1)).unwrap();
+        w.acquire(ObjectId(1)).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut w = WorkingSetRegisterFile::with_capacity(2);
+        w.acquire(ObjectId(1)).unwrap();
+        w.acquire(ObjectId(2)).unwrap();
+        let err = w.acquire(ObjectId(3)).unwrap_err();
+        assert!(matches!(err, ApError::WorkingSetExceedsWsrf { .. }));
+    }
+
+    #[test]
+    fn default_capacity_is_table3() {
+        let w = WorkingSetRegisterFile::new();
+        assert_eq!(w.capacity(), 40);
+    }
+
+    #[test]
+    fn routes_tracked_per_object() {
+        let mut w = WorkingSetRegisterFile::new();
+        w.acquire(ObjectId(1)).unwrap();
+        w.add_route(ObjectId(1), RouteId(7)).unwrap();
+        w.add_route(ObjectId(1), RouteId(8)).unwrap();
+        assert_eq!(
+            w.get(ObjectId(1)).unwrap().routes,
+            vec![RouteId(7), RouteId(8)]
+        );
+        assert!(w.add_route(ObjectId(9), RouteId(1)).is_err());
+    }
+
+    #[test]
+    fn release_returns_routes() {
+        let mut w = WorkingSetRegisterFile::new();
+        w.acquire(ObjectId(1)).unwrap();
+        w.add_route(ObjectId(1), RouteId(3)).unwrap();
+        let a = w.release(ObjectId(1)).unwrap();
+        assert_eq!(a.routes, vec![RouteId(3)]);
+        assert!(w.release(ObjectId(1)).is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn release_all() {
+        let mut w = WorkingSetRegisterFile::new();
+        for i in 0..5 {
+            w.acquire(ObjectId(i)).unwrap();
+        }
+        assert_eq!(w.release_all().len(), 5);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation F: adaptive-processor scale versus clock and throughput.
+//!
+//! §1's second benefit: "It is probably coordination between clock cycle
+//! time and the number of resources that control the performance". A
+//! bigger AP hosts bigger streaming datapaths, but its chaining wire spans
+//! a larger compute array, so the clock slows with √area. This ablation
+//! sweeps the AP's compute scale at the 2012 node and reports the
+//! resulting chip-level peak GOPS (composition-aware wire delay) — peak
+//! throughput favours many small APs; capability favours few big ones,
+//! which is exactly why the paper makes the scale *dynamic*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vlsi_cost::itrs::year;
+use vlsi_cost::scaling::ApComposition;
+use vlsi_cost::wire::wire_delay_ns_for;
+
+fn bench_ablation(c: &mut Criterion) {
+    let p = year(2012).unwrap();
+    println!("\nAblation F — AP scale vs clock and peak GOPS (2012 node, 1:1 PO:MO):");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12}",
+        "PO/AP", "APs", "delay [ns]", "GOPS", "GOPS/AP"
+    );
+    let mut rows = Vec::new();
+    for scale in [4u32, 8, 16, 32, 64] {
+        let comp = ApComposition {
+            compute_objects: scale,
+            memory_objects: scale,
+        };
+        let aps = comp.aps_per_die(&p);
+        let delay = wire_delay_ns_for(f64::from(scale), &p);
+        let gops = comp.peak_gops_scaled(&p);
+        println!(
+            "{scale:>8} {aps:>8} {delay:>12.2} {gops:>12.1} {:>12.1}",
+            gops / f64::from(aps.max(1))
+        );
+        rows.push((scale, delay, gops));
+    }
+    // The trade-off is real and monotone on both sides:
+    for w in rows.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "bigger APs must have slower chaining clocks"
+        );
+    }
+    // Small APs win on aggregate peak GOPS (the wire penalty dominates).
+    assert!(
+        rows[0].2 > rows.last().unwrap().2,
+        "4-object APs must out-GOPS 64-object APs"
+    );
+    // The model's clean identity: delay ∝ compute area, APs ∝ 1/area, so
+    // GOPS *per AP* is scale-invariant — chip GOPS falls as 1/scale while
+    // per-processor capability grows linearly. Fusing is therefore free in
+    // per-AP throughput and costs only aggregate peak — the quantified
+    // form of the paper's general-purpose/application-specific balance.
+    let per_ap = |&(scale, delay, _): &(u32, f64, f64)| f64::from(scale) / delay;
+    let base = per_ap(&rows[0]);
+    for r in &rows {
+        assert!(
+            (per_ap(r) / base - 1.0).abs() < 0.05,
+            "GOPS/AP should be scale-invariant: {} vs {base}",
+            per_ap(r)
+        );
+    }
+
+    c.bench_function("ablation-F/gops-sweep", |b| {
+        b.iter(|| {
+            (4u32..=64)
+                .step_by(4)
+                .map(|s| {
+                    ApComposition {
+                        compute_objects: s,
+                        memory_objects: s,
+                    }
+                    .peak_gops_scaled(&p)
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

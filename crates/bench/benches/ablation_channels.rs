@@ -1,0 +1,54 @@
+//! Ablation A: channel provisioning versus routability.
+//!
+//! §6: "A reduction in the number of channels must be carefully performed
+//! by processor architects because the number of channels determines the
+//! routability." This bench quantifies the trade-off the paper leaves
+//! qualitative: with k ∈ {N/8, N/4, N/2, N} channels, how many chaining
+//! requests of a random datapath are rejected?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlsi_csd::sim::LocalityWorkload;
+use vlsi_csd::CsdSimulator;
+
+fn rejection_rate(n: usize, channels: usize, runs: usize) -> f64 {
+    let sim = CsdSimulator::new(n, channels);
+    let u = sim.sweep_point(0.0, runs, 0xAB1A);
+    u.rejected as f64 / (u.rejected + u.granted).max(1) as f64
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 64usize;
+    println!("\nAblation A — channels vs routability (N={n}, random datapaths):");
+    println!("{:>10} {:>12} {:>12}", "channels", "reject-rate", "note");
+    for (k, note) in [
+        (n / 8, "starved"),
+        (n / 4, "tight"),
+        (n / 2, "paper's sufficient point"),
+        (n, "overprovisioned"),
+    ] {
+        let r = rejection_rate(n, k, 30);
+        println!("{:>10} {:>11.1}% {:>28}", k, r * 100.0, note);
+    }
+    // The paper's claim as a hard gate: N/2 suffices, N/8 does not.
+    assert_eq!(rejection_rate(n, n, 30), 0.0);
+    assert!(rejection_rate(n, n / 2, 30) < 0.02);
+    assert!(rejection_rate(n, n / 8, 30) > 0.05);
+
+    let mut g = c.benchmark_group("ablation-A/allocation");
+    for k in [n / 8, n / 2, n] {
+        let wl = LocalityWorkload {
+            n_objects: n,
+            locality: 0.0,
+            seed: 1,
+        };
+        let reqs = wl.generate();
+        let sim = CsdSimulator::new(n, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &reqs, |b, reqs| {
+            b.iter(|| sim.run(reqs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation G: configuration-worm strategy — unicast fleet vs traveling
+//! worm (the path-shaped configuration Figure 7(c) draws).
+//!
+//! Unicast worms pipeline through the NoC (latency ≈ farthest cluster +
+//! serialisation) but each pays the approach from the supervisor. The
+//! traveling worm pays the approach once and then single-hop legs along
+//! the fold, strictly serially. The bench sweeps region size and distance
+//! from the supervisor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlsi_core::{ConfigStrategy, VlsiChip};
+use vlsi_topology::{Cluster, Coord, Region};
+
+fn latency(strategy: ConfigStrategy, origin: Coord, side: u16) -> u64 {
+    let mut chip = VlsiChip::new(12, 12, Cluster::default());
+    chip.gather_with(Region::rect(origin, side, side), strategy)
+        .unwrap()
+        .config_latency
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("\nAblation G — configuration strategy (12x12 chip, supervisor at (0,0)):");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "region", "placement", "unicast [cyc]", "traveling [cyc]"
+    );
+    for (side, origin, tag) in [
+        (2u16, Coord::new(0, 0), "near"),
+        (2, Coord::new(10, 10), "far"),
+        (4, Coord::new(0, 0), "near"),
+        (4, Coord::new(8, 8), "far"),
+        (6, Coord::new(6, 6), "far"),
+    ] {
+        let u = latency(ConfigStrategy::UnicastWorms, origin, side);
+        let t = latency(ConfigStrategy::TravelingWorm, origin, side);
+        println!("{side:>7}² {tag:>10} {u:>14} {t:>14}");
+        // Unicast pipelines: its makespan never exceeds the serial worm's.
+        assert!(
+            u <= t,
+            "{side}x{side} at {origin:?}: unicast {u} > traveling {t}"
+        );
+    }
+    println!(
+        "\nunicast wins on end-to-end latency (it pipelines); the traveling\n\
+         worm's advantage is traffic: one approach instead of N."
+    );
+
+    let mut g = c.benchmark_group("ablation-G/gather");
+    for strategy in [ConfigStrategy::UnicastWorms, ConfigStrategy::TravelingWorm] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &s| b.iter(|| latency(s, Coord::new(8, 8), 4)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation E: the §2.6.2 area-vs-routability trade-off, end to end.
+//!
+//! "This approach must consider how much of an area reduction is
+//! acceptable to provide sufficient routability." For one array size, the
+//! bench sweeps the channel count and reports *both* sides of the trade:
+//! the network's λ² area (from `vlsi-cost::csd`) and the rejection rate
+//! of random datapaths (from the `vlsi-csd` functional simulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vlsi_cost::csd::{csd_area, csd_area_fraction, flat_area};
+use vlsi_csd::CsdSimulator;
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 64usize;
+    println!("\nAblation E — CSD area vs routability (N={n}):");
+    println!(
+        "{:>10} {:>14} {:>12} {:>12}",
+        "channels", "area [λ²]", "of AP area", "reject-rate"
+    );
+    let mut rows = Vec::new();
+    for k in [n / 8, n / 4, n / 2, n] {
+        let sim = CsdSimulator::new(n, k);
+        let u = sim.sweep_point(0.0, 30, 0xCAFE);
+        let reject = u.rejected as f64 / (u.rejected + u.granted).max(1) as f64;
+        println!(
+            "{:>10} {:>14.3e} {:>11.2}% {:>11.1}%",
+            k,
+            csd_area(n, k),
+            csd_area_fraction(n, k) * 100.0,
+            reject * 100.0
+        );
+        rows.push((k, csd_area(n, k), reject));
+    }
+    println!(
+        "{:>10} {:>14.3e}   (flat global network baseline)",
+        "flat",
+        flat_area(n)
+    );
+    // The paper's sweet spot: N/2 channels halve the flat network's area
+    // at (near-)zero rejection.
+    let half = rows.iter().find(|(k, _, _)| *k == n / 2).unwrap();
+    assert!(half.1 < flat_area(n) * 0.55);
+    assert!(half.2 < 0.02);
+    // And area is the price of routability: fewer channels, more rejects.
+    assert!(rows[0].2 > rows[2].2);
+
+    c.bench_function("ablation-E/sweep-point", |b| {
+        let sim = CsdSimulator::new(n, n / 2);
+        b.iter(|| sim.sweep_point(0.0, 5, 1))
+    });
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

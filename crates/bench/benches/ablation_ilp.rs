@@ -1,0 +1,67 @@
+//! Ablation H: datapath width versus effective ILP.
+//!
+//! The paper motivates reconfiguration with per-application ILP ("each
+//! application has its own characteristic TLP and ILP", §1). The dataflow
+//! engine makes that measurable: a width-`w` multiply/reduce tree issues
+//! up to `2w − 1` operations concurrently, and the ops/cycle the engine
+//! sustains should grow with `w` until structural limits bite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlsi_ap::{AdaptiveProcessor, ApConfig};
+use vlsi_object::Word;
+use vlsi_workloads::StreamKernel;
+
+fn ops_per_cycle(w: usize, len: u64) -> f64 {
+    let kernel = StreamKernel::wide_tree(w, 1, len);
+    let mut ap = AdaptiveProcessor::new(ApConfig {
+        compute_objects: kernel.compute_working_set().max(16),
+        memory_objects: 16,
+        channels: (kernel.compute_working_set() + 16).max(16),
+        ..ApConfig::default()
+    });
+    ap.install(kernel.objects.clone()).unwrap();
+    for i in 0..len {
+        ap.memory_mut(0).unwrap().store(i, Word(i + 1)).unwrap();
+    }
+    ap.configure(kernel.stream.clone()).unwrap();
+    let report = ap.execute(0, 10_000_000).unwrap();
+    // Verify while we're here.
+    let expect = StreamKernel::wide_tree_reference(w, 1, &(1..=len).collect::<Vec<_>>());
+    for (i, e) in expect.iter().enumerate() {
+        assert_eq!(ap.memory(1).unwrap().peek(i as u64).unwrap().as_u64(), *e);
+    }
+    report.firings as f64 / report.cycles as f64
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("\nAblation H — datapath width vs effective ILP (64-element stream):");
+    println!("{:>8} {:>10} {:>12}", "width", "objects", "ops/cycle");
+    let mut rows = Vec::new();
+    for w in [1usize, 2, 4, 8, 16] {
+        let ipc = ops_per_cycle(w, 64);
+        println!("{w:>8} {:>10} {ipc:>12.2}", 2 * w - 1);
+        rows.push((w, ipc));
+    }
+    // Wider trees must extract more ILP, up to the tested range.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].1 > pair[0].1 * 1.2,
+            "width {} ({:.2}) should beat width {} ({:.2})",
+            pair[1].0,
+            pair[1].1,
+            pair[0].0,
+            pair[0].1
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation-H/stream");
+    for w in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| ops_per_cycle(w, 32))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

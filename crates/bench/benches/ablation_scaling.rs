@@ -1,0 +1,64 @@
+//! Ablation C: fused-processor size versus configuration latency.
+//!
+//! §3.3 scales processors by wormhole-routing configuration data to every
+//! cluster's switch. The cost of an up-scale is therefore NoC-bound:
+//! worms × distance. This bench sweeps the gathered region size and
+//! reports worms, switch stores, and the maximum worm latency — the
+//! end-to-end reconfiguration cost the paper claims is "very low".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlsi_core::VlsiChip;
+use vlsi_topology::{Cluster, Coord, Region};
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("\nAblation C — region size vs configuration latency (8x8 chip):");
+    println!(
+        "{:>8} {:>8} {:>8} {:>14} {:>14}",
+        "region", "clusters", "worms", "cfg-latency", "switch-stores"
+    );
+    let mut prev = 0u64;
+    for side in [1u16, 2, 3, 4, 6, 8] {
+        let mut chip = VlsiChip::new(8, 8, Cluster::default());
+        let out = chip
+            .gather(Region::rect(Coord::new(0, 0), side, side))
+            .unwrap();
+        println!(
+            "{:>7}² {:>8} {:>8} {:>14} {:>14}",
+            side,
+            side as u64 * side as u64,
+            out.worms,
+            out.config_latency,
+            out.switch_stores
+        );
+        assert!(out.config_latency >= prev, "latency fell with region size");
+        prev = out.config_latency;
+    }
+
+    let mut g = c.benchmark_group("ablation-C/gather");
+    for side in [2u16, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            b.iter(|| {
+                let mut chip = VlsiChip::new(8, 8, Cluster::default());
+                chip.gather(Region::rect(Coord::new(0, 0), side, side))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Ring gathers cost one extra chained hop, not a different regime.
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let open = chip.gather(Region::rect(Coord::new(0, 0), 4, 2)).unwrap();
+    let mut chip2 = VlsiChip::new(8, 8, Cluster::default());
+    let ring = chip2
+        .gather_ring(Region::rect(Coord::new(0, 0), 4, 2))
+        .unwrap();
+    println!(
+        "\nring vs open 4x2: stores {} vs {}, latency {} vs {}",
+        ring.switch_stores, open.switch_stores, ring.config_latency, open.config_latency
+    );
+    assert!(ring.switch_stores >= open.switch_stores);
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

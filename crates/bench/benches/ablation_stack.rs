@@ -1,0 +1,84 @@
+//! Ablation B: array capacity `C` versus object-cache hit rate.
+//!
+//! §2.4's rule — a reference hits iff its dependency (stack) distance is
+//! at most `C` — predicts the virtual-hardware hit rate as a function of
+//! capacity. This bench runs the same locality-controlled random
+//! datapaths in scalar mode at several capacities and confirms the
+//! prediction (and the LRU inclusion property) on the live processor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlsi_ap::{AdaptiveProcessor, ApConfig};
+use vlsi_workloads::RandomDatapath;
+
+fn hit_rate(capacity: usize, locality: f64, seed: u64) -> f64 {
+    let gen = RandomDatapath {
+        n_objects: 24,
+        n_elements: 200,
+        locality,
+        seed,
+    };
+    let mut ap = AdaptiveProcessor::new(ApConfig {
+        compute_objects: capacity,
+        ..ApConfig::default()
+    });
+    ap.install(gen.objects()).unwrap();
+    ap.execute_scalar(&gen.stream()).unwrap();
+    ap.metrics().hit_rate()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("\nAblation B — capacity vs object-cache hit rate (24 objects, scalar mode):");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "capacity", "hit(local)", "hit(random)"
+    );
+    let mut prev_local = 0.0;
+    for capacity in [2usize, 4, 8, 16, 24] {
+        let local = hit_rate(capacity, 0.9, 7);
+        let random = hit_rate(capacity, 0.0, 7);
+        println!(
+            "{capacity:>10} {:>13.2}% {:>13.2}%",
+            local * 100.0,
+            random * 100.0
+        );
+        // Inclusion property on the live processor.
+        assert!(local + 1e-9 >= prev_local, "hit rate fell with capacity");
+        prev_local = local;
+        // Locality helps at every capacity below full residency.
+        if capacity < 24 {
+            assert!(local >= random);
+        }
+    }
+    // At full capacity only compulsory misses remain.
+    assert!(hit_rate(24, 0.0, 7) > 0.85);
+
+    let mut g = c.benchmark_group("ablation-B/scalar-execution");
+    for capacity in [4usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                let gen = RandomDatapath {
+                    n_objects: 24,
+                    n_elements: 200,
+                    locality: 0.5,
+                    seed: 7,
+                };
+                let objects = gen.objects();
+                let stream = gen.stream();
+                b.iter(|| {
+                    let mut ap = AdaptiveProcessor::new(ApConfig {
+                        compute_objects: cap,
+                        ..ApConfig::default()
+                    });
+                    ap.install(objects.clone()).unwrap();
+                    ap.execute_scalar(&stream).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

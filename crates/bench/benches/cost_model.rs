@@ -1,0 +1,41 @@
+//! Criterion bench over the Table 1–4 analytical model.
+//!
+//! The model is closed-form; the bench documents that regenerating the
+//! entire evaluation costs microseconds, and pins the Table 4 values as a
+//! regression gate (a wrong constant fails the bench at setup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vlsi_cost::scaling::{table4, ApComposition};
+
+fn verify_table4() {
+    let rows = table4(&ApComposition::default());
+    let expected_aps = [12u32, 16, 21, 24, 34, 41];
+    for (r, &aps) in rows.iter().zip(&expected_aps) {
+        assert_eq!(r.available_aps, aps, "year {}", r.year);
+    }
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    verify_table4();
+    let comp = ApComposition::default();
+    c.bench_function("table4/full-recompute", |b| {
+        b.iter(|| table4(black_box(&comp)))
+    });
+    c.bench_function("table1-3/area-totals", |b| {
+        b.iter(|| {
+            (
+                vlsi_cost::area::physical_object_area(),
+                vlsi_cost::area::memory_block_area(),
+                vlsi_cost::area::control_objects_area(),
+            )
+        })
+    });
+    let p2012 = vlsi_cost::itrs::year(2012).unwrap();
+    c.bench_function("table4/peak-gops-one-year", |b| {
+        b.iter(|| black_box(&comp).peak_gops(black_box(&p2012)))
+    });
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench behind Figure 3: one functional-simulator run per
+//! array size at the two extreme localities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vlsi_csd::sim::LocalityWorkload;
+use vlsi_csd::CsdSimulator;
+
+fn bench_csd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3/configure-random-datapath");
+    for n in [16usize, 64, 256] {
+        for (label, locality) in [("random", 0.0), ("local", 0.9)] {
+            let wl = LocalityWorkload {
+                n_objects: n,
+                locality,
+                seed: 42,
+            };
+            let requests = wl.generate();
+            let sim = CsdSimulator::new(n, n);
+            g.bench_with_input(BenchmarkId::new(label, n), &requests, |b, reqs| {
+                b.iter(|| sim.run(reqs))
+            });
+        }
+    }
+    g.finish();
+
+    // The sanity gate: the Figure 3 claims hold on the benched inputs.
+    for n in [16usize, 64, 256] {
+        let u = CsdSimulator::new(n, n).sweep_point(0.0, 20, 42);
+        assert!(u.used_channels < n, "N={n}: all channels used");
+        assert!(u.rejected == 0, "N={n}: rejections with N channels");
+    }
+}
+
+criterion_group!(benches, bench_csd);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Throughput of the management pipeline and the datapath engine: the
+//! machinery behind every experiment, timed on the streaming kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vlsi_ap::{AdaptiveProcessor, ApConfig};
+use vlsi_object::Word;
+use vlsi_workloads::StreamKernel;
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Configuration cost: cold (all compulsory misses) vs warm (cached).
+    let mut g = c.benchmark_group("pipeline/configure");
+    g.bench_function("cold", |b| {
+        let kernel = StreamKernel::fanout_reduce([2, 3, 4], 16);
+        b.iter(|| {
+            let mut ap = AdaptiveProcessor::new(ApConfig::default());
+            ap.install(kernel.objects.clone()).unwrap();
+            ap.configure(kernel.stream.clone()).unwrap()
+        })
+    });
+    g.bench_function("warm", |b| {
+        let kernel = StreamKernel::fanout_reduce([2, 3, 4], 16);
+        let mut ap = AdaptiveProcessor::new(ApConfig::default());
+        ap.install(kernel.objects.clone()).unwrap();
+        ap.configure(kernel.stream.clone()).unwrap();
+        b.iter(|| ap.configure(kernel.stream.clone()).unwrap())
+    });
+    g.finish();
+
+    // Streaming execution throughput in elements/second of host time.
+    let mut g = c.benchmark_group("datapath/stream");
+    for len in [64u64, 512] {
+        g.throughput(Throughput::Elements(len));
+        g.bench_with_input(BenchmarkId::new("axpy", len), &len, |b, &len| {
+            let kernel = StreamKernel::axpy(3, 5, len);
+            // Stream-load pointers advance as the datapath runs, so each
+            // measured execution gets a freshly configured processor.
+            b.iter_batched(
+                || {
+                    let mut ap = AdaptiveProcessor::new(ApConfig::default());
+                    ap.install(kernel.objects.clone()).unwrap();
+                    for i in 0..len {
+                        ap.memory_mut(0).unwrap().store(i, Word(i)).unwrap();
+                    }
+                    ap.configure(kernel.stream.clone()).unwrap();
+                    ap
+                },
+                |mut ap| ap.execute(0, 10_000_000).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

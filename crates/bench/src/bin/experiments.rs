@@ -1,0 +1,59 @@
+//! Runs the whole evaluation and prints the paper-vs-measured summary —
+//! the data behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p vlsi-bench --bin experiments --release
+//! ```
+
+use vlsi_bench::{figure3_sweep, figure3_text};
+use vlsi_cost::scaling::{table4, ApComposition};
+
+fn main() {
+    println!("==============================================================");
+    println!(" VLSI Processor — full evaluation reproduction");
+    println!("==============================================================\n");
+
+    println!("{}", vlsi_cost::table::table1());
+    println!("{}", vlsi_cost::table::table2());
+    println!("{}", vlsi_cost::table::table3());
+    println!(
+        "{}",
+        vlsi_cost::table::table4_text(&ApComposition::default())
+    );
+
+    const PAPER4: [(u32, u32, f64, f64); 6] = [
+        (2010, 12, 1.08, 178.0),
+        (2011, 16, 1.21, 211.0),
+        (2012, 21, 1.21, 276.0),
+        (2013, 24, 1.43, 269.0),
+        (2014, 34, 1.58, 345.0),
+        (2015, 41, 1.56, 432.0),
+    ];
+    let mut exact_aps = true;
+    let mut max_gops_err: f64 = 0.0;
+    for (row, (_, aps, _, gops)) in table4(&ApComposition::default()).iter().zip(PAPER4) {
+        exact_aps &= row.available_aps == aps;
+        max_gops_err = max_gops_err.max(((row.peak_gops - gops) / gops).abs());
+    }
+    println!(
+        "Table 4 verdict: AP column exact = {exact_aps}, max GOPS deviation = {:.1}%\n",
+        max_gops_err * 100.0
+    );
+
+    let sizes = [16usize, 32, 64, 128, 256];
+    let localities: Vec<f64> = (0..=10).map(|i| 1.0 - f64::from(i) / 10.0).collect();
+    let rows = figure3_sweep(&sizes, &localities, 30, 0xF1_63);
+    print!("{}", figure3_text(&sizes, &rows));
+    let random = &rows.last().unwrap().1;
+    println!(
+        "\nFigure 3 verdict: channels monotone in randomness = {}, N never exhausted = {}, random ≈ N/2 = {}",
+        rows.windows(2).all(|w| (0..sizes.len()).all(|i| {
+            w[0].1[i].used_channels <= w[1].1[i].used_channels + 2
+        })),
+        random.iter().zip(&sizes).all(|(u, &n)| u.used_channels < n),
+        random
+            .iter()
+            .zip(&sizes)
+            .all(|(u, &n)| u.used_channels <= n / 2 + n / 8),
+    );
+}

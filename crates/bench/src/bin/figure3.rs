@@ -1,0 +1,35 @@
+//! Regenerates Figure 3: locality versus number of used channels, for
+//! `N_object` ∈ {16, 32, 64, 128, 256} under the one-source model.
+//!
+//! ```text
+//! cargo run -p vlsi-bench --bin figure3 --release
+//! ```
+
+use vlsi_bench::{figure3_sweep, figure3_text};
+
+fn main() {
+    let sizes = [16usize, 32, 64, 128, 256];
+    // Locality axis, high → low (the paper plots high locality leftmost).
+    let localities: Vec<f64> = (0..=10).map(|i| 1.0 - f64::from(i) / 10.0).collect();
+    let rows = figure3_sweep(&sizes, &localities, 50, 0xF1_63);
+    print!("{}", figure3_text(&sizes, &rows));
+
+    // The paper's two headline observations, checked on the data.
+    let random_row = &rows.last().unwrap().1;
+    println!("\nchecks:");
+    for (i, &n) in sizes.iter().enumerate() {
+        let used = random_row[i].used_channels;
+        println!(
+            "  N={n:>3}: random datapath uses {used:>3} channels \
+             (N never reached: {}, <= ~N/2: {})",
+            used < n,
+            used <= n / 2 + n / 8
+        );
+        assert!(used < n, "N_object channels must never all be used");
+    }
+    println!(
+        "  high-locality (leftmost) points use {}..{} channels across sizes",
+        rows[0].1.iter().map(|u| u.used_channels).min().unwrap(),
+        rows[0].1.iter().map(|u| u.used_channels).max().unwrap(),
+    );
+}

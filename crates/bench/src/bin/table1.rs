@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (physical object area requirement).
+fn main() {
+    print!("{}", vlsi_cost::table::table1());
+}

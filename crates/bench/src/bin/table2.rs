@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (memory block area requirement).
+fn main() {
+    print!("{}", vlsi_cost::table::table2());
+}

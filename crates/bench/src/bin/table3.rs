@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (control objects area requirement).
+fn main() {
+    print!("{}", vlsi_cost::table::table3());
+}

@@ -1,0 +1,64 @@
+//! Regenerates Table 4 (number of APs, wire delay, peak GOPS) and prints
+//! the paper's printed values alongside for comparison.
+
+use vlsi_cost::scaling::{table4, ApComposition};
+
+/// Table 4 as printed in the paper.
+const PAPER: [(u32, u32, f64, f64); 6] = [
+    (2010, 12, 1.08, 178.0),
+    (2011, 16, 1.21, 211.0),
+    (2012, 21, 1.21, 276.0),
+    (2013, 24, 1.43, 269.0),
+    (2014, 34, 1.58, 345.0),
+    (2015, 41, 1.56, 432.0),
+];
+
+fn main() {
+    let comp = ApComposition::default();
+    println!("{}", vlsi_cost::table::table4_text(&comp));
+    println!("paper-vs-measured:");
+    println!(
+        "{:>5} {:>9} {:>9} {:>11} {:>11} {:>11} {:>11}",
+        "Year", "APs(pap)", "APs(got)", "delay(pap)", "delay(got)", "GOPS(pap)", "GOPS(got)"
+    );
+    for (row, (year, aps, delay, gops)) in table4(&comp).iter().zip(PAPER) {
+        assert_eq!(row.year, year);
+        println!(
+            "{:>5} {:>9} {:>9} {:>11.2} {:>11.2} {:>11.1} {:>11.1}",
+            year, aps, row.available_aps, delay, row.wire_delay_ns, gops, row.peak_gops
+        );
+    }
+    println!(
+        "\nAP-count column reproduces exactly; delays match to the paper's 2\n\
+         decimals; GOPS lands within 3% (the paper's 2012/2015 GOPS entries\n\
+         are internally inconsistent with its printed delays — see\n\
+         EXPERIMENTS.md)."
+    );
+
+    // The §4.1 trade-off remark, quantified.
+    println!("\nFPU/memory trade-off at the 2012 node:");
+    for comp in [
+        ApComposition {
+            compute_objects: 8,
+            memory_objects: 24,
+        },
+        ApComposition::default(),
+        ApComposition {
+            compute_objects: 24,
+            memory_objects: 8,
+        },
+        ApComposition {
+            compute_objects: 32,
+            memory_objects: 4,
+        },
+    ] {
+        let p = vlsi_cost::itrs::year(2012).unwrap();
+        println!(
+            "  {:>2} PO + {:>2} MO per AP: {:>2} APs, {:>6.1} GOPS",
+            comp.compute_objects,
+            comp.memory_objects,
+            comp.aps_per_die(&p),
+            comp.peak_gops(&p)
+        );
+    }
+}

@@ -1,0 +1,1203 @@
+//! The VLSI chip: cluster grid + switch fabric + NoC + scaled processors.
+//!
+//! Scaling is implemented the way the paper insists it must be: the
+//! supervisor injects one **configuration worm** per cluster of the region
+//! into the router network; each worm's payload is the target switch's
+//! programming word; when the worm arrives, the reservation flag is stored
+//! and the switch registers are written. "There is no specific logic
+//! circuit required for the scaling" (§6) — gathering a processor is
+//! nothing but routing and stores, and the only arbitration is the
+//! reservation flag that makes concurrent gathers conflict-free.
+
+use crate::error::CoreError;
+use crate::scaled::{ProcessorId, ScaledProcessor};
+use crate::state::ProcState;
+use std::collections::{BTreeMap, HashSet};
+use vlsi_ap::{AdaptiveProcessor, ConfigureOutcome, ExecutionReport};
+use vlsi_noc::NocNetwork;
+use vlsi_object::{GlobalConfigStream, LogicalObject, ObjectId, Word};
+use vlsi_topology::switch::RegionTag;
+use vlsi_topology::{Cluster, ClusterGrid, Coord, Dir, Region, SwitchFabric, SwitchState};
+
+/// How configuration data reaches the region's switches (§3.3 leaves the
+/// worm shape open; Figure 7(c) draws a path-shaped configuration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConfigStrategy {
+    /// One worm per cluster, each routed XY from the supervisor. Worms
+    /// are independent, so the NoC can pipeline them; total switch
+    /// traffic is `Σ distance(supervisor, cluster)`.
+    #[default]
+    UnicastWorms,
+    /// A single worm that travels the region's fold path, storing each
+    /// cluster's reservation flag and program as it passes (the shape
+    /// Figure 7(c) draws). Cheaper in traversed links when the region is
+    /// far from the supervisor; strictly serial.
+    TravelingWorm,
+}
+
+/// Chip-wide metric snapshot (see [`VlsiChip::metrics`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChipMetrics {
+    /// Processors currently allocated.
+    pub live_processors: usize,
+    /// Merged adaptive-processor counters across live processors.
+    pub ap: vlsi_ap::ApMetrics,
+    /// Total NoC cycles simulated.
+    pub noc_cycles: u64,
+    /// Worms delivered (configuration + messages).
+    pub noc_worms_delivered: u64,
+    /// Router-to-router link crossings.
+    pub noc_link_crossings: u64,
+    /// Switch programming-register stores.
+    pub switch_stores: u64,
+}
+
+/// Result of gathering a region into a processor.
+#[derive(Clone, Debug)]
+pub struct GatherOutcome {
+    /// The new processor's ID.
+    pub id: ProcessorId,
+    /// Configuration worms injected (one per cluster).
+    pub worms: usize,
+    /// Maximum worm latency — the configuration latency of the scaling
+    /// operation, in NoC cycles.
+    pub config_latency: u64,
+    /// Switch-programming stores performed.
+    pub switch_stores: u64,
+}
+
+/// The chip.
+///
+/// ```
+/// use vlsi_core::{ProcState, VlsiChip};
+/// use vlsi_topology::{Cluster, Coord, Region};
+///
+/// let mut chip = VlsiChip::new(8, 8, Cluster::default());
+/// // Gather the paper's minimum AP: 2x2 clusters = 16 PO + 16 MO.
+/// let gathered = chip.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap();
+/// assert_eq!(chip.state(gathered.id).unwrap(), ProcState::Inactive);
+/// assert!(gathered.config_latency > 0); // worms took real NoC cycles
+///
+/// // Lifecycle: inactive -> active -> inactive -> release.
+/// chip.activate(gathered.id).unwrap();
+/// chip.deactivate(gathered.id).unwrap();
+/// chip.release_processor(gathered.id).unwrap();
+/// assert_eq!(chip.free_clusters(), 64);
+/// ```
+#[derive(Debug)]
+pub struct VlsiChip {
+    grid: ClusterGrid,
+    fabric: SwitchFabric,
+    noc: NocNetwork,
+    processors: BTreeMap<ProcessorId, ScaledProcessor>,
+    defective: HashSet<Coord>,
+    supervisor: Coord,
+    next_id: u32,
+    strategy: ConfigStrategy,
+}
+
+// --- worm payload encoding -------------------------------------------------
+
+fn encode_dir(d: Option<Dir>) -> u64 {
+    match d {
+        None => 0,
+        Some(d) => d.index() as u64 + 1,
+    }
+}
+
+fn decode_dir(v: u64) -> Option<Dir> {
+    Dir::ALL.get((v as usize).checked_sub(1)?).copied()
+}
+
+/// Packs one switch program into a payload word.
+fn encode_program(s: &SwitchState) -> u64 {
+    let mut w = encode_dir(s.shift_in) | (encode_dir(s.shift_out) << 3);
+    for (i, &b) in s.chained.iter().enumerate() {
+        if b {
+            w |= 1 << (8 + i);
+        }
+    }
+    w
+}
+
+/// Unpacks a payload word into a switch program.
+fn decode_program(w: u64) -> SwitchState {
+    let mut chained = [false; 6];
+    for (i, c) in chained.iter_mut().enumerate() {
+        *c = (w >> (8 + i)) & 1 == 1;
+    }
+    SwitchState {
+        shift_in: decode_dir(w & 0x7),
+        shift_out: decode_dir((w >> 3) & 0x7),
+        chained,
+        reserved_by: None,
+    }
+}
+
+impl VlsiChip {
+    /// A planar chip of `width × height` clusters, supervised from the
+    /// corner router (0,0).
+    pub fn new(width: u16, height: u16, cluster: Cluster) -> VlsiChip {
+        VlsiChip {
+            grid: ClusterGrid::new(width, height, cluster),
+            fabric: SwitchFabric::new(),
+            noc: NocNetwork::new(width, height),
+            processors: BTreeMap::new(),
+            defective: HashSet::new(),
+            supervisor: Coord::new(0, 0),
+            next_id: 1,
+            strategy: ConfigStrategy::default(),
+        }
+    }
+
+    /// The chip floorplan.
+    pub fn grid(&self) -> &ClusterGrid {
+        &self.grid
+    }
+
+    /// The switch fabric (for inspection).
+    pub fn fabric(&self) -> &SwitchFabric {
+        &self.fabric
+    }
+
+    /// The NoC (for inspection).
+    pub fn noc(&self) -> &NocNetwork {
+        &self.noc
+    }
+
+    /// Marks a cluster defective: no future gather may include it.
+    pub fn mark_defective(&mut self, c: Coord) {
+        self.defective.insert(c);
+    }
+
+    /// Whether a cluster is marked defective.
+    pub fn is_defective(&self, c: Coord) -> bool {
+        self.defective.contains(&c)
+    }
+
+    /// Live processors, in ID order.
+    pub fn processors(&self) -> impl Iterator<Item = &ScaledProcessor> {
+        self.processors.values()
+    }
+
+    /// The processor with `id`.
+    pub fn processor(&self, id: ProcessorId) -> Result<&ScaledProcessor, CoreError> {
+        self.processors
+            .get(&id)
+            .ok_or(CoreError::UnknownProcessor(id))
+    }
+
+    fn processor_mut(&mut self, id: ProcessorId) -> Result<&mut ScaledProcessor, CoreError> {
+        self.processors
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownProcessor(id))
+    }
+
+    /// The lifecycle state of `id`.
+    pub fn state(&self, id: ProcessorId) -> Result<ProcState, CoreError> {
+        Ok(self.processor(id)?.state)
+    }
+
+    /// Clusters not owned by any processor and not defective.
+    pub fn free_clusters(&self) -> usize {
+        self.grid
+            .coords()
+            .filter(|&c| self.fabric.owner(c).is_none() && !self.is_defective(c))
+            .count()
+    }
+
+    // --- scaling -----------------------------------------------------------
+
+    /// Gathers a region into a new processor with a linear (open) fold.
+    pub fn gather(&mut self, region: Region) -> Result<GatherOutcome, CoreError> {
+        self.gather_inner(region, false)
+    }
+
+    /// Gathers a region whose fold closes into a ring (Figure 5).
+    pub fn gather_ring(&mut self, region: Region) -> Result<GatherOutcome, CoreError> {
+        self.gather_inner(region, true)
+    }
+
+    /// Gathers with an explicit configuration strategy.
+    pub fn gather_with(
+        &mut self,
+        region: Region,
+        strategy: ConfigStrategy,
+    ) -> Result<GatherOutcome, CoreError> {
+        let prev = self.strategy;
+        self.strategy = strategy;
+        let out = self.gather_inner(region, false);
+        self.strategy = prev;
+        out
+    }
+
+    fn gather_inner(&mut self, region: Region, ring: bool) -> Result<GatherOutcome, CoreError> {
+        let id = ProcessorId(self.next_id);
+        self.next_id += 1;
+        let (fold, outcome) = self.program_region(&region, ring, id)?;
+        let cfg = ScaledProcessor::ap_config(&region, &self.grid.cluster());
+        let proc = ScaledProcessor {
+            id,
+            region,
+            ring,
+            state: ProcState::Inactive,
+            ap: AdaptiveProcessor::new(cfg),
+            config_latency: outcome.config_latency,
+            sleep_timer: None,
+            fold,
+        };
+        self.processors.insert(id, proc);
+        Ok(outcome)
+    }
+
+    /// Validates `region`, worm-programs its switches under `id`'s tag,
+    /// and returns the fold. On any failure everything programmed under
+    /// the tag is rolled back.
+    fn program_region(
+        &mut self,
+        region: &Region,
+        ring: bool,
+        id: ProcessorId,
+    ) -> Result<(vlsi_topology::FoldMap, GatherOutcome), CoreError> {
+        // Validate the region against the chip.
+        for c in region.cells() {
+            if !self.grid.contains(c) {
+                return Err(CoreError::OutOfGrid(c));
+            }
+            if self.is_defective(c) {
+                return Err(CoreError::DefectiveCluster(c));
+            }
+        }
+        let fold = if ring {
+            region.ring_path()?
+        } else {
+            region.linear_path()?
+        };
+        let tag = RegionTag(id.0);
+
+        // Build each cluster's switch program from the fold.
+        let path = fold.path();
+        let stores_before = self.fabric.store_count();
+        let mut programs: Vec<(Coord, u64)> = Vec::with_capacity(path.len());
+        for (i, &c) in path.iter().enumerate() {
+            let prev = if i > 0 {
+                Some(path[i - 1])
+            } else if ring {
+                path.last().copied().filter(|_| path.len() >= 3)
+            } else {
+                None
+            };
+            let next = if i + 1 < path.len() {
+                Some(path[i + 1])
+            } else if ring && path.len() >= 3 {
+                Some(path[0])
+            } else {
+                None
+            };
+            let mut program = SwitchState::default();
+            if let Some(p) = prev {
+                let d = p.dir_to(c).expect("fold hops are adjacent");
+                program.shift_in = Some(d.opposite());
+                program.chained[d.opposite().index()] = true;
+            }
+            if let Some(n) = next {
+                let d = c.dir_to(n).expect("fold hops are adjacent");
+                program.shift_out = Some(d);
+                program.chained[d.index()] = true;
+            }
+            programs.push((c, encode_program(&program)));
+        }
+
+        let config_latency = match self.strategy {
+            ConfigStrategy::UnicastWorms => {
+                // One worm per cluster, all in flight together.
+                let mut worms = Vec::with_capacity(programs.len());
+                for &(c, word) in &programs {
+                    let worm = self
+                        .noc
+                        .inject(self.supervisor, c, vec![word])
+                        .map_err(CoreError::Noc)?;
+                    worms.push(worm);
+                }
+                self.noc
+                    .run_until_drained(1_000_000)
+                    .map_err(CoreError::Noc)?;
+                let mut config_latency = 0;
+                for (packet, latency) in self.noc.take_delivered() {
+                    if !worms.contains(&packet.worm) {
+                        continue; // not ours (concurrent traffic)
+                    }
+                    config_latency = config_latency.max(latency);
+                    self.apply_worm(packet.dest, packet.payload[0], tag)?;
+                }
+                config_latency
+            }
+            ConfigStrategy::TravelingWorm => {
+                // One worm snakes along the fold path, dropping each
+                // cluster's program as it arrives; the next leg departs
+                // from where the worm stands.
+                let mut config_latency = 0;
+                let mut at = self.supervisor;
+                for &(c, word) in &programs {
+                    let worm = self.noc.inject(at, c, vec![word]).map_err(CoreError::Noc)?;
+                    self.noc
+                        .run_until_drained(1_000_000)
+                        .map_err(CoreError::Noc)?;
+                    for (packet, latency) in self.noc.take_delivered() {
+                        if packet.worm != worm {
+                            continue;
+                        }
+                        config_latency += latency;
+                        self.apply_worm(packet.dest, packet.payload[0], tag)?;
+                    }
+                    at = c;
+                }
+                config_latency
+            }
+        };
+
+        // The chain network must now connect every fold hop.
+        for w in path.windows(2) {
+            debug_assert!(self.fabric.is_chained(w[0], w[1]));
+        }
+
+        let outcome = GatherOutcome {
+            id,
+            worms: path.len(),
+            config_latency,
+            switch_stores: self.fabric.store_count() - stores_before,
+        };
+        Ok((fold, outcome))
+    }
+
+    /// Applies one delivered configuration word: store the reservation
+    /// flag, then the switch registers. A conflict rolls back everything
+    /// this gather programmed.
+    fn apply_worm(&mut self, dest: Coord, word: u64, tag: RegionTag) -> Result<(), CoreError> {
+        let program = decode_program(word);
+        if let Err(e) = self.fabric.reserve(dest, tag) {
+            self.fabric.release_owner(tag);
+            return Err(CoreError::Topology(e));
+        }
+        self.fabric
+            .apply_program(dest, tag, program)
+            .expect("just reserved");
+        Ok(())
+    }
+
+    /// Relocates an inactive processor to the allocator's preferred free
+    /// spot, preserving its adaptive processor intact — library, memory
+    /// blocks, and cached objects all move with it (the objects are
+    /// *logical*; nothing in the AP depends on die coordinates). This is
+    /// the defragmentation §5 says a mesh host must do by hand and the
+    /// VLSI processor makes "manageable".
+    ///
+    /// Returns the gather outcome of the new placement, or leaves the
+    /// processor exactly where it was if no better placement exists.
+    pub fn relocate(&mut self, id: ProcessorId) -> Result<GatherOutcome, CoreError> {
+        let p = self.processor(id)?;
+        if p.state != ProcState::Inactive {
+            return Err(CoreError::BadState {
+                id,
+                current: p.state,
+                required: ProcState::Inactive,
+            });
+        }
+        let clusters = p.region.len();
+        let ring = p.ring;
+        let old_region = p.region.clone();
+        let tag = RegionTag(id.0);
+        // Free the old switches so the allocator sees those clusters too.
+        self.fabric.release_owner(tag);
+        let found = vlsi_topology::alloc::find_region(&self.grid, clusters, |c| {
+            self.fabric.owner(c).is_none() && !self.defective.contains(&c)
+        });
+        let region = found.unwrap_or_else(|| old_region.clone());
+        match self.program_region(&region, ring, id) {
+            Ok((fold, outcome)) => {
+                let p = self.processor_mut(id)?;
+                p.region = region;
+                p.fold = fold;
+                p.config_latency = outcome.config_latency;
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Roll back to the original placement.
+                let (fold, outcome) = self.program_region(&old_region, ring, id)?;
+                let p = self.processor_mut(id)?;
+                p.region = old_region;
+                p.fold = fold;
+                let _ = outcome;
+                Err(e)
+            }
+        }
+    }
+
+    /// Relocates every inactive processor (in ID order) to tighten the
+    /// free space. Returns how many processors moved.
+    pub fn compact(&mut self) -> usize {
+        let ids: Vec<ProcessorId> = self
+            .processors
+            .values()
+            .filter(|p| p.state == ProcState::Inactive)
+            .map(|p| p.id)
+            .collect();
+        let mut moved = 0;
+        for id in ids {
+            let before = self.processor(id).map(|p| p.region.clone()).ok();
+            if self.relocate(id).is_ok() {
+                if let (Ok(p), Some(b)) = (self.processor(id), before) {
+                    if p.region != b {
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    /// Gathers a processor from a resource *count* ("the application then
+    /// requests the resources", §1): the allocator finds the squarest free
+    /// serpentine-prefix region of `clusters` clusters and gathers it.
+    pub fn gather_any(&mut self, clusters: usize) -> Result<GatherOutcome, CoreError> {
+        let region = vlsi_topology::alloc::find_region(&self.grid, clusters, |c| {
+            self.fabric.owner(c).is_none() && !self.defective.contains(&c)
+        })
+        .ok_or(CoreError::Topology(
+            vlsi_topology::TopologyError::NoLinearPath,
+        ))?;
+        self.gather(region)
+    }
+
+    /// Free-space fragmentation in `[0, 1]` (0 = one request can take all
+    /// free clusters).
+    pub fn fragmentation(&self) -> f64 {
+        vlsi_topology::alloc::fragmentation(&self.grid, |c| {
+            self.fabric.owner(c).is_none() && !self.defective.contains(&c)
+        })
+    }
+
+    /// Releases a processor (must be inactive): every switch it owns
+    /// returns to the default state and its clusters become free.
+    pub fn release_processor(&mut self, id: ProcessorId) -> Result<(), CoreError> {
+        let p = self.processor(id)?;
+        if p.state != ProcState::Inactive {
+            return Err(CoreError::BadTransition {
+                id,
+                from: p.state,
+                to: ProcState::Release,
+            });
+        }
+        self.fabric.release_owner(RegionTag(id.0));
+        self.processors.remove(&id);
+        Ok(())
+    }
+
+    /// Fuses two inactive processors into one larger processor. The
+    /// regions must be disjoint and their union connected. Both originals
+    /// are released; the union is gathered fresh.
+    pub fn fuse(&mut self, a: ProcessorId, b: ProcessorId) -> Result<GatherOutcome, CoreError> {
+        let ra = self.processor(a)?.region.clone();
+        let rb = self.processor(b)?.region.clone();
+        if !ra.is_disjoint(&rb) {
+            return Err(CoreError::CannotFuse);
+        }
+        let union = ra.union(&rb);
+        if !union.is_connected() {
+            return Err(CoreError::CannotFuse);
+        }
+        self.release_processor(a)?;
+        self.release_processor(b)?;
+        self.gather(union)
+    }
+
+    /// Splits an inactive processor into parts (which must exactly
+    /// partition its region). The original is released; each part is
+    /// gathered fresh.
+    pub fn split(
+        &mut self,
+        id: ProcessorId,
+        parts: &[Region],
+    ) -> Result<Vec<GatherOutcome>, CoreError> {
+        let region = self.processor(id)?.region.clone();
+        // Parts must be pairwise disjoint and cover the region exactly.
+        let mut covered = Region::new([]);
+        for (i, p) in parts.iter().enumerate() {
+            for q in &parts[i + 1..] {
+                if !p.is_disjoint(q) {
+                    return Err(CoreError::BadSplit);
+                }
+            }
+            covered = covered.union(p);
+        }
+        if covered != region {
+            return Err(CoreError::BadSplit);
+        }
+        self.release_processor(id)?;
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            out.push(self.gather(p.clone())?);
+        }
+        Ok(out)
+    }
+
+    // --- lifecycle -----------------------------------------------------------
+
+    fn transition(&mut self, id: ProcessorId, to: ProcState) -> Result<(), CoreError> {
+        let p = self.processor_mut(id)?;
+        if !p.state.can_transition(to) {
+            return Err(CoreError::BadTransition {
+                id,
+                from: p.state,
+                to,
+            });
+        }
+        p.state = to;
+        Ok(())
+    }
+
+    /// Invokes a processor: inactive → active (protections set).
+    pub fn activate(&mut self, id: ProcessorId) -> Result<(), CoreError> {
+        self.transition(id, ProcState::Active)
+    }
+
+    /// Clears protections: active → inactive (others may now access its
+    /// memory blocks).
+    pub fn deactivate(&mut self, id: ProcessorId) -> Result<(), CoreError> {
+        self.transition(id, ProcState::Inactive)
+    }
+
+    /// Puts an active processor to sleep, optionally with a wake timer.
+    pub fn sleep(&mut self, id: ProcessorId, timer: Option<u64>) -> Result<(), CoreError> {
+        self.transition(id, ProcState::Sleep)?;
+        self.processor_mut(id)?.sleep_timer = timer;
+        Ok(())
+    }
+
+    /// Wakes a sleeping processor (an event arrived).
+    pub fn wake(&mut self, id: ProcessorId) -> Result<(), CoreError> {
+        self.transition(id, ProcState::Active)?;
+        self.processor_mut(id)?.sleep_timer = None;
+        Ok(())
+    }
+
+    /// Advances sleep timers by `ticks`; processors whose timer expires
+    /// wake. Returns the IDs that woke.
+    pub fn tick_timers(&mut self, ticks: u64) -> Vec<ProcessorId> {
+        let mut woke = Vec::new();
+        for (id, p) in self.processors.iter_mut() {
+            if p.state == ProcState::Sleep {
+                if let Some(t) = p.sleep_timer {
+                    if t <= ticks {
+                        p.state = ProcState::Active;
+                        p.sleep_timer = None;
+                        woke.push(*id);
+                    } else {
+                        p.sleep_timer = Some(t - ticks);
+                    }
+                }
+            }
+        }
+        woke
+    }
+
+    // --- execution -----------------------------------------------------------
+
+    fn require_state(&self, id: ProcessorId, required: ProcState) -> Result<(), CoreError> {
+        let current = self.state(id)?;
+        if current != required {
+            return Err(CoreError::BadState {
+                id,
+                current,
+                required,
+            });
+        }
+        Ok(())
+    }
+
+    /// Installs logical objects into a processor's library. Allowed only
+    /// in the inactive state ("storing objects into libraries … are done
+    /// in this state", §3.3).
+    pub fn install(
+        &mut self,
+        id: ProcessorId,
+        objects: impl IntoIterator<Item = LogicalObject>,
+    ) -> Result<(), CoreError> {
+        self.require_state(id, ProcState::Inactive)?;
+        self.processor_mut(id)?.ap.install(objects)?;
+        Ok(())
+    }
+
+    /// Configures a streaming datapath on an active processor.
+    pub fn configure(
+        &mut self,
+        id: ProcessorId,
+        stream: GlobalConfigStream,
+    ) -> Result<ConfigureOutcome, CoreError> {
+        self.require_state(id, ProcState::Active)?;
+        Ok(self.processor_mut(id)?.ap.configure(stream)?)
+    }
+
+    /// Executes the configured datapath on an active processor.
+    pub fn execute(
+        &mut self,
+        id: ProcessorId,
+        tap_limit: u64,
+        max_cycles: u64,
+    ) -> Result<ExecutionReport, CoreError> {
+        self.require_state(id, ProcState::Active)?;
+        Ok(self.processor_mut(id)?.ap.execute(tap_limit, max_cycles)?)
+    }
+
+    /// Scalar (virtual-hardware) execution on an active processor.
+    pub fn execute_scalar(
+        &mut self,
+        id: ProcessorId,
+        stream: &GlobalConfigStream,
+    ) -> Result<std::collections::HashMap<ObjectId, Word>, CoreError> {
+        self.require_state(id, ProcState::Active)?;
+        Ok(self.processor_mut(id)?.ap.execute_scalar(stream)?)
+    }
+
+    // --- mailbox (inter-processor memory access) ----------------------------
+
+    /// Writes words into `id`'s memory block — the path a preceding
+    /// processor uses to hand data to a following processor (Figure 7(d)).
+    /// Allowed only while the target is inactive; active and sleeping
+    /// processors are read/write protected.
+    pub fn write_mailbox(
+        &mut self,
+        id: ProcessorId,
+        block: usize,
+        addr: u64,
+        words: &[Word],
+    ) -> Result<(), CoreError> {
+        let state = self.state(id)?;
+        if !state.others_may_access_memory() {
+            return Err(CoreError::ProtectionViolation { id, state });
+        }
+        let p = self.processor_mut(id)?;
+        let mem =
+            p.ap.memory_mut(block)
+                .ok_or(CoreError::UnknownProcessor(id))?;
+        mem.store_slice(addr, words)?;
+        Ok(())
+    }
+
+    /// Chip-wide metrics: the merged counters of every live processor's
+    /// AP, plus the NoC and switch-fabric totals.
+    pub fn metrics(&self) -> ChipMetrics {
+        let mut ap = vlsi_ap::ApMetrics::default();
+        for p in self.processors.values() {
+            ap = ap.merge(&p.ap.metrics());
+        }
+        ChipMetrics {
+            live_processors: self.processors.len(),
+            ap,
+            noc_cycles: self.noc.stats().cycles,
+            noc_worms_delivered: self.noc.stats().worms_delivered,
+            noc_link_crossings: self.noc.stats().link_crossings,
+            switch_stores: self.fabric.store_count(),
+        }
+    }
+
+    /// Renders the chip's floorplan as text: one character per cluster —
+    /// `.` free, `#` defective, `a`–`z`/`A`–`Z` the owning processor
+    /// (by ID modulo 52). For examples and debugging.
+    pub fn layout_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for y in 0..self.grid.height() {
+            for x in 0..self.grid.width() {
+                let c = Coord::new(x, y);
+                let ch = if self.defective.contains(&c) {
+                    '#'
+                } else {
+                    match self.fabric.owner(c) {
+                        None => '.',
+                        Some(tag) => {
+                            let i = (tag.0 as usize) % 52;
+                            if i < 26 {
+                                (b'a' + i as u8) as char
+                            } else {
+                                (b'A' + (i - 26) as u8) as char
+                            }
+                        }
+                    }
+                };
+                out.push(ch);
+            }
+            writeln!(out).unwrap();
+        }
+        out
+    }
+
+    /// Sends words into `id`'s memory block *through the router network*:
+    /// the data travels as a worm from `from`'s home cluster (or the
+    /// supervisor when `from` is `None`) to `id`'s home cluster and lands
+    /// in the mailbox on arrival. This is the Figure 7(c)/(e) path — the
+    /// same routers that carry configuration carry inter-processor data —
+    /// and it returns the worm's delivery latency in NoC cycles.
+    ///
+    /// The same protection rule as [`write_mailbox`](Self::write_mailbox)
+    /// applies: the target must be inactive.
+    pub fn send_message(
+        &mut self,
+        from: Option<ProcessorId>,
+        to: ProcessorId,
+        block: usize,
+        addr: u64,
+        words: &[Word],
+    ) -> Result<u64, CoreError> {
+        let state = self.state(to)?;
+        if !state.others_may_access_memory() {
+            return Err(CoreError::ProtectionViolation { id: to, state });
+        }
+        let src = match from {
+            Some(f) => self.processor(f)?.fold.path()[0],
+            None => self.supervisor,
+        };
+        let dest = self.processor(to)?.fold.path()[0];
+        debug_assert!(self.noc.is_idle(), "chip ops are synchronous");
+        let mut payload = Vec::with_capacity(words.len() + 2);
+        payload.push(block as u64);
+        payload.push(addr);
+        payload.extend(words.iter().map(|w| w.0));
+        let worm = self
+            .noc
+            .inject(src, dest, payload)
+            .map_err(CoreError::Noc)?;
+        self.noc
+            .run_until_drained(1_000_000)
+            .map_err(CoreError::Noc)?;
+        let mut latency = 0;
+        for (packet, l) in self.noc.take_delivered() {
+            if packet.worm != worm {
+                continue;
+            }
+            latency = l;
+            let block = packet.payload[0] as usize;
+            let addr = packet.payload[1];
+            let words: Vec<Word> = packet.payload[2..].iter().map(|&w| Word(w)).collect();
+            let p = self.processor_mut(to)?;
+            let mem =
+                p.ap.memory_mut(block)
+                    .ok_or(CoreError::UnknownProcessor(to))?;
+            mem.store_slice(addr, &words)?;
+        }
+        Ok(latency)
+    }
+
+    /// Reads words from `id`'s memory block under the same protection
+    /// rule as [`write_mailbox`](Self::write_mailbox).
+    pub fn read_mailbox(
+        &mut self,
+        id: ProcessorId,
+        block: usize,
+        addr: u64,
+        len: usize,
+    ) -> Result<Vec<Word>, CoreError> {
+        let state = self.state(id)?;
+        if !state.others_may_access_memory() {
+            return Err(CoreError::ProtectionViolation { id, state });
+        }
+        let p = self.processor_mut(id)?;
+        let mem =
+            p.ap.memory_mut(block)
+                .ok_or(CoreError::UnknownProcessor(id))?;
+        Ok(mem.load_slice(addr, len)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> VlsiChip {
+        VlsiChip::new(8, 8, Cluster::default())
+    }
+
+    #[test]
+    fn gather_programs_switches_via_worms() {
+        let mut c = chip();
+        let out = c.gather(Region::rect(Coord::new(2, 2), 2, 2)).unwrap();
+        assert_eq!(out.worms, 4);
+        assert!(out.config_latency > 0);
+        assert!(out.switch_stores >= 8, "reserve + program per cluster");
+        let p = c.processor(out.id).unwrap();
+        assert_eq!(p.state, ProcState::Inactive);
+        assert_eq!(p.ap.config().compute_objects, 16);
+        // Fold recoverable from fabric state.
+        let start = p.fold.path()[0];
+        assert_eq!(
+            c.fabric().trace_shift_path(start, 10),
+            p.fold.path().to_vec()
+        );
+    }
+
+    #[test]
+    fn gather_ring_closes() {
+        let mut c = chip();
+        let out = c.gather_ring(Region::rect(Coord::new(0, 0), 4, 2)).unwrap();
+        let p = c.processor(out.id).unwrap();
+        assert!(p.ring);
+        assert!(p.fold.closes_as_ring());
+        // The trace loops: length equals the region size.
+        let start = p.fold.path()[0];
+        assert_eq!(c.fabric().trace_shift_path(start, 100).len(), 8);
+    }
+
+    #[test]
+    fn overlapping_gather_conflicts() {
+        let mut c = chip();
+        let _a = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap();
+        let err = c.gather(Region::rect(Coord::new(1, 1), 2, 2)).unwrap_err();
+        assert!(matches!(err, CoreError::Topology(_)), "{err}");
+        // The failed gather rolled back: the free count reflects only the
+        // first processor (4 clusters of 64).
+        assert_eq!(c.free_clusters(), 60);
+    }
+
+    #[test]
+    fn defective_cluster_rejected() {
+        let mut c = chip();
+        c.mark_defective(Coord::new(1, 1));
+        let err = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap_err();
+        assert_eq!(err, CoreError::DefectiveCluster(Coord::new(1, 1)));
+        // A region avoiding the defect gathers fine.
+        c.gather(Region::rect(Coord::new(2, 0), 2, 2)).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        assert_eq!(c.state(id).unwrap(), ProcState::Inactive);
+        c.activate(id).unwrap();
+        assert_eq!(c.state(id).unwrap(), ProcState::Active);
+        c.sleep(id, Some(10)).unwrap();
+        assert_eq!(c.state(id).unwrap(), ProcState::Sleep);
+        c.wake(id).unwrap();
+        c.deactivate(id).unwrap();
+        c.release_processor(id).unwrap();
+        assert!(c.processor(id).is_err());
+        assert_eq!(c.free_clusters(), 64);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 1, 1)).unwrap().id;
+        // Inactive cannot sleep.
+        assert!(matches!(
+            c.sleep(id, None),
+            Err(CoreError::BadTransition { .. })
+        ));
+        c.activate(id).unwrap();
+        // Active cannot be released directly.
+        assert!(matches!(
+            c.release_processor(id),
+            Err(CoreError::BadTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn sleep_timer_wakes() {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 1, 1)).unwrap().id;
+        c.activate(id).unwrap();
+        c.sleep(id, Some(5)).unwrap();
+        assert!(c.tick_timers(3).is_empty());
+        assert_eq!(c.tick_timers(2), vec![id]);
+        assert_eq!(c.state(id).unwrap(), ProcState::Active);
+        // Untimed sleepers only wake on events.
+        c.sleep(id, None).unwrap();
+        assert!(c.tick_timers(1000).is_empty());
+        assert_eq!(c.state(id).unwrap(), ProcState::Sleep);
+    }
+
+    #[test]
+    fn mailbox_protection() {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 1, 1)).unwrap().id;
+        // Inactive: writable.
+        c.write_mailbox(id, 0, 0, &[Word(42)]).unwrap();
+        assert_eq!(c.read_mailbox(id, 0, 0, 1).unwrap(), vec![Word(42)]);
+        // Active: protected.
+        c.activate(id).unwrap();
+        assert!(matches!(
+            c.write_mailbox(id, 0, 0, &[Word(1)]),
+            Err(CoreError::ProtectionViolation { .. })
+        ));
+        assert!(matches!(
+            c.read_mailbox(id, 0, 0, 1),
+            Err(CoreError::ProtectionViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn fuse_and_split() {
+        let mut c = chip();
+        let a = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        let b = c.gather(Region::rect(Coord::new(2, 0), 2, 2)).unwrap().id;
+        let fused = c.fuse(a, b).unwrap();
+        let p = c.processor(fused.id).unwrap();
+        assert_eq!(p.scale(), 8);
+        assert_eq!(p.ap.config().compute_objects, 32);
+        // Split back into two halves.
+        let parts = [
+            Region::rect(Coord::new(0, 0), 2, 2),
+            Region::rect(Coord::new(2, 0), 2, 2),
+        ];
+        let out = c.split(fused.id, &parts).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(c.processors().count(), 2);
+    }
+
+    #[test]
+    fn fuse_rejects_disconnected_or_overlapping() {
+        let mut c = chip();
+        let a = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        let b = c.gather(Region::rect(Coord::new(4, 4), 2, 2)).unwrap().id;
+        assert_eq!(c.fuse(a, b).unwrap_err(), CoreError::CannotFuse);
+        // Both survive the failed fuse.
+        assert_eq!(c.processors().count(), 2);
+    }
+
+    #[test]
+    fn split_requires_exact_partition() {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        let bad = [Region::rect(Coord::new(0, 0), 2, 1)]; // misses half
+        assert_eq!(c.split(id, &bad).unwrap_err(), CoreError::BadSplit);
+    }
+
+    #[test]
+    fn install_requires_inactive_and_execute_requires_active() {
+        use vlsi_object::{LocalConfig, Operation};
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        let objs = vec![
+            LogicalObject::compute(
+                ObjectId(0),
+                LocalConfig::with_imm(Operation::Const, Word(5)),
+            ),
+            LogicalObject::compute(
+                ObjectId(1),
+                LocalConfig::with_imm(Operation::AddImm, Word(3)),
+            ),
+        ];
+        c.install(id, objs.clone()).unwrap();
+        let stream: GlobalConfigStream = [vlsi_object::GlobalConfigElement::unary(
+            ObjectId(1),
+            ObjectId(0),
+        )]
+        .into_iter()
+        .collect();
+        // Configure while inactive: rejected.
+        assert!(matches!(
+            c.configure(id, stream.clone()),
+            Err(CoreError::BadState { .. })
+        ));
+        c.activate(id).unwrap();
+        // Install while active: rejected.
+        assert!(matches!(
+            c.install(id, objs),
+            Err(CoreError::BadState { .. })
+        ));
+        c.configure(id, stream).unwrap();
+        let report = c.execute(id, 1, 100_000).unwrap();
+        assert_eq!(report.taps[&ObjectId(1)], vec![Word(8)]);
+    }
+
+    #[test]
+    fn gather_any_allocates_by_count() {
+        let mut c = chip();
+        // Square request.
+        let a = c.gather_any(16).unwrap();
+        assert_eq!(c.processor(a.id).unwrap().scale(), 16);
+        // Awkward prime count still gathers (serpentine prefix).
+        let b = c.gather_any(7).unwrap();
+        assert_eq!(c.processor(b.id).unwrap().scale(), 7);
+        assert_eq!(c.free_clusters(), 64 - 23);
+        // Requests larger than the remaining space fail cleanly.
+        assert!(c.gather_any(64).is_err());
+    }
+
+    #[test]
+    fn fragmentation_rises_with_scattered_allocations() {
+        let mut c = chip();
+        assert_eq!(c.fragmentation(), 0.0);
+        // Pin the chip's middle, splitting free space.
+        c.gather(Region::rect(Coord::new(3, 0), 2, 8)).unwrap();
+        assert!(c.fragmentation() > 0.0);
+    }
+
+    #[test]
+    fn layout_text_shows_ownership() {
+        let mut c = VlsiChip::new(4, 2, Cluster::default());
+        let id = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        c.mark_defective(Coord::new(3, 0));
+        let text = c.layout_text();
+        let ch = (b'a' + (id.0 % 52) as u8) as char;
+        assert_eq!(text, format!("{ch}{ch}.#\n{ch}{ch}..\n"));
+    }
+
+    #[test]
+    fn traveling_worm_gathers_identically() {
+        // Both strategies end with the same switch state; only the
+        // configuration latency differs.
+        let mut a = chip();
+        let ua = a
+            .gather_with(
+                Region::rect(Coord::new(5, 5), 3, 3),
+                ConfigStrategy::UnicastWorms,
+            )
+            .unwrap();
+        let mut b = chip();
+        let ub = b
+            .gather_with(
+                Region::rect(Coord::new(5, 5), 3, 3),
+                ConfigStrategy::TravelingWorm,
+            )
+            .unwrap();
+        let pa = a.processor(ua.id).unwrap();
+        let pb = b.processor(ub.id).unwrap();
+        assert_eq!(pa.fold.path(), pb.fold.path());
+        for &c in pa.fold.path() {
+            assert_eq!(
+                a.fabric().state(c).chained,
+                b.fabric().state(c).chained,
+                "switch mismatch at {c}"
+            );
+        }
+        // Far regions: the traveling worm pays the approach once, the
+        // unicast strategy pays it per worm — but unicast pipelines, so
+        // its *max* latency is lower. Both must be nonzero and distinct
+        // accounting.
+        assert!(ua.config_latency > 0 && ub.config_latency > 0);
+        assert!(
+            ub.config_latency > ua.config_latency,
+            "serial worm is slower end-to-end"
+        );
+        // Everything still executes on the traveling-worm processor.
+        b.activate(ub.id).unwrap();
+        b.deactivate(ub.id).unwrap();
+        b.release_processor(ub.id).unwrap();
+    }
+
+    #[test]
+    fn traveling_worm_conflict_rolls_back() {
+        let mut c = chip();
+        c.gather(Region::rect(Coord::new(2, 2), 2, 2)).unwrap();
+        let before = c.free_clusters();
+        let err = c
+            .gather_with(
+                Region::rect(Coord::new(0, 0), 4, 4),
+                ConfigStrategy::TravelingWorm,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Topology(_)));
+        assert_eq!(c.free_clusters(), before);
+    }
+
+    #[test]
+    fn relocation_preserves_processor_state() {
+        use vlsi_object::{LocalConfig, Operation};
+        let mut c = chip();
+        // Pin the top-left corner, then gather a worker further out.
+        let pin = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        let id = c.gather(Region::rect(Coord::new(4, 4), 2, 2)).unwrap().id;
+        // Give the worker observable state: library + memory contents.
+        c.install(
+            id,
+            [LogicalObject::compute(
+                ObjectId(1),
+                LocalConfig::with_imm(Operation::Const, Word(9)),
+            )],
+        )
+        .unwrap();
+        c.write_mailbox(id, 0, 7, &[Word(0xBEEF)]).unwrap();
+        let old_region = c.processor(id).unwrap().region.clone();
+        // Free the pin so the preferred (top-left) placement opens up.
+        c.release_processor(pin).unwrap();
+        c.relocate(id).unwrap();
+        let p = c.processor(id).unwrap();
+        assert_ne!(p.region, old_region, "processor should have moved");
+        // State travelled with it.
+        assert_eq!(c.read_mailbox(id, 0, 7, 1).unwrap(), vec![Word(0xBEEF)]);
+        assert!(c.processor(id).unwrap().ap.library().contains(ObjectId(1)));
+        // Fold and switches consistent at the new site.
+        let p = c.processor(id).unwrap();
+        let traced = c
+            .fabric()
+            .trace_shift_path(p.fold.path()[0], p.fold.len() + 2);
+        assert_eq!(traced, p.fold.path().to_vec());
+    }
+
+    #[test]
+    fn relocate_requires_inactive() {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        c.activate(id).unwrap();
+        assert!(matches!(c.relocate(id), Err(CoreError::BadState { .. })));
+    }
+
+    #[test]
+    fn compact_reduces_fragmentation() {
+        let mut c = chip();
+        // Scatter processors, then free some to fragment the chip.
+        let ids: Vec<_> = (0..4u16)
+            .map(|i| {
+                c.gather(Region::rect(Coord::new(i * 2, i * 2), 2, 2))
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        c.release_processor(ids[0]).unwrap();
+        c.release_processor(ids[2]).unwrap();
+        let before = c.fragmentation();
+        let moved = c.compact();
+        let after = c.fragmentation();
+        assert!(moved > 0, "compaction should move someone");
+        assert!(after <= before, "fragmentation {after} !<= {before}");
+    }
+
+    #[test]
+    fn noc_messages_land_in_the_mailbox() {
+        let mut c = chip();
+        let a = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        let b = c.gather(Region::rect(Coord::new(6, 6), 2, 2)).unwrap().id;
+        // Supervisor → b.
+        let lat_far = c
+            .send_message(None, b, 0, 5, &[Word(11), Word(22)])
+            .unwrap();
+        assert_eq!(
+            c.read_mailbox(b, 0, 5, 2).unwrap(),
+            vec![Word(11), Word(22)]
+        );
+        // a → b crosses the chip; a → a-neighbourhood is cheaper.
+        let lat_near = c.send_message(Some(b), b, 0, 9, &[Word(3)]).unwrap();
+        assert!(lat_far > lat_near);
+        // Protection: active targets reject messages.
+        c.activate(a).unwrap();
+        assert!(matches!(
+            c.send_message(None, a, 0, 0, &[Word(1)]),
+            Err(CoreError::ProtectionViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn bigger_regions_cost_more_configuration_latency() {
+        let mut small_chip = chip();
+        let small = small_chip
+            .gather(Region::rect(Coord::new(0, 0), 2, 2))
+            .unwrap();
+        let mut big_chip = chip();
+        let big = big_chip
+            .gather(Region::rect(Coord::new(0, 0), 6, 6))
+            .unwrap();
+        assert!(big.config_latency > small.config_latency);
+        assert!(big.switch_stores > small.switch_stores);
+    }
+}

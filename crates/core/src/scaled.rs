@@ -1,0 +1,96 @@
+//! A gathered (scaled) processor: region + fold + lifecycle + AP.
+
+use crate::state::ProcState;
+use std::fmt;
+use vlsi_ap::{AdaptiveProcessor, ApConfig};
+use vlsi_topology::{Cluster, FoldMap, Region};
+
+/// Identifier of a scaled processor. Doubles as the switch-fabric
+/// [`RegionTag`](vlsi_topology::switch::RegionTag) value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessorId(pub u32);
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// One scaled processor on the chip.
+#[derive(Clone, Debug)]
+pub struct ScaledProcessor {
+    /// The processor's identity (also its switch reservation tag).
+    pub id: ProcessorId,
+    /// The clusters it gathered.
+    pub region: Region,
+    /// The folded linear order of its stack through the region.
+    pub fold: FoldMap,
+    /// Whether the fold was closed into a ring (Figure 5).
+    pub ring: bool,
+    /// Lifecycle state (Figure 6(e)).
+    pub state: ProcState,
+    /// The adaptive processor structured from the gathered resources.
+    pub ap: AdaptiveProcessor,
+    /// Cycles the configuration worms took to program the region (max
+    /// worm latency).
+    pub config_latency: u64,
+    /// Remaining sleep-timer ticks (wakes at 0), if sleeping on a timer.
+    pub sleep_timer: Option<u64>,
+}
+
+impl ScaledProcessor {
+    /// Builds the AP configuration implied by a gathered region.
+    ///
+    /// Every gathered cluster brings its own WSRF bank alongside its
+    /// objects — §2.6.1: "Cache hit detection can be centrally processed
+    /// on the WSRF … Searching in WSRFs can be performed in parallel" —
+    /// so a fused processor's acquirement capacity scales with the number
+    /// of clusters, not just its array.
+    pub fn ap_config(region: &Region, cluster: &Cluster) -> ApConfig {
+        let n = region.len();
+        let compute = n * cluster.compute_objects;
+        let memory = n * cluster.memory_objects;
+        let default = ApConfig::default();
+        ApConfig {
+            compute_objects: compute,
+            memory_objects: memory,
+            channels: ((compute + memory) / 2).max(1),
+            wsrf_entries: default.wsrf_entries * n.max(1),
+            ..default
+        }
+    }
+
+    /// Number of clusters gathered.
+    pub fn scale(&self) -> usize {
+        self.region.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_topology::Coord;
+
+    #[test]
+    fn ap_config_scales_with_region() {
+        let cluster = Cluster::default(); // 4 + 4 + 1
+        let small = ScaledProcessor::ap_config(&Region::rect(Coord::new(0, 0), 1, 1), &cluster);
+        assert_eq!(small.compute_objects, 4);
+        assert_eq!(small.memory_objects, 4);
+        assert_eq!(small.channels, 4);
+        // A 2x2 gather yields the paper's 16 + 16 minimum AP.
+        let min_ap = ScaledProcessor::ap_config(&Region::rect(Coord::new(0, 0), 2, 2), &cluster);
+        assert_eq!(min_ap.compute_objects, 16);
+        assert_eq!(min_ap.memory_objects, 16);
+        assert_eq!(min_ap.channels, 16);
+    }
+
+    #[test]
+    fn wsrf_banks_scale_with_clusters() {
+        let cluster = Cluster::default();
+        let one = ScaledProcessor::ap_config(&Region::rect(Coord::new(0, 0), 1, 1), &cluster);
+        let four = ScaledProcessor::ap_config(&Region::rect(Coord::new(0, 0), 2, 2), &cluster);
+        assert_eq!(four.wsrf_entries, 4 * one.wsrf_entries);
+        assert_eq!(one.wsrf_entries, 40);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the chip layer.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vlsi_core::{BlockExecutor, CoreError, ProcState, VlsiChip};
+use vlsi_topology::{Cluster, Coord, Region};
+use vlsi_workloads::program::{BinOp, Expr, Program, Stmt};
+
+fn chip() -> VlsiChip {
+    VlsiChip::new(8, 8, Cluster::default())
+}
+
+proptest! {
+    /// Gather → release restores the chip exactly: all clusters free, all
+    /// switches default, and the same region gathers again.
+    #[test]
+    fn gather_release_roundtrip(ox in 0u16..5, oy in 0u16..5, w in 1u16..4, h in 1u16..4) {
+        let mut c = chip();
+        let region = Region::rect(Coord::new(ox, oy), w, h);
+        let id = c.gather(region.clone()).unwrap().id;
+        prop_assert_eq!(c.free_clusters(), 64 - region.len());
+        c.release_processor(id).unwrap();
+        prop_assert_eq!(c.free_clusters(), 64);
+        prop_assert_eq!(c.fabric().programmed_coords().count(), 0);
+        c.gather(region).unwrap();
+    }
+
+    /// Any sequence of rectangular gathers either succeeds on disjoint
+    /// free clusters or fails atomically (no partial reservations leak).
+    #[test]
+    fn gathers_are_atomic(rects in prop::collection::vec((0u16..6, 0u16..6, 1u16..4, 1u16..4), 1..8)) {
+        let mut c = chip();
+        let mut owned = 0usize;
+        for (x, y, w, h) in rects {
+            let region = Region::rect(Coord::new(x, y), w, h);
+            match c.gather(region.clone()) {
+                Ok(_) => owned += region.len(),
+                Err(CoreError::Topology(_)) | Err(CoreError::OutOfGrid(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            prop_assert_eq!(c.free_clusters(), 64 - owned);
+        }
+    }
+
+    /// The full multi-processor execution of a random two-armed program
+    /// matches the IR interpreter for every input.
+    #[test]
+    fn partitioned_execution_matches_interpreter(
+        x in -100i64..100, y in -100i64..100,
+        k1 in -10i64..10, k2 in -10i64..10,
+    ) {
+        let p = Program {
+            stmts: vec![
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("x"), Expr::var("y")),
+                    then_branch: vec![Stmt::Assign(
+                        "r".into(),
+                        Expr::bin(BinOp::Mul, Expr::var("x"), Expr::Const(k1)),
+                    )],
+                    else_branch: vec![Stmt::Assign(
+                        "r".into(),
+                        Expr::bin(BinOp::Sub, Expr::var("y"), Expr::Const(k2)),
+                    )],
+                },
+                Stmt::Assign("out".into(), Expr::bin(BinOp::Add, Expr::var("r"), Expr::Const(1))),
+            ],
+        };
+        let mut env = HashMap::from([("x".to_string(), x), ("y".to_string(), y)]);
+        p.interpret(&mut env);
+
+        let mut c = chip();
+        let exec = BlockExecutor::deploy(&mut c, p.partition()).unwrap();
+        let inputs = HashMap::from([("x".to_string(), x), ("y".to_string(), y)]);
+        let (got, _) = exec.run(&mut c, &inputs).unwrap();
+        prop_assert_eq!(got["out"], env["out"]);
+        prop_assert_eq!(got["r"], env["r"]);
+    }
+
+    /// Chip fuzz: arbitrary interleavings of gather-by-count, release,
+    /// relocate, and compact keep the bookkeeping invariant —
+    /// free + owned == total, and the fabric's programmed set matches the
+    /// live processors' regions exactly.
+    #[test]
+    fn chip_resource_accounting_invariant(ops in prop::collection::vec(0u8..5, 1..30)) {
+        let mut c = chip();
+        let mut live: Vec<vlsi_core::ProcessorId> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    let k = (i % 7) + 1;
+                    if let Ok(out) = c.gather_any(k) {
+                        live.push(out.id);
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let id = live.remove(i % live.len());
+                        c.release_processor(id).unwrap();
+                    }
+                }
+                3 => {
+                    if !live.is_empty() {
+                        let id = live[i % live.len()];
+                        let _ = c.relocate(id);
+                    }
+                }
+                _ => {
+                    c.compact();
+                }
+            }
+            let owned: usize = live
+                .iter()
+                .map(|&id| c.processor(id).unwrap().scale())
+                .sum();
+            prop_assert_eq!(c.free_clusters(), 64 - owned);
+            // Every owned cluster's switch belongs to exactly one live
+            // processor's region.
+            for &id in &live {
+                for cell in c.processor(id).unwrap().region.clone().cells() {
+                    prop_assert_eq!(
+                        c.fabric().owner(cell).map(|t| t.0),
+                        Some(id.0)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lifecycle fuzz: random legal/illegal transition requests never
+    /// corrupt the state machine — the state is always one of the four,
+    /// and illegal requests leave it unchanged.
+    #[test]
+    fn lifecycle_fuzz(ops in prop::collection::vec(0u8..5, 1..40)) {
+        let mut c = chip();
+        let id = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap().id;
+        for op in ops {
+            let before = c.state(id).unwrap();
+            let result = match op {
+                0 => c.activate(id),
+                1 => c.deactivate(id),
+                2 => c.sleep(id, Some(3)),
+                3 => c.wake(id),
+                _ => {
+                    c.tick_timers(1);
+                    Ok(())
+                }
+            };
+            let after = c.state(id).unwrap();
+            if result.is_err() && op != 4 {
+                prop_assert_eq!(before, after, "failed op must not change state");
+            }
+            prop_assert!(matches!(
+                after,
+                ProcState::Inactive | ProcState::Active | ProcState::Sleep
+            ));
+        }
+    }
+}

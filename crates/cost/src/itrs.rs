@@ -1,0 +1,109 @@
+//! ITRS 2007 process parameters, 2010–2015.
+//!
+//! The paper's Table 4 spans process nodes 45 → 25 nm over the years
+//! 2010 → 2015, "calculated using rc-delay which is referenced from [the
+//! ITRS 2007 roadmap]". Two ITRS series matter:
+//!
+//! * `gate_length_nm` — the MPU **physical gate length**, which is the λ
+//!   that converts Table 1–3's λ² areas to silicon. This identification
+//!   is forced by the data: it reproduces the paper's APs-per-die column
+//!   exactly for all six years (see `scaling::tests`), whereas λ =
+//!   node/2 misses every row.
+//! * `rc_ns_per_mm2` — the global-wire distributed-RC coefficient
+//!   `k` in `delay = k · L²`. The paper prints only the resulting delays;
+//!   these coefficients are calibrated so the §4 recipe lands on the
+//!   printed column (rising k reflects the ITRS trend of worsening wire
+//!   RC as cross-sections shrink).
+
+/// Process parameters of one roadmap year.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct YearParams {
+    /// Calendar year.
+    pub year: u32,
+    /// Technology node name, nm.
+    pub node_nm: f64,
+    /// MPU physical gate length (the λ of the area model), nm.
+    pub gate_length_nm: f64,
+    /// Global-wire RC coefficient, ns/mm².
+    pub rc_ns_per_mm2: f64,
+}
+
+impl YearParams {
+    /// λ in metres.
+    pub fn lambda_m(&self) -> f64 {
+        self.gate_length_nm * 1e-9
+    }
+}
+
+/// The six Table 4 years.
+pub const ITRS_YEARS: [YearParams; 6] = [
+    YearParams {
+        year: 2010,
+        node_nm: 45.0,
+        gate_length_nm: 18.0,
+        rc_ns_per_mm2: 0.391_33,
+    },
+    YearParams {
+        year: 2011,
+        node_nm: 40.0,
+        gate_length_nm: 16.0,
+        rc_ns_per_mm2: 0.554_89,
+    },
+    YearParams {
+        year: 2012,
+        node_nm: 36.0,
+        gate_length_nm: 14.0,
+        rc_ns_per_mm2: 0.724_76,
+    },
+    YearParams {
+        year: 2013,
+        node_nm: 32.0,
+        gate_length_nm: 13.0,
+        rc_ns_per_mm2: 0.993_38,
+    },
+    YearParams {
+        year: 2014,
+        node_nm: 28.0,
+        gate_length_nm: 11.0,
+        rc_ns_per_mm2: 1.532_98,
+    },
+    YearParams {
+        year: 2015,
+        node_nm: 25.0,
+        gate_length_nm: 10.0,
+        rc_ns_per_mm2: 1.831_42,
+    },
+];
+
+/// Looks up a roadmap year.
+pub fn year(y: u32) -> Option<YearParams> {
+    ITRS_YEARS.iter().copied().find(|p| p.year == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_years_in_order() {
+        assert_eq!(ITRS_YEARS.len(), 6);
+        for w in ITRS_YEARS.windows(2) {
+            assert!(w[0].year < w[1].year);
+            assert!(w[0].node_nm > w[1].node_nm, "nodes shrink");
+            assert!(w[0].gate_length_nm > w[1].gate_length_nm);
+            assert!(w[0].rc_ns_per_mm2 < w[1].rc_ns_per_mm2, "wire RC worsens");
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(year(2012).unwrap().node_nm, 36.0);
+        assert!(year(1999).is_none());
+    }
+
+    #[test]
+    fn lambda_conversion() {
+        let p = year(2010).unwrap();
+        assert!((p.lambda_m() - 18e-9).abs() < 1e-18);
+    }
+}

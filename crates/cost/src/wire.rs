@@ -1,0 +1,88 @@
+//! Global-wire delay (§4.1).
+//!
+//! "A global wire delay is calculated as the square root of λ² (the total
+//! area of the physical object …)" — the critical chain spans the compute
+//! array of one AP, so the wire length is the side of the square holding
+//! the AP's 16 physical objects:
+//!
+//! ```text
+//! L = sqrt(16 · A_PO[λ²]) · λ        (metres)
+//! delay = k(year) · L²               (distributed RC, k from ITRS)
+//! ```
+//!
+//! The delay is taken "as a critical delay used for chaining between the
+//! memory block and the physical object since the memory block can not be
+//! relocated, therefore a global network is still required" — it is the
+//! clock-limiting path of the whole AP, which is why peak GOPS divides by
+//! it.
+
+use crate::area::physical_object_area;
+use crate::itrs::YearParams;
+
+/// Physical objects whose combined area the critical wire spans (one AP's
+/// compute array).
+pub const WIRE_SPAN_OBJECTS: f64 = 16.0;
+
+/// The critical global wire length in millimetres for a given year.
+pub fn global_wire_length_mm(p: &YearParams) -> f64 {
+    wire_length_mm_for(WIRE_SPAN_OBJECTS, p)
+}
+
+/// The global wire delay in nanoseconds for a given year.
+pub fn global_wire_delay_ns(p: &YearParams) -> f64 {
+    wire_delay_ns_for(WIRE_SPAN_OBJECTS, p)
+}
+
+/// Wire length when the AP's compute array holds `compute_objects`
+/// physical objects — the generalisation behind the §1 trade-off between
+/// processor scale and clock ("coordination between clock cycle time and
+/// the number of resources").
+pub fn wire_length_mm_for(compute_objects: f64, p: &YearParams) -> f64 {
+    let area_lambda2 = compute_objects * physical_object_area();
+    area_lambda2.sqrt() * p.lambda_m() * 1e3
+}
+
+/// Wire delay for an AP with `compute_objects` physical objects.
+pub fn wire_delay_ns_for(compute_objects: f64, p: &YearParams) -> f64 {
+    let l = wire_length_mm_for(compute_objects, p);
+    p.rc_ns_per_mm2 * l * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itrs::ITRS_YEARS;
+
+    /// The wire-delay column of Table 4.
+    const PAPER_DELAYS_NS: [f64; 6] = [1.08, 1.21, 1.21, 1.43, 1.58, 1.56];
+
+    #[test]
+    fn delays_match_table4() {
+        for (p, &want) in ITRS_YEARS.iter().zip(&PAPER_DELAYS_NS) {
+            let got = global_wire_delay_ns(p);
+            assert!(
+                (got - want).abs() < 0.005,
+                "{}: delay {got:.3} ns, paper {want}",
+                p.year
+            );
+        }
+    }
+
+    #[test]
+    fn wire_length_is_millimetre_scale() {
+        for p in &ITRS_YEARS {
+            let l = global_wire_length_mm(p);
+            assert!((0.5..3.0).contains(&l), "{}: {l} mm", p.year);
+        }
+    }
+
+    #[test]
+    fn wire_shrinks_with_lambda() {
+        let mut last = f64::INFINITY;
+        for p in &ITRS_YEARS {
+            let l = global_wire_length_mm(p);
+            assert!(l < last);
+            last = l;
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Channels, positions, and per-hop segment bookkeeping.
+//!
+//! A channel runs the full length of the linear object array and is cut
+//! into `N - 1` single-hop segments ("each channel is completely segmented
+//! with a single hop", §2.6.2). Segment `i` of a channel lies between array
+//! positions `i` and `i + 1`. A communication from position `a` to position
+//! `b` consumes every segment in `[min(a,b), max(a,b))` of one channel; two
+//! communications may share a channel exactly when their spans are disjoint.
+
+use std::fmt;
+
+/// Index of a channel of the CSD network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub u16);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// A position on the linear object array (0 = top of the stack).
+pub type Position = usize;
+
+/// Identifier of an established communication (one grant's worth of
+/// segments on one channel).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RouteId(pub u32);
+
+impl fmt::Display for RouteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "route{}", self.0)
+    }
+}
+
+/// Occupancy state of the `N - 1` segments of one channel.
+#[derive(Clone, Debug)]
+pub struct ChannelSegments {
+    /// `owner[i]` is the route holding segment `i` (between positions `i`
+    /// and `i + 1`), or `None` when the segment is free (default: chained,
+    /// carrying nothing).
+    owner: Vec<Option<RouteId>>,
+}
+
+impl ChannelSegments {
+    /// Builds the segment array for an `n_positions`-long array.
+    pub fn new(n_positions: usize) -> ChannelSegments {
+        ChannelSegments {
+            owner: vec![None; n_positions.saturating_sub(1)],
+        }
+    }
+
+    /// Number of segments (array length minus one).
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the channel has no segments at all (degenerate 0/1-object array).
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Whether every segment in `[lo, hi)` is free.
+    pub fn span_free(&self, lo: Position, hi: Position) -> bool {
+        self.owner[lo..hi].iter().all(|s| s.is_none())
+    }
+
+    /// Claims `[lo, hi)` for `route`. Caller must have checked
+    /// [`span_free`](Self::span_free); double-claims panic in debug builds.
+    pub fn claim(&mut self, lo: Position, hi: Position, route: RouteId) {
+        for s in &mut self.owner[lo..hi] {
+            debug_assert!(s.is_none(), "claiming an occupied segment");
+            *s = Some(route);
+        }
+    }
+
+    /// Releases every segment owned by `route`. Returns how many segments
+    /// were freed.
+    pub fn release(&mut self, route: RouteId) -> usize {
+        let mut freed = 0;
+        for s in &mut self.owner {
+            if *s == Some(route) {
+                *s = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Whether any segment is currently owned — i.e. whether the channel
+    /// counts as "used" in the Figure 3 metric.
+    pub fn in_use(&self) -> bool {
+        self.owner.iter().any(|s| s.is_some())
+    }
+
+    /// Number of occupied segments.
+    pub fn occupied(&self) -> usize {
+        self.owner.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The owner of segment `i`, if any.
+    pub fn owner_of(&self, i: usize) -> Option<RouteId> {
+        self.owner.get(i).copied().flatten()
+    }
+
+    /// Shifts ownership one position toward the bottom of the stack,
+    /// mirroring a stack shift of the object array: segment `i` takes the
+    /// previous owner of segment `i - 1`; segment 0 becomes free; the
+    /// owner of the last segment is returned (routes pushed off the bottom
+    /// must be torn down by the caller).
+    pub fn shift_down(&mut self) -> Option<RouteId> {
+        if self.owner.is_empty() {
+            return None;
+        }
+        let fell_off = self.owner.pop().flatten();
+        self.owner.insert(0, None);
+        fell_off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_claims() {
+        let mut c = ChannelSegments::new(8);
+        assert_eq!(c.len(), 7);
+        assert!(c.span_free(0, 7));
+        c.claim(2, 5, RouteId(1));
+        assert!(!c.span_free(2, 3));
+        assert!(c.span_free(0, 2));
+        assert!(c.span_free(5, 7));
+        assert_eq!(c.occupied(), 3);
+        assert!(c.in_use());
+    }
+
+    #[test]
+    fn disjoint_spans_share_a_channel() {
+        let mut c = ChannelSegments::new(8);
+        c.claim(0, 2, RouteId(1));
+        assert!(c.span_free(2, 7));
+        c.claim(5, 7, RouteId(2));
+        assert_eq!(c.occupied(), 4);
+        assert_eq!(c.owner_of(0), Some(RouteId(1)));
+        assert_eq!(c.owner_of(6), Some(RouteId(2)));
+    }
+
+    #[test]
+    fn release_frees_only_that_route() {
+        let mut c = ChannelSegments::new(8);
+        c.claim(0, 2, RouteId(1));
+        c.claim(5, 7, RouteId(2));
+        assert_eq!(c.release(RouteId(1)), 2);
+        assert!(c.span_free(0, 2));
+        assert!(!c.span_free(5, 7));
+        assert_eq!(c.release(RouteId(1)), 0);
+    }
+
+    #[test]
+    fn shift_down_moves_ownership_toward_bottom() {
+        let mut c = ChannelSegments::new(4); // segments 0,1,2
+        c.claim(0, 1, RouteId(7));
+        assert_eq!(c.shift_down(), None);
+        assert_eq!(c.owner_of(0), None);
+        assert_eq!(c.owner_of(1), Some(RouteId(7)));
+        // Two more shifts push the route off the bottom.
+        assert_eq!(c.shift_down(), None);
+        assert_eq!(c.shift_down(), Some(RouteId(7)));
+    }
+
+    #[test]
+    fn degenerate_array_sizes() {
+        let mut c0 = ChannelSegments::new(0);
+        assert!(c0.is_empty());
+        assert_eq!(c0.shift_down(), None);
+        let c1 = ChannelSegments::new(1);
+        assert_eq!(c1.len(), 0);
+    }
+}

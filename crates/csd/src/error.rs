@@ -1,0 +1,54 @@
+//! Errors of the CSD network model.
+
+use crate::channel::{Position, RouteId};
+use std::fmt;
+
+/// Errors raised by CSD allocation and the handshake protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CsdError {
+    /// A position was outside the array.
+    BadPosition(Position),
+    /// Source and sink coincide; no channel is needed or allocatable.
+    ZeroSpan(Position),
+    /// Every channel had at least one occupied segment in the requested
+    /// span: the request survived on no channel, so no grant was raised.
+    /// This is the routability failure §2.6.2 warns about.
+    NoChannelAvailable {
+        /// Span start (inclusive).
+        lo: Position,
+        /// Span end (exclusive, in segments).
+        hi: Position,
+    },
+    /// The route ID was not live.
+    UnknownRoute(RouteId),
+    /// A fan-out request listed no sinks.
+    EmptyFanOut,
+}
+
+impl fmt::Display for CsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdError::BadPosition(p) => write!(f, "position {p} outside the array"),
+            CsdError::ZeroSpan(p) => write!(f, "source and sink are both at position {p}"),
+            CsdError::NoChannelAvailable { lo, hi } => {
+                write!(f, "no free channel over segment span [{lo}, {hi})")
+            }
+            CsdError::UnknownRoute(r) => write!(f, "route {r} is not live"),
+            CsdError::EmptyFanOut => write!(f, "fan-out request with no sinks"),
+        }
+    }
+}
+
+impl std::error::Error for CsdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CsdError::NoChannelAvailable { lo: 1, hi: 4 }
+            .to_string()
+            .contains("[1, 4)"));
+    }
+}

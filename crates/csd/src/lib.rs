@@ -1,0 +1,44 @@
+//! # vlsi-csd — the dynamic channel-segmentation-distribution network
+//!
+//! The adaptive processor chains objects over a global interconnection
+//! network. A flat global network scales linearly in channel count with the
+//! number of physical objects, which only works for small arrays (§2.6).
+//! The paper's remedy is **channel segmentation distribution** (CSD): run a
+//! *constant* number of channels along the linear array and segment every
+//! channel at every hop, so disjoint spans of one channel can carry
+//! different communications simultaneously.
+//!
+//! The **dynamic** CSD network (§2.6.2, Figure 2) allocates channels at run
+//! time with a pure hardware handshake:
+//!
+//! 1. the **source** object broadcasts a request on every channel; the
+//!    request propagates through request-network segments whose default
+//!    state is *chained*, but is blocked by segments already consumed by
+//!    other communications;
+//! 2. the **sink** object's **priority encoder** picks one surviving
+//!    channel and raises a grant;
+//! 3. the grant is stored in a **memory cell** which (a) *unchains* the
+//!    request network at the span boundary so later requests do not leak
+//!    through, and (b) gates data from the channel into the sink;
+//! 4. the grant travels back to the source as the acknowledgement.
+//!
+//! [`network::DynamicCsd`] is the allocation-level model (who owns which
+//! segments) and [`protocol`] is the cycle-level handshake simulation of
+//! Figure 2. [`sim`] is the functional simulator behind Figure 3: it
+//! measures how many channels a random datapath with a given locality
+//! actually consumes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod error;
+pub mod network;
+pub mod protocol;
+pub mod sim;
+
+pub use channel::{ChannelId, Position, RouteId};
+pub use error::CsdError;
+pub use network::{DynamicCsd, Route};
+pub use protocol::{HandshakeEvent, HandshakeOutcome, ProtocolSim};
+pub use sim::{ChannelUsage, CsdSimulator};

@@ -1,0 +1,386 @@
+//! Allocation-level model of the dynamic CSD network.
+//!
+//! [`DynamicCsd`] tracks which route owns which single-hop segments of which
+//! channel. `connect` performs what the Figure 2 hardware does in three
+//! cycles — request broadcast, priority encode, grant/ack — as one atomic
+//! allocation: scan the channels in priority order (lowest index first, the
+//! priority encoder of the sink) and take the first one whose segments over
+//! the requested span are all free.
+//!
+//! Fan-out ("the necessity of a fan-out (broadcast) requires more channels,
+//! i.e., up to `N_object` channels", §2.6.2) is a single allocation whose
+//! span covers the source and *all* sinks.
+//!
+//! Stack shifts (§2.4) move every object one slot toward the bottom; the
+//! network supports them by shifting segment ownership the same way
+//! ("This approach is capable of stack-shifting from the top to the bottom
+//! of the stack"). Routes pushed off the bottom of the array are torn down
+//! and reported, mirroring the eviction of their objects.
+
+use crate::channel::{ChannelId, ChannelSegments, Position, RouteId};
+use crate::error::CsdError;
+use std::collections::HashMap;
+
+/// A live communication on the network.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Route {
+    /// This route's identifier.
+    pub id: RouteId,
+    /// The granted channel.
+    pub channel: ChannelId,
+    /// Source object position.
+    pub source: Position,
+    /// Sink object positions (one for point-to-point, several for fan-out).
+    pub sinks: Vec<Position>,
+}
+
+impl Route {
+    /// Segment span `[lo, hi)` consumed on the channel.
+    pub fn span(&self) -> (Position, Position) {
+        let lo = self
+            .sinks
+            .iter()
+            .copied()
+            .chain([self.source])
+            .min()
+            .expect("route has at least a source");
+        let hi = self
+            .sinks
+            .iter()
+            .copied()
+            .chain([self.source])
+            .max()
+            .expect("route has at least a source");
+        (lo, hi)
+    }
+
+    /// Manhattan span length in hops.
+    pub fn hops(&self) -> usize {
+        let (lo, hi) = self.span();
+        hi - lo
+    }
+}
+
+/// The dynamic CSD network of one adaptive processor.
+///
+/// ```
+/// use vlsi_csd::DynamicCsd;
+///
+/// // 8 objects, 2 channels.
+/// let mut net = DynamicCsd::new(8, 2);
+/// // Two disjoint spans share channel 0; an overlapping span takes 1.
+/// let a = net.connect(0, 3).unwrap();
+/// let b = net.connect(5, 7).unwrap();
+/// let c = net.connect(2, 6).unwrap();
+/// assert_eq!(net.route(a).unwrap().channel, net.route(b).unwrap().channel);
+/// assert_ne!(net.route(a).unwrap().channel, net.route(c).unwrap().channel);
+/// assert_eq!(net.used_channels(), 2);
+/// // Releasing a route re-chains its segments for reuse.
+/// net.disconnect(a).unwrap();
+/// assert!(net.connect(1, 2).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynamicCsd {
+    n_positions: usize,
+    channels: Vec<ChannelSegments>,
+    routes: HashMap<RouteId, Route>,
+    next_route: u32,
+    grants: u64,
+    rejections: u64,
+}
+
+impl DynamicCsd {
+    /// A network for `n_positions` objects and `n_channels` channels.
+    pub fn new(n_positions: usize, n_channels: usize) -> DynamicCsd {
+        DynamicCsd {
+            n_positions,
+            channels: (0..n_channels)
+                .map(|_| ChannelSegments::new(n_positions))
+                .collect(),
+            routes: HashMap::new(),
+            next_route: 0,
+            grants: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Array length the network spans.
+    pub fn positions(&self) -> usize {
+        self.n_positions
+    }
+
+    /// Channel count.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Establishes a point-to-point communication from `source` to `sink`.
+    ///
+    /// Returns the granted route. Fails with
+    /// [`CsdError::NoChannelAvailable`] when the request survives on no
+    /// channel — the routability limit of an under-provisioned network.
+    pub fn connect(&mut self, source: Position, sink: Position) -> Result<RouteId, CsdError> {
+        self.connect_fanout(source, &[sink])
+    }
+
+    /// Establishes a fan-out communication from `source` to every position
+    /// in `sinks` on one channel spanning them all.
+    pub fn connect_fanout(
+        &mut self,
+        source: Position,
+        sinks: &[Position],
+    ) -> Result<RouteId, CsdError> {
+        if sinks.is_empty() {
+            return Err(CsdError::EmptyFanOut);
+        }
+        if source >= self.n_positions {
+            return Err(CsdError::BadPosition(source));
+        }
+        if let Some(&bad) = sinks.iter().find(|&&s| s >= self.n_positions) {
+            return Err(CsdError::BadPosition(bad));
+        }
+        let lo = sinks.iter().copied().chain([source]).min().unwrap();
+        let hi = sinks.iter().copied().chain([source]).max().unwrap();
+        if lo == hi {
+            return Err(CsdError::ZeroSpan(lo));
+        }
+        // Priority encoder: lowest channel whose span is free wins.
+        let Some(ch) = self.channels.iter().position(|c| c.span_free(lo, hi)) else {
+            self.rejections += 1;
+            return Err(CsdError::NoChannelAvailable { lo, hi });
+        };
+        let id = RouteId(self.next_route);
+        self.next_route += 1;
+        self.channels[ch].claim(lo, hi, id);
+        self.routes.insert(
+            id,
+            Route {
+                id,
+                channel: ChannelId(ch as u16),
+                source,
+                sinks: sinks.to_vec(),
+            },
+        );
+        self.grants += 1;
+        Ok(id)
+    }
+
+    /// Tears down a route (the release-token path: a released object frees
+    /// its communications).
+    pub fn disconnect(&mut self, id: RouteId) -> Result<Route, CsdError> {
+        let route = self.routes.remove(&id).ok_or(CsdError::UnknownRoute(id))?;
+        self.channels[route.channel.0 as usize].release(id);
+        Ok(route)
+    }
+
+    /// Applies one stack shift: every object (and therefore every route
+    /// endpoint) moves one position toward the bottom. Routes whose span
+    /// would leave the array are torn down and returned.
+    pub fn stack_shift(&mut self) -> Vec<Route> {
+        let mut evicted: Vec<RouteId> = Vec::new();
+        for c in &mut self.channels {
+            if let Some(r) = c.shift_down() {
+                if !evicted.contains(&r) {
+                    evicted.push(r);
+                }
+            }
+        }
+        // Remove evicted routes entirely (their remaining segments too).
+        let mut out = Vec::new();
+        for id in evicted {
+            if let Some(route) = self.routes.remove(&id) {
+                self.channels[route.channel.0 as usize].release(id);
+                out.push(route);
+            }
+        }
+        // Update surviving routes' endpoint bookkeeping.
+        for route in self.routes.values_mut() {
+            route.source += 1;
+            for s in &mut route.sinks {
+                *s += 1;
+            }
+        }
+        out
+    }
+
+    /// The route table entry for `id`.
+    pub fn route(&self, id: RouteId) -> Option<&Route> {
+        self.routes.get(&id)
+    }
+
+    /// Number of live routes.
+    pub fn live_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Iterates over live routes (unordered).
+    pub fn routes(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values()
+    }
+
+    /// Figure 3 metric: the number of channels carrying at least one
+    /// communication.
+    pub fn used_channels(&self) -> usize {
+        self.channels.iter().filter(|c| c.in_use()).count()
+    }
+
+    /// Fraction of all segments currently occupied, in `[0, 1]`.
+    pub fn segment_utilization(&self) -> f64 {
+        let total: usize = self.channels.iter().map(|c| c.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let occ: usize = self.channels.iter().map(|c| c.occupied()).sum();
+        occ as f64 / total as f64
+    }
+
+    /// Grants issued since construction.
+    pub fn grant_count(&self) -> u64 {
+        self.grants
+    }
+
+    /// Requests that survived on no channel since construction.
+    pub fn rejection_count(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Internal consistency check (used by property tests): every live
+    /// route's span is exactly the set of segments it owns, and no segment
+    /// is owned by a dead route.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for route in self.routes.values() {
+            let (lo, hi) = route.span();
+            let ch = &self.channels[route.channel.0 as usize];
+            for seg in lo..hi {
+                if ch.owner_of(seg) != Some(route.id) {
+                    return Err(format!(
+                        "route {} should own segment {seg} of {}",
+                        route.id, route.channel
+                    ));
+                }
+            }
+        }
+        for (ci, ch) in self.channels.iter().enumerate() {
+            for seg in 0..ch.len() {
+                if let Some(owner) = ch.owner_of(seg) {
+                    let Some(route) = self.routes.get(&owner) else {
+                        return Err(format!("segment {seg} of ch{ci} owned by dead {owner}"));
+                    };
+                    let (lo, hi) = route.span();
+                    if seg < lo || seg >= hi {
+                        return Err(format!(
+                            "segment {seg} of ch{ci} outside {owner}'s span [{lo},{hi})"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_prefers_lowest_channel() {
+        let mut net = DynamicCsd::new(8, 4);
+        let r0 = net.connect(0, 3).unwrap();
+        assert_eq!(net.route(r0).unwrap().channel, ChannelId(0));
+        // Overlapping span is pushed to the next channel.
+        let r1 = net.connect(1, 4).unwrap();
+        assert_eq!(net.route(r1).unwrap().channel, ChannelId(1));
+        // Disjoint span reuses channel 0.
+        let r2 = net.connect(5, 7).unwrap();
+        assert_eq!(net.route(r2).unwrap().channel, ChannelId(0));
+        assert_eq!(net.used_channels(), 2);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exhaustion_is_a_routability_failure() {
+        let mut net = DynamicCsd::new(4, 2);
+        net.connect(0, 3).unwrap();
+        net.connect(0, 3).unwrap();
+        let err = net.connect(1, 2).unwrap_err();
+        assert_eq!(err, CsdError::NoChannelAvailable { lo: 1, hi: 2 });
+        assert_eq!(net.rejection_count(), 1);
+    }
+
+    #[test]
+    fn disconnect_frees_the_span() {
+        let mut net = DynamicCsd::new(4, 1);
+        let r = net.connect(0, 3).unwrap();
+        assert!(net.connect(1, 2).is_err());
+        net.disconnect(r).unwrap();
+        assert!(net.connect(1, 2).is_ok());
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn direction_does_not_matter() {
+        // §3.1: a bidirectional path is possible on the dynamic CSD.
+        let mut net = DynamicCsd::new(8, 1);
+        let r = net.connect(5, 2).unwrap();
+        assert_eq!(net.route(r).unwrap().span(), (2, 5));
+        assert_eq!(net.route(r).unwrap().hops(), 3);
+    }
+
+    #[test]
+    fn fanout_spans_all_sinks() {
+        let mut net = DynamicCsd::new(8, 2);
+        let r = net.connect_fanout(3, &[1, 6]).unwrap();
+        assert_eq!(net.route(r).unwrap().span(), (1, 6));
+        assert_eq!(net.route(r).unwrap().channel, ChannelId(0));
+        // The whole span is consumed on channel 0, so an overlapping
+        // request is pushed to channel 1.
+        let r2 = net.connect(2, 4).unwrap();
+        assert_eq!(net.route(r2).unwrap().channel, ChannelId(1));
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_span_rejected() {
+        let mut net = DynamicCsd::new(8, 2);
+        assert_eq!(net.connect(3, 3), Err(CsdError::ZeroSpan(3)));
+        assert_eq!(net.connect_fanout(3, &[]), Err(CsdError::EmptyFanOut));
+    }
+
+    #[test]
+    fn bad_positions_rejected() {
+        let mut net = DynamicCsd::new(4, 2);
+        assert_eq!(net.connect(0, 4), Err(CsdError::BadPosition(4)));
+        assert_eq!(net.connect(9, 1), Err(CsdError::BadPosition(9)));
+    }
+
+    #[test]
+    fn stack_shift_moves_routes_down() {
+        let mut net = DynamicCsd::new(4, 2);
+        let r = net.connect(0, 1).unwrap();
+        let evicted = net.stack_shift();
+        assert!(evicted.is_empty());
+        let route = net.route(r).unwrap();
+        assert_eq!((route.source, route.sinks[0]), (1, 2));
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stack_shift_evicts_bottom_routes() {
+        let mut net = DynamicCsd::new(4, 2);
+        let _r = net.connect(2, 3).unwrap();
+        let evicted = net.stack_shift();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(net.live_routes(), 0);
+        assert_eq!(net.used_channels(), 0);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut net = DynamicCsd::new(5, 2); // 2 channels x 4 segments
+        assert_eq!(net.segment_utilization(), 0.0);
+        net.connect(0, 4).unwrap(); // 4 of 8 segments
+        assert!((net.segment_utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+//! Cycle-level simulation of the Figure 2 handshake.
+//!
+//! [`network::DynamicCsd`](crate::network::DynamicCsd) resolves a request
+//! atomically; this module plays the same request through the three-step
+//! hardware sequence the paper draws — request broadcast, priority encode +
+//! grant, acknowledge — and records an event per cycle. Tests (and the
+//! curious) can watch exactly what the logic of Figure 2 does, including
+//! which channels the broadcast *reached* before the encoder picked one.
+
+use crate::channel::{ChannelId, Position, RouteId};
+use crate::error::CsdError;
+use crate::network::DynamicCsd;
+
+/// One observable step of the handshake.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HandshakeEvent {
+    /// Cycle 0: the source drove its request onto every channel's request
+    /// network; it survived (reached the sink through chained, unoccupied
+    /// segments) on the listed channels.
+    RequestBroadcast {
+        /// Source position.
+        source: Position,
+        /// Sink position.
+        sink: Position,
+        /// Channels on which the request reached the sink.
+        survivors: Vec<ChannelId>,
+    },
+    /// Cycle 1: the sink's priority encoder selected a channel; the grant
+    /// was latched into the memory cell (unchaining the request network and
+    /// gating channel data into the sink).
+    Granted {
+        /// The selected channel.
+        channel: ChannelId,
+        /// The route created by the grant.
+        route: RouteId,
+    },
+    /// Cycle 1 (failure): no request survived; the encoder stayed silent.
+    NoSurvivor,
+    /// Cycle 2: the grant signal travelled back to the source as the
+    /// acknowledgement; the source may start streaming data.
+    Acknowledged {
+        /// The acknowledged route.
+        route: RouteId,
+    },
+}
+
+/// Result of one full handshake.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HandshakeOutcome {
+    /// The per-cycle event trace (2 events on failure, 3 on success).
+    pub events: Vec<HandshakeEvent>,
+    /// The established route, if the handshake succeeded.
+    pub route: Result<RouteId, CsdError>,
+    /// Cycles consumed (2 on failure, 3 on success).
+    pub cycles: u32,
+}
+
+/// Step-by-step protocol driver over a [`DynamicCsd`].
+#[derive(Debug)]
+pub struct ProtocolSim<'a> {
+    net: &'a mut DynamicCsd,
+}
+
+impl<'a> ProtocolSim<'a> {
+    /// Wraps a network.
+    pub fn new(net: &'a mut DynamicCsd) -> ProtocolSim<'a> {
+        ProtocolSim { net }
+    }
+
+    /// Runs the three-cycle handshake for `source → sink`.
+    pub fn handshake(&mut self, source: Position, sink: Position) -> HandshakeOutcome {
+        let mut events = Vec::with_capacity(3);
+        // Cycle 0: broadcast. Which channels does the request survive on?
+        let survivors = self.survivors(source, sink);
+        events.push(HandshakeEvent::RequestBroadcast {
+            source,
+            sink,
+            survivors: survivors.clone(),
+        });
+        // Cycle 1: priority encode + grant.
+        if survivors.is_empty() {
+            events.push(HandshakeEvent::NoSurvivor);
+            // Reproduce the allocation error the atomic path would report.
+            let err = self
+                .net
+                .connect(source, sink)
+                .expect_err("no survivor implies the atomic allocation must fail too");
+            return HandshakeOutcome {
+                events,
+                route: Err(err),
+                cycles: 2,
+            };
+        }
+        let route = self
+            .net
+            .connect(source, sink)
+            .expect("a surviving channel implies the atomic allocation succeeds");
+        let channel = self.net.route(route).unwrap().channel;
+        debug_assert_eq!(
+            Some(&channel),
+            survivors.first(),
+            "the grant must match the priority encoder's first survivor"
+        );
+        events.push(HandshakeEvent::Granted { channel, route });
+        // Cycle 2: ack back to the source.
+        events.push(HandshakeEvent::Acknowledged { route });
+        HandshakeOutcome {
+            events,
+            route: Ok(route),
+            cycles: 3,
+        }
+    }
+
+    /// The three-cycle handshake for a broadcast: the request must
+    /// survive over the span covering the source and *all* sinks, and the
+    /// grant gates the channel into every sink's memory cell.
+    pub fn handshake_fanout(&mut self, source: Position, sinks: &[Position]) -> HandshakeOutcome {
+        let mut events = Vec::with_capacity(3);
+        let survivors = self.survivors_fanout(source, sinks);
+        events.push(HandshakeEvent::RequestBroadcast {
+            source,
+            sink: sinks.first().copied().unwrap_or(source),
+            survivors: survivors.clone(),
+        });
+        if survivors.is_empty() {
+            events.push(HandshakeEvent::NoSurvivor);
+            let err = self
+                .net
+                .connect_fanout(source, sinks)
+                .expect_err("no survivor implies the atomic allocation must fail too");
+            return HandshakeOutcome {
+                events,
+                route: Err(err),
+                cycles: 2,
+            };
+        }
+        let route = self
+            .net
+            .connect_fanout(source, sinks)
+            .expect("a surviving channel implies the atomic allocation succeeds");
+        let channel = self.net.route(route).unwrap().channel;
+        events.push(HandshakeEvent::Granted { channel, route });
+        events.push(HandshakeEvent::Acknowledged { route });
+        HandshakeOutcome {
+            events,
+            route: Ok(route),
+            cycles: 3,
+        }
+    }
+
+    /// Channels surviving a fan-out request right now.
+    pub fn survivors_fanout(&self, source: Position, sinks: &[Position]) -> Vec<ChannelId> {
+        if sinks.is_empty() || source >= self.net.positions() {
+            return Vec::new();
+        }
+        let lo = sinks.iter().copied().chain([source]).min().unwrap();
+        let hi = sinks.iter().copied().chain([source]).max().unwrap();
+        if lo == hi || sinks.iter().any(|&s| s >= self.net.positions()) {
+            return Vec::new();
+        }
+        (0..self.net.channel_count())
+            .filter(|&c| self.channel_span_free(c, lo, hi))
+            .map(|c| ChannelId(c as u16))
+            .collect()
+    }
+
+    /// Channels on which a request from `source` to `sink` would survive
+    /// right now (free span), in priority-encoder order.
+    pub fn survivors(&self, source: Position, sink: Position) -> Vec<ChannelId> {
+        if source == sink || source >= self.net.positions() || sink >= self.net.positions() {
+            return Vec::new();
+        }
+        let (lo, hi) = (source.min(sink), source.max(sink));
+        // Re-derive availability through a probe: a channel survives iff a
+        // hypothetical claim would succeed on it. We ask the network's
+        // segment state indirectly via used spans on each channel.
+        (0..self.net.channel_count())
+            .filter(|&c| self.channel_span_free(c, lo, hi))
+            .map(|c| ChannelId(c as u16))
+            .collect()
+    }
+
+    fn channel_span_free(&self, channel: usize, lo: Position, hi: Position) -> bool {
+        // A span is free iff no live route on this channel overlaps it.
+        !self.net.routes().any(|r| {
+            r.channel.0 as usize == channel && {
+                let (rlo, rhi) = r.span();
+                rlo < hi && lo < rhi
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_handshake_traces_three_cycles() {
+        let mut net = DynamicCsd::new(8, 2);
+        let out = ProtocolSim::new(&mut net).handshake(1, 5);
+        assert_eq!(out.cycles, 3);
+        assert_eq!(out.events.len(), 3);
+        assert!(matches!(
+            out.events[0],
+            HandshakeEvent::RequestBroadcast {
+                source: 1,
+                sink: 5,
+                ..
+            }
+        ));
+        assert!(matches!(out.events[1], HandshakeEvent::Granted { .. }));
+        assert!(matches!(out.events[2], HandshakeEvent::Acknowledged { .. }));
+        assert!(out.route.is_ok());
+    }
+
+    #[test]
+    fn broadcast_reports_all_survivors_but_grants_first() {
+        let mut net = DynamicCsd::new(8, 3);
+        let out = ProtocolSim::new(&mut net).handshake(0, 4);
+        match &out.events[0] {
+            HandshakeEvent::RequestBroadcast { survivors, .. } => {
+                assert_eq!(survivors, &vec![ChannelId(0), ChannelId(1), ChannelId(2)]);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+        match &out.events[1] {
+            HandshakeEvent::Granted { channel, .. } => assert_eq!(*channel, ChannelId(0)),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn occupied_channels_do_not_survive() {
+        let mut net = DynamicCsd::new(8, 2);
+        net.connect(0, 4).unwrap();
+        let mut sim = ProtocolSim::new(&mut net);
+        assert_eq!(sim.survivors(1, 3), vec![ChannelId(1)]);
+        let out = sim.handshake(1, 3);
+        match &out.events[1] {
+            HandshakeEvent::Granted { channel, .. } => assert_eq!(*channel, ChannelId(1)),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_traces_two_cycles() {
+        let mut net = DynamicCsd::new(4, 1);
+        net.connect(0, 3).unwrap();
+        let out = ProtocolSim::new(&mut net).handshake(1, 2);
+        assert_eq!(out.cycles, 2);
+        assert_eq!(out.events[1], HandshakeEvent::NoSurvivor);
+        assert!(matches!(
+            out.route,
+            Err(CsdError::NoChannelAvailable { .. })
+        ));
+    }
+
+    #[test]
+    fn fanout_handshake_spans_all_sinks() {
+        let mut net = DynamicCsd::new(8, 2);
+        let out = ProtocolSim::new(&mut net).handshake_fanout(3, &[0, 6]);
+        assert_eq!(out.cycles, 3);
+        let route = out.route.unwrap();
+        assert_eq!(net.route(route).unwrap().span(), (0, 6));
+        // The whole span is consumed on the granted channel, so an
+        // overlapping broadcast takes the next one.
+        let out2 = ProtocolSim::new(&mut net).handshake_fanout(2, &[5]);
+        match &out2.events[0] {
+            HandshakeEvent::RequestBroadcast { survivors, .. } => {
+                assert_eq!(survivors, &vec![ChannelId(1)]);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn fanout_handshake_fails_cleanly() {
+        let mut net = DynamicCsd::new(8, 1);
+        net.connect(0, 7).unwrap();
+        let out = ProtocolSim::new(&mut net).handshake_fanout(1, &[3, 6]);
+        assert_eq!(out.cycles, 2);
+        assert!(out.route.is_err());
+        // Degenerate broadcasts report no survivors.
+        let out = ProtocolSim::new(&mut net).handshake_fanout(2, &[]);
+        assert!(out.route.is_err());
+    }
+
+    #[test]
+    fn protocol_and_atomic_allocation_agree() {
+        // Whatever the protocol grants, the network's invariants hold.
+        let mut net = DynamicCsd::new(16, 4);
+        let pairs = [(0usize, 5usize), (3, 9), (10, 15), (1, 2), (6, 8)];
+        for (s, k) in pairs {
+            let _ = ProtocolSim::new(&mut net).handshake(s, k);
+        }
+        net.check_invariants().unwrap();
+    }
+}

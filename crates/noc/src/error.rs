@@ -1,0 +1,35 @@
+//! Errors of the NoC layer.
+
+use std::fmt;
+use vlsi_topology::Coord;
+
+/// Errors raised by the router network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NocError {
+    /// A coordinate was outside the router grid.
+    OutOfGrid(Coord),
+    /// Injection failed because the local input queue is full.
+    InjectionStall(Coord),
+    /// A packet had no flits.
+    EmptyPacket,
+    /// The network did not drain within the cycle budget.
+    Timeout {
+        /// Cycles simulated.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::OutOfGrid(c) => write!(f, "router coordinate {c} outside the grid"),
+            NocError::InjectionStall(c) => write!(f, "local queue at {c} full"),
+            NocError::EmptyPacket => write!(f, "packet with no flits"),
+            NocError::Timeout { cycles } => {
+                write!(f, "network did not drain within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NocError {}

@@ -1,0 +1,145 @@
+//! Flits, worms, and packets.
+//!
+//! Wormhole routing splits a packet into **flits**: a head flit that
+//! carries the destination and claims the path, body flits that carry the
+//! payload through the claimed path, and a tail flit that releases it.
+//! A single-flit packet is a head flit flagged as also-tail.
+
+use std::fmt;
+use vlsi_topology::Coord;
+
+/// Identity of one worm (packet) in flight.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WormId(pub u64);
+
+impl fmt::Display for WormId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worm{}", self.0)
+    }
+}
+
+/// One flow-control unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Flit {
+    /// Claims the path toward `dest`. `is_tail` marks a single-flit worm.
+    Head {
+        /// The worm this flit belongs to.
+        worm: WormId,
+        /// Destination router.
+        dest: Coord,
+        /// Whether this head is also the tail (single-flit packet).
+        is_tail: bool,
+    },
+    /// Payload flit following its worm's claimed path.
+    Body {
+        /// The worm this flit belongs to.
+        worm: WormId,
+        /// Payload word (e.g. one switch-programming store).
+        data: u64,
+    },
+    /// Last payload flit; releases the claimed path behind it.
+    Tail {
+        /// The worm this flit belongs to.
+        worm: WormId,
+        /// Payload word.
+        data: u64,
+    },
+}
+
+impl Flit {
+    /// The worm the flit belongs to.
+    pub fn worm(&self) -> WormId {
+        match *self {
+            Flit::Head { worm, .. } | Flit::Body { worm, .. } | Flit::Tail { worm, .. } => worm,
+        }
+    }
+
+    /// Whether this flit releases the path (tail, or head-only worm).
+    pub fn is_tail(&self) -> bool {
+        matches!(*self, Flit::Tail { .. } | Flit::Head { is_tail: true, .. })
+    }
+}
+
+/// A packet: destination plus payload words, before flit-ification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// The worm identity (assigned at injection).
+    pub worm: WormId,
+    /// Destination router.
+    pub dest: Coord,
+    /// Payload words.
+    pub payload: Vec<u64>,
+}
+
+impl Packet {
+    /// Builds the flit sequence of this packet.
+    pub fn flits(&self) -> Vec<Flit> {
+        if self.payload.is_empty() {
+            return vec![Flit::Head {
+                worm: self.worm,
+                dest: self.dest,
+                is_tail: true,
+            }];
+        }
+        let mut flits = Vec::with_capacity(self.payload.len() + 1);
+        flits.push(Flit::Head {
+            worm: self.worm,
+            dest: self.dest,
+            is_tail: false,
+        });
+        for (i, &d) in self.payload.iter().enumerate() {
+            if i + 1 == self.payload.len() {
+                flits.push(Flit::Tail {
+                    worm: self.worm,
+                    data: d,
+                });
+            } else {
+                flits.push(Flit::Body {
+                    worm: self.worm,
+                    data: d,
+                });
+            }
+        }
+        flits
+    }
+
+    /// Number of flits this packet occupies on a link.
+    pub fn flit_count(&self) -> usize {
+        self.payload.len().max(1) + usize::from(!self.payload.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_payload_is_single_head_tail() {
+        let p = Packet {
+            worm: WormId(1),
+            dest: Coord::new(1, 1),
+            payload: vec![],
+        };
+        let flits = p.flits();
+        assert_eq!(flits.len(), 1);
+        assert!(flits[0].is_tail());
+        assert_eq!(p.flit_count(), 1);
+    }
+
+    #[test]
+    fn payload_flitification() {
+        let p = Packet {
+            worm: WormId(2),
+            dest: Coord::new(0, 0),
+            payload: vec![10, 20, 30],
+        };
+        let flits = p.flits();
+        assert_eq!(flits.len(), 4);
+        assert!(matches!(flits[0], Flit::Head { is_tail: false, .. }));
+        assert!(matches!(flits[1], Flit::Body { data: 10, .. }));
+        assert!(matches!(flits[2], Flit::Body { data: 20, .. }));
+        assert!(matches!(flits[3], Flit::Tail { data: 30, .. }));
+        assert_eq!(p.flit_count(), 4);
+        assert!(flits.iter().all(|f| f.worm() == WormId(2)));
+    }
+}

@@ -1,0 +1,276 @@
+//! The five-port router of Figure 7(e).
+//!
+//! Each input port is a bounded queue ("queue"), an allocator binds input
+//! ports to output ports per worm ("alloc"), and each output port holds
+//! one in-flight flit ("out"). The binding is wormhole flow control: a
+//! head flit acquires the output, every following flit of the same worm
+//! rides the binding, and the tail flit releases it.
+
+use crate::flit::{Flit, WormId};
+use std::collections::VecDeque;
+use vlsi_topology::{Coord, Dir};
+
+/// Input-queue depth in flits.
+pub const INPUT_QUEUE_DEPTH: usize = 4;
+
+/// The five router ports.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Port {
+    /// Link toward row - 1.
+    North,
+    /// Link toward row + 1.
+    South,
+    /// Link toward column + 1.
+    East,
+    /// Link toward column - 1.
+    West,
+    /// The local cluster (injection/delivery).
+    Local,
+}
+
+impl Port {
+    /// All ports.
+    pub const ALL: [Port; 5] = [
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::Local,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            Port::North => 0,
+            Port::South => 1,
+            Port::East => 2,
+            Port::West => 3,
+            Port::Local => 4,
+        }
+    }
+
+    /// The link direction a non-local port faces.
+    pub fn dir(self) -> Option<Dir> {
+        match self {
+            Port::North => Some(Dir::North),
+            Port::South => Some(Dir::South),
+            Port::East => Some(Dir::East),
+            Port::West => Some(Dir::West),
+            Port::Local => None,
+        }
+    }
+
+    /// The port facing direction `d`.
+    pub fn from_dir(d: Dir) -> Option<Port> {
+        match d {
+            Dir::North => Some(Port::North),
+            Dir::South => Some(Port::South),
+            Dir::East => Some(Port::East),
+            Dir::West => Some(Port::West),
+            Dir::Up | Dir::Down => None,
+        }
+    }
+}
+
+/// Per-output-port state: the registered flit and the worm holding the
+/// port.
+#[derive(Clone, Debug, Default)]
+pub struct OutputPort {
+    /// Flit waiting on the output register (moves across the link next
+    /// cycle).
+    pub reg: Option<Flit>,
+    /// Worm currently holding this output (set by head, cleared by tail).
+    pub held_by: Option<WormId>,
+}
+
+/// One router.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// This router's coordinate.
+    pub coord: Coord,
+    /// Input queues, indexed by [`Port::index`].
+    pub inputs: [VecDeque<Flit>; 5],
+    /// Input→output bindings per input port, established by heads.
+    pub bindings: [Option<Port>; 5],
+    /// Output ports, indexed by [`Port::index`].
+    pub outputs: [OutputPort; 5],
+    /// Flits that crossed this router (for hop accounting).
+    pub flits_routed: u64,
+}
+
+impl Router {
+    /// A router at `coord` with empty queues.
+    pub fn new(coord: Coord) -> Router {
+        Router {
+            coord,
+            inputs: Default::default(),
+            bindings: [None; 5],
+            outputs: Default::default(),
+            flits_routed: 0,
+        }
+    }
+
+    /// XY dimension-order routing: the output port a head for `dest`
+    /// takes from here.
+    pub fn route(&self, dest: Coord) -> Port {
+        if dest.x > self.coord.x {
+            Port::East
+        } else if dest.x < self.coord.x {
+            Port::West
+        } else if dest.y > self.coord.y {
+            Port::South
+        } else if dest.y < self.coord.y {
+            Port::North
+        } else {
+            Port::Local
+        }
+    }
+
+    /// Whether the input queue at `port` can accept a flit.
+    pub fn can_accept(&self, port: Port) -> bool {
+        self.inputs[port.index()].len() < INPUT_QUEUE_DEPTH
+    }
+
+    /// Enqueues a flit at an input port. Caller must have checked
+    /// [`can_accept`](Self::can_accept).
+    pub fn accept(&mut self, port: Port, flit: Flit) {
+        debug_assert!(self.can_accept(port));
+        self.inputs[port.index()].push_back(flit);
+    }
+
+    /// Allocation stage: tries to move the head-of-queue flit of `in_port`
+    /// to its output register. Returns the output port used, if the flit
+    /// moved.
+    pub fn allocate(&mut self, in_port: Port) -> Option<Port> {
+        let flit = *self.inputs[in_port.index()].front()?;
+        let out_port = match flit {
+            Flit::Head { dest, .. } => {
+                let p = self.route(dest);
+                let out = &mut self.outputs[p.index()];
+                // The head needs the output free of other worms and the
+                // register empty.
+                if out.held_by.is_some() || out.reg.is_some() {
+                    return None;
+                }
+                out.held_by = Some(flit.worm());
+                self.bindings[in_port.index()] = Some(p);
+                p
+            }
+            Flit::Body { .. } | Flit::Tail { .. } => {
+                // Follow the binding created by this worm's head.
+                let p = self.bindings[in_port.index()]?;
+                let out = &mut self.outputs[p.index()];
+                if out.held_by != Some(flit.worm()) || out.reg.is_some() {
+                    return None;
+                }
+                p
+            }
+        };
+        let flit = self.inputs[in_port.index()].pop_front().expect("checked");
+        self.outputs[out_port.index()].reg = Some(flit);
+        self.flits_routed += 1;
+        if flit.is_tail() {
+            // The path releases behind the tail; the output's hold clears
+            // when the tail leaves the register (link stage).
+            self.bindings[in_port.index()] = None;
+        }
+        Some(out_port)
+    }
+
+    /// Whether the router holds any flit anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(|q| q.is_empty())
+            && self
+                .outputs
+                .iter()
+                .all(|o| o.reg.is_none() && o.held_by.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(worm: u64, dest: Coord) -> Flit {
+        Flit::Head {
+            worm: WormId(worm),
+            dest,
+            is_tail: false,
+        }
+    }
+
+    #[test]
+    fn xy_routing_order() {
+        let r = Router::new(Coord::new(2, 2));
+        assert_eq!(r.route(Coord::new(4, 0)), Port::East);
+        assert_eq!(r.route(Coord::new(0, 4)), Port::West); // x first!
+        assert_eq!(r.route(Coord::new(2, 4)), Port::South);
+        assert_eq!(r.route(Coord::new(2, 0)), Port::North);
+        assert_eq!(r.route(Coord::new(2, 2)), Port::Local);
+    }
+
+    #[test]
+    fn head_acquires_output() {
+        let mut r = Router::new(Coord::new(0, 0));
+        r.accept(Port::Local, head(1, Coord::new(2, 0)));
+        assert_eq!(r.allocate(Port::Local), Some(Port::East));
+        assert_eq!(r.outputs[Port::East.index()].held_by, Some(WormId(1)));
+        assert!(r.outputs[Port::East.index()].reg.is_some());
+    }
+
+    #[test]
+    fn competing_head_blocked_until_release() {
+        let mut r = Router::new(Coord::new(0, 0));
+        r.accept(Port::Local, head(1, Coord::new(2, 0)));
+        r.allocate(Port::Local).unwrap();
+        // Another worm wants the same output from the West port.
+        r.accept(Port::West, head(2, Coord::new(2, 0)));
+        assert_eq!(r.allocate(Port::West), None, "output held by worm 1");
+    }
+
+    #[test]
+    fn body_follows_binding_and_tail_unbinds() {
+        let mut r = Router::new(Coord::new(0, 0));
+        r.accept(Port::Local, head(1, Coord::new(1, 0)));
+        r.allocate(Port::Local).unwrap();
+        r.outputs[Port::East.index()].reg = None; // link took the head
+        r.accept(
+            Port::Local,
+            Flit::Tail {
+                worm: WormId(1),
+                data: 9,
+            },
+        );
+        assert_eq!(r.allocate(Port::Local), Some(Port::East));
+        assert_eq!(r.bindings[Port::Local.index()], None, "tail unbinds input");
+    }
+
+    #[test]
+    fn queue_depth_enforced() {
+        let mut r = Router::new(Coord::new(0, 0));
+        for i in 0..INPUT_QUEUE_DEPTH {
+            assert!(r.can_accept(Port::North));
+            r.accept(
+                Port::North,
+                Flit::Body {
+                    worm: WormId(1),
+                    data: i as u64,
+                },
+            );
+        }
+        assert!(!r.can_accept(Port::North));
+    }
+
+    #[test]
+    fn body_without_binding_stalls() {
+        let mut r = Router::new(Coord::new(0, 0));
+        r.accept(
+            Port::North,
+            Flit::Body {
+                worm: WormId(5),
+                data: 1,
+            },
+        );
+        assert_eq!(r.allocate(Port::North), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the object-model substrates.
+
+use crate::id::{ObjectId, PhysSlot};
+use std::fmt;
+
+/// Errors raised by the object model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ObjectError {
+    /// A logical object ID was not found in the library.
+    UnknownObject(ObjectId),
+    /// The same logical object ID was registered twice in a library.
+    DuplicateObject(ObjectId),
+    /// A memory access fell outside the 64 KiB block.
+    AddressOutOfRange {
+        /// The requested word address.
+        addr: u64,
+        /// The number of words in the block.
+        capacity: usize,
+    },
+    /// A memory-only operation was configured onto a compute object, or
+    /// vice versa.
+    KindMismatch {
+        /// The object that was mis-configured.
+        id: ObjectId,
+        /// Human-readable reason.
+        what: &'static str,
+    },
+    /// A physical slot index was outside the array.
+    BadSlot(PhysSlot),
+    /// Binding was attempted on a slot that already holds an object.
+    SlotOccupied(PhysSlot),
+    /// An operation on an empty slot.
+    SlotEmpty(PhysSlot),
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::UnknownObject(id) => write!(f, "unknown logical object {id}"),
+            ObjectError::DuplicateObject(id) => {
+                write!(f, "logical object {id} already registered")
+            }
+            ObjectError::AddressOutOfRange { addr, capacity } => {
+                write!(
+                    f,
+                    "address {addr:#x} outside memory block of {capacity} words"
+                )
+            }
+            ObjectError::KindMismatch { id, what } => {
+                write!(f, "object {id}: {what}")
+            }
+            ObjectError::BadSlot(s) => write!(f, "physical slot {s} out of range"),
+            ObjectError::SlotOccupied(s) => write!(f, "physical slot {s} already bound"),
+            ObjectError::SlotEmpty(s) => write!(f, "physical slot {s} holds no object"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ObjectError::AddressOutOfRange {
+            addr: 0x10000,
+            capacity: 8192,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x10000"));
+        assert!(s.contains("8192"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ObjectError::UnknownObject(ObjectId(1)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Identifier newtypes used across the whole processor model.
+//!
+//! The paper's global configuration stream refers to objects purely by ID
+//! (§2.1: "in a global configuration data stream, the dependency is
+//! represented by the ID"). Keeping IDs as 32-bit newtypes keeps the hot
+//! types that carry them small and makes it impossible to confuse a logical
+//! object ID with a physical slot index.
+
+use std::fmt;
+
+/// Identifier of a *logical* object — the name the application uses.
+///
+/// Logical objects move: they are loaded from the library, enter the object
+/// space through a stack shift, percolate down the stack, and are eventually
+/// swapped out. Their ID is the only stable handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Index of a *physical* object (a processing-element slot in the array).
+///
+/// Slot 0 is the **top of the stack**: the deterministic placement position
+/// of the adaptive processor (§2.4). Higher indices are deeper in the stack;
+/// the bottom-most slots hold the LRU replacement candidates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PhysSlot(pub u32);
+
+impl PhysSlot {
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// Input-port index on an object.
+///
+/// The paper evaluates a one-source model and mentions a two-source model
+/// (§2.6.1, Figure 3 caption); the execution fabric of this reproduction
+/// supports up to two value inputs plus one predicate input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortIndex(pub u8);
+
+impl PortIndex {
+    /// First value operand.
+    pub const LHS: PortIndex = PortIndex(0);
+    /// Second value operand.
+    pub const RHS: PortIndex = PortIndex(1);
+    /// Predicate operand of steering operations.
+    pub const PRED: PortIndex = PortIndex(2);
+
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(PhysSlot(0) < PhysSlot(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjectId(3).to_string(), "obj3");
+        assert_eq!(PhysSlot(4).to_string(), "slot4");
+        assert_eq!(PortIndex::RHS.to_string(), "port1");
+    }
+
+    #[test]
+    fn ids_stay_small() {
+        // These IDs sit inside every stream element and channel request;
+        // keep them one word or less.
+        assert!(std::mem::size_of::<ObjectId>() <= 4);
+        assert!(std::mem::size_of::<Option<ObjectId>>() <= 8);
+    }
+}

@@ -1,0 +1,178 @@
+//! The object library: the backing store of virtual hardware.
+//!
+//! §2.3: on an object cache-miss, "its logical object(s) is loaded from the
+//! library in the memory blocks to a configuration buffer object(s)". The
+//! library is the set of all logical objects an application may request;
+//! swap-out (replacement, §2.5) writes a logical object *back* into the
+//! library, analogous to the write-back policy of a conventional cache.
+//!
+//! The library also models the *cost* of a miss: loading a logical object
+//! from a memory block takes [`ObjectLibrary::LOAD_LATENCY`] cycles, the
+//! long worst-case delay §2.6.2 attributes to reaching memory objects that
+//! sit outside the stack.
+
+use crate::error::ObjectError;
+use crate::id::ObjectId;
+use crate::object::LogicalObject;
+use std::collections::HashMap;
+
+/// The repository of logical objects held in memory blocks.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectLibrary {
+    objects: HashMap<ObjectId, LogicalObject>,
+    loads: u64,
+    stores: u64,
+}
+
+impl ObjectLibrary {
+    /// Cycles to fetch one logical object from a memory block into a
+    /// configuration buffer (§2.6.2 worst-case delay; a model constant).
+    pub const LOAD_LATENCY: u32 = 8;
+
+    /// An empty library.
+    pub fn new() -> ObjectLibrary {
+        ObjectLibrary::default()
+    }
+
+    /// Registers a logical object. Fails on a duplicate ID.
+    pub fn register(&mut self, obj: LogicalObject) -> Result<(), ObjectError> {
+        obj.validate()?;
+        match self.objects.entry(obj.id) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                Err(ObjectError::DuplicateObject(obj.id))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(obj);
+                Ok(())
+            }
+        }
+    }
+
+    /// Registers many logical objects.
+    pub fn register_all(
+        &mut self,
+        objs: impl IntoIterator<Item = LogicalObject>,
+    ) -> Result<(), ObjectError> {
+        for o in objs {
+            self.register(o)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches (clones) a logical object for loading into a configuration
+    /// buffer. Counts as a library load.
+    pub fn load(&mut self, id: ObjectId) -> Result<LogicalObject, ObjectError> {
+        let obj = self
+            .objects
+            .get(&id)
+            .cloned()
+            .ok_or(ObjectError::UnknownObject(id))?;
+        self.loads += 1;
+        Ok(obj)
+    }
+
+    /// Writes a swapped-out logical object back (write-back policy, §2.5).
+    ///
+    /// Unlike [`register`](Self::register) this overwrites: the library copy
+    /// is stale by definition once the object has executed.
+    pub fn write_back(&mut self, obj: LogicalObject) {
+        self.stores += 1;
+        self.objects.insert(obj.id, obj);
+    }
+
+    /// Looks up an object without counting a load.
+    pub fn peek(&self, id: ObjectId) -> Option<&LogicalObject> {
+        self.objects.get(&id)
+    }
+
+    /// Whether an object is registered.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Library loads performed (cache misses serviced).
+    pub fn load_count(&self) -> u64 {
+        self.loads
+    }
+
+    /// Library write-backs performed (replacements).
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    /// All registered IDs (unordered).
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LocalConfig;
+    use crate::op::Operation;
+    use crate::value::Word;
+
+    fn obj(id: u32) -> LogicalObject {
+        LogicalObject::compute(ObjectId(id), LocalConfig::op(Operation::IAdd))
+    }
+
+    #[test]
+    fn register_and_load() {
+        let mut lib = ObjectLibrary::new();
+        lib.register(obj(1)).unwrap();
+        assert!(lib.contains(ObjectId(1)));
+        let o = lib.load(ObjectId(1)).unwrap();
+        assert_eq!(o.id, ObjectId(1));
+        assert_eq!(lib.load_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut lib = ObjectLibrary::new();
+        lib.register(obj(1)).unwrap();
+        assert_eq!(
+            lib.register(obj(1)),
+            Err(ObjectError::DuplicateObject(ObjectId(1)))
+        );
+    }
+
+    #[test]
+    fn unknown_object() {
+        let mut lib = ObjectLibrary::new();
+        assert_eq!(
+            lib.load(ObjectId(9)),
+            Err(ObjectError::UnknownObject(ObjectId(9)))
+        );
+        assert_eq!(lib.load_count(), 0, "failed loads are not counted");
+    }
+
+    #[test]
+    fn write_back_overwrites() {
+        let mut lib = ObjectLibrary::new();
+        lib.register(obj(1)).unwrap();
+        let mut o = lib.load(ObjectId(1)).unwrap();
+        o.init = vec![Word(5)];
+        lib.write_back(o);
+        assert_eq!(lib.peek(ObjectId(1)).unwrap().init, vec![Word(5)]);
+        assert_eq!(lib.store_count(), 1);
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn register_all_validates() {
+        let mut lib = ObjectLibrary::new();
+        let bad = LogicalObject::memory(ObjectId(2), LocalConfig::op(Operation::IAdd));
+        assert!(lib.register_all(vec![obj(1), bad]).is_err());
+    }
+}

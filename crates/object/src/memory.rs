@@ -1,0 +1,167 @@
+//! The 64 KiB memory block (Table 2).
+//!
+//! Each memory object contains a 64 KB SRAM ("We used the configuration of
+//! 64KB SRAM, trading off for an area", §4.1), addressed here in 64-bit
+//! words. Memory blocks serve three roles in the architecture:
+//!
+//! 1. application data (load/store streams of a configured datapath);
+//! 2. the **library** region holding swapped-out logical objects (§2.5);
+//! 3. the mailbox through which a *preceding* processor writes inputs into a
+//!    *following* processor while the latter is inactive (§3.3, Figure 7(d)).
+//!
+//! Accesses outside the block are errors — the scaled AP's read/write
+//! protection (§3.3) is enforced one level up, in `vlsi-core`.
+
+use crate::error::ObjectError;
+use crate::value::Word;
+
+/// Number of 64-bit words in a 64 KiB block.
+pub const MEMORY_WORDS: usize = 64 * 1024 / 8;
+
+/// A 64 KiB on-chip SRAM block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemoryBlock {
+    words: Vec<Word>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Default for MemoryBlock {
+    fn default() -> Self {
+        MemoryBlock::new()
+    }
+}
+
+impl MemoryBlock {
+    /// A zero-initialised block.
+    pub fn new() -> MemoryBlock {
+        MemoryBlock {
+            words: vec![Word::ZERO; MEMORY_WORDS],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the word at `addr` (word address).
+    pub fn load(&mut self, addr: u64) -> Result<Word, ObjectError> {
+        let w = self
+            .words
+            .get(addr as usize)
+            .copied()
+            .ok_or(ObjectError::AddressOutOfRange {
+                addr,
+                capacity: MEMORY_WORDS,
+            })?;
+        self.reads += 1;
+        Ok(w)
+    }
+
+    /// Writes `value` at `addr` (word address).
+    pub fn store(&mut self, addr: u64, value: Word) -> Result<(), ObjectError> {
+        let cap = self.words.len();
+        let slot = self
+            .words
+            .get_mut(addr as usize)
+            .ok_or(ObjectError::AddressOutOfRange {
+                addr,
+                capacity: cap,
+            })?;
+        *slot = value;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Reads without counting (for test/assertion plumbing).
+    pub fn peek(&self, addr: u64) -> Result<Word, ObjectError> {
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(ObjectError::AddressOutOfRange {
+                addr,
+                capacity: MEMORY_WORDS,
+            })
+    }
+
+    /// Bulk-writes a slice starting at `addr`.
+    pub fn store_slice(&mut self, addr: u64, values: &[Word]) -> Result<(), ObjectError> {
+        for (i, v) in values.iter().enumerate() {
+            self.store(addr + i as u64, *v)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-reads `len` words starting at `addr`.
+    pub fn load_slice(&mut self, addr: u64, len: usize) -> Result<Vec<Word>, ObjectError> {
+        (0..len).map(|i| self.load(addr + i as u64)).collect()
+    }
+
+    /// Total successful reads since construction.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total successful writes since construction.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_64kib_of_words() {
+        assert_eq!(MemoryBlock::new().capacity(), 8192);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = MemoryBlock::new();
+        m.store(100, Word(0xabcd)).unwrap();
+        assert_eq!(m.load(100).unwrap(), Word(0xabcd));
+        assert_eq!(m.load(101).unwrap(), Word::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut m = MemoryBlock::new();
+        assert!(m.load(MEMORY_WORDS as u64).is_err());
+        assert!(m.store(u64::MAX, Word(1)).is_err());
+        // Last valid word works.
+        assert!(m.store(MEMORY_WORDS as u64 - 1, Word(1)).is_ok());
+    }
+
+    #[test]
+    fn slices() {
+        let mut m = MemoryBlock::new();
+        m.store_slice(10, &[Word(1), Word(2), Word(3)]).unwrap();
+        assert_eq!(
+            m.load_slice(10, 3).unwrap(),
+            vec![Word(1), Word(2), Word(3)]
+        );
+        // A slice crossing the end fails.
+        assert!(m
+            .store_slice(MEMORY_WORDS as u64 - 1, &[Word(1), Word(2)])
+            .is_err());
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut m = MemoryBlock::new();
+        m.store(0, Word(1)).unwrap();
+        m.load(0).unwrap();
+        m.load(0).unwrap();
+        let _ = m.load(1 << 40); // failed access: not counted
+        assert_eq!(m.write_count(), 1);
+        assert_eq!(m.read_count(), 2);
+        // peek does not count.
+        m.peek(0).unwrap();
+        assert_eq!(m.read_count(), 2);
+    }
+}

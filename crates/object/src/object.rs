@@ -1,0 +1,266 @@
+//! Logical objects, physical objects, and the binding between them.
+//!
+//! §2.1: "A processing element called a physical object performs its
+//! operation as defined by the configuration data. … The pair of initial
+//! data and local configuration data is called a logical object, and a
+//! logical object binded on the physical object is called an object."
+//!
+//! A [`PhysicalObject`] owns the per-slot hardware state of Table 1: the
+//! execution fabric and six 64-bit registers. It can hold at most one bound
+//! logical object at a time. Binding activates the fabric ("The 'hit' object
+//! acknowledges the hit and activates the execution fabric", §2.3); the
+//! logical object is recovered intact on swap-out, which is what makes
+//! virtual hardware (§2.5) possible.
+
+use crate::config::LocalConfig;
+use crate::error::ObjectError;
+use crate::id::{ObjectId, PhysSlot};
+use crate::value::Word;
+
+/// Number of 64-bit registers in a physical object (Table 1: `64b Register x6`).
+pub const PHYS_REGISTERS: usize = 6;
+
+/// The three object species a cluster provides (Figure 4(b)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectKind {
+    /// General-purpose compute fabric (Table 1).
+    Compute,
+    /// Memory block with its own small fabric (Table 2); sits *outside* the
+    /// stack ("An object including a memory unit is treated as out of the
+    /// stack", §2.6.2).
+    Memory,
+    /// System object: the per-cluster sequencer/control element (Figure 4(b)).
+    System,
+}
+
+/// The mobile unit the AP caches: local configuration plus initial data.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LogicalObject {
+    /// The application-visible identity.
+    pub id: ObjectId,
+    /// What the object computes once bound.
+    pub cfg: LocalConfig,
+    /// Initial register contents installed at bind time (at most
+    /// [`PHYS_REGISTERS`] words; shorter vectors leave the rest zero).
+    pub init: Vec<Word>,
+    /// Which physical-object species this logical object requires.
+    pub kind: ObjectKind,
+}
+
+impl LogicalObject {
+    /// Builds a compute logical object.
+    pub fn compute(id: ObjectId, cfg: LocalConfig) -> LogicalObject {
+        LogicalObject {
+            id,
+            cfg,
+            init: Vec::new(),
+            kind: ObjectKind::Compute,
+        }
+    }
+
+    /// Builds a memory logical object.
+    pub fn memory(id: ObjectId, cfg: LocalConfig) -> LogicalObject {
+        LogicalObject {
+            id,
+            cfg,
+            init: Vec::new(),
+            kind: ObjectKind::Memory,
+        }
+    }
+
+    /// Attaches initial data (truncated to the register-file size).
+    pub fn with_init(mut self, init: Vec<Word>) -> LogicalObject {
+        self.init = init;
+        self.init.truncate(PHYS_REGISTERS);
+        self
+    }
+
+    /// Validates that the configured operation matches the object kind.
+    pub fn validate(&self) -> Result<(), ObjectError> {
+        let mem_op = self.cfg.op.is_memory_op();
+        match (self.kind, mem_op) {
+            (ObjectKind::Memory, false) => Err(ObjectError::KindMismatch {
+                id: self.id,
+                what: "memory object configured with a compute operation",
+            }),
+            (ObjectKind::Compute, true) | (ObjectKind::System, true) => {
+                Err(ObjectError::KindMismatch {
+                    id: self.id,
+                    what: "compute/system object configured with a memory operation",
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A logical object bound on a physical object — "an object" in the paper's
+/// terminology. Carries the live register state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoundObject {
+    /// The logical identity and configuration.
+    pub logical: LogicalObject,
+    /// Live register file (starts as `logical.init`, may be mutated by
+    /// execution; preserved across swap-out).
+    pub regs: [Word; PHYS_REGISTERS],
+    /// Whether the execution fabric has been woken by an acknowledged
+    /// request (§2.3 step: "activates the execution fabric").
+    pub active: bool,
+}
+
+impl BoundObject {
+    /// Binds a logical object, installing its initial data.
+    pub fn bind(logical: LogicalObject) -> BoundObject {
+        let mut regs = [Word::ZERO; PHYS_REGISTERS];
+        for (r, v) in regs.iter_mut().zip(logical.init.iter()) {
+            *r = *v;
+        }
+        BoundObject {
+            logical,
+            regs,
+            active: false,
+        }
+    }
+
+    /// Unbinds, recovering the logical object with its *current* register
+    /// state as initial data, so a later re-bind resumes where it left off
+    /// (the write-back of virtual hardware, §2.5).
+    pub fn unbind(self) -> LogicalObject {
+        let mut logical = self.logical;
+        logical.init = self.regs.to_vec();
+        logical
+    }
+
+    /// The object's identity.
+    pub fn id(&self) -> ObjectId {
+        self.logical.id
+    }
+}
+
+/// A processing-element slot of the array, possibly holding a bound object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PhysicalObject {
+    /// Where in the array (and thus the stack) this element sits.
+    pub slot: PhysSlot,
+    /// Which species of element this is.
+    pub kind: ObjectKind,
+    /// The object currently bound here, if any.
+    pub bound: Option<BoundObject>,
+}
+
+impl PhysicalObject {
+    /// An empty physical object of the given kind.
+    pub fn new(slot: PhysSlot, kind: ObjectKind) -> PhysicalObject {
+        PhysicalObject {
+            slot,
+            kind,
+            bound: None,
+        }
+    }
+
+    /// Whether a logical object is currently bound here.
+    pub fn is_bound(&self) -> bool {
+        self.bound.is_some()
+    }
+
+    /// The ID of the bound object, if any.
+    pub fn bound_id(&self) -> Option<ObjectId> {
+        self.bound.as_ref().map(|b| b.id())
+    }
+
+    /// Binds a logical object onto this element.
+    pub fn bind(&mut self, logical: LogicalObject) -> Result<(), ObjectError> {
+        if self.bound.is_some() {
+            return Err(ObjectError::SlotOccupied(self.slot));
+        }
+        logical.validate()?;
+        if logical.kind != self.kind {
+            return Err(ObjectError::KindMismatch {
+                id: logical.id,
+                what: "logical object kind does not match physical element kind",
+            });
+        }
+        self.bound = Some(BoundObject::bind(logical));
+        Ok(())
+    }
+
+    /// Unbinds and returns the logical object (with live state written back).
+    pub fn unbind(&mut self) -> Result<LogicalObject, ObjectError> {
+        self.bound
+            .take()
+            .map(BoundObject::unbind)
+            .ok_or(ObjectError::SlotEmpty(self.slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operation;
+
+    fn compute_obj(id: u32) -> LogicalObject {
+        LogicalObject::compute(ObjectId(id), LocalConfig::op(Operation::IAdd))
+    }
+
+    #[test]
+    fn bind_installs_initial_data() {
+        let lo = compute_obj(1).with_init(vec![Word(7), Word(8)]);
+        let b = BoundObject::bind(lo);
+        assert_eq!(b.regs[0], Word(7));
+        assert_eq!(b.regs[1], Word(8));
+        assert_eq!(b.regs[2], Word::ZERO);
+        assert!(!b.active);
+    }
+
+    #[test]
+    fn init_truncated_to_register_file() {
+        let lo = compute_obj(1).with_init(vec![Word(1); 10]);
+        assert_eq!(lo.init.len(), PHYS_REGISTERS);
+    }
+
+    #[test]
+    fn unbind_writes_back_live_state() {
+        let lo = compute_obj(1).with_init(vec![Word(7)]);
+        let mut b = BoundObject::bind(lo);
+        b.regs[0] = Word(99);
+        let recovered = b.unbind();
+        assert_eq!(recovered.init[0], Word(99));
+        // Re-binding resumes from the written-back state.
+        let b2 = BoundObject::bind(recovered);
+        assert_eq!(b2.regs[0], Word(99));
+    }
+
+    #[test]
+    fn kind_validation() {
+        let bad_mem = LogicalObject::memory(ObjectId(1), LocalConfig::op(Operation::IAdd));
+        assert!(bad_mem.validate().is_err());
+        let bad_compute = LogicalObject::compute(ObjectId(2), LocalConfig::op(Operation::Load));
+        assert!(bad_compute.validate().is_err());
+        let good_mem = LogicalObject::memory(ObjectId(3), LocalConfig::op(Operation::Load));
+        assert!(good_mem.validate().is_ok());
+    }
+
+    #[test]
+    fn physical_object_bind_unbind() {
+        let mut pe = PhysicalObject::new(PhysSlot(0), ObjectKind::Compute);
+        assert!(!pe.is_bound());
+        pe.bind(compute_obj(5)).unwrap();
+        assert_eq!(pe.bound_id(), Some(ObjectId(5)));
+        // Double-bind is rejected.
+        assert_eq!(
+            pe.bind(compute_obj(6)),
+            Err(ObjectError::SlotOccupied(PhysSlot(0)))
+        );
+        let lo = pe.unbind().unwrap();
+        assert_eq!(lo.id, ObjectId(5));
+        assert_eq!(pe.unbind(), Err(ObjectError::SlotEmpty(PhysSlot(0))));
+    }
+
+    #[test]
+    fn kind_mismatch_on_bind() {
+        let mut mem_pe = PhysicalObject::new(PhysSlot(1), ObjectKind::Memory);
+        assert!(mem_pe.bind(compute_obj(1)).is_err());
+        let mem_obj = LogicalObject::memory(ObjectId(2), LocalConfig::op(Operation::Load));
+        assert!(mem_pe.bind(mem_obj).is_ok());
+    }
+}

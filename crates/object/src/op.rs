@@ -1,0 +1,440 @@
+//! The ISA-free operation set of the execution fabric.
+//!
+//! An adaptive processor has no instruction-set architecture (§1: "an AP
+//! does not require an instruction-set architecture in its basic model").
+//! What a physical object *does* is fixed by its local configuration data:
+//! one operation from the fabric below, applied to the tokens arriving on
+//! its input ports.
+//!
+//! The operation set mirrors the hardware inventory of Table 1:
+//! 64-bit floating-point multiply/add, floating-point divide, integer
+//! multiply + ALU/shift, integer divide, and the register file — plus the
+//! dataflow plumbing (constants, pass, steer, merge) that the Figure 7
+//! example requires, and load/store for memory objects.
+
+use crate::value::Word;
+use std::fmt;
+
+/// Which Table 1 / Table 2 hardware module an operation occupies.
+///
+/// Used by the cost model to reason about fabric utilisation and by the
+/// latency model below.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpCategory {
+    /// 64-bit floating-point multiplier/adder (Table 1, `64b fMul, fAdd`).
+    FloatMulAdd,
+    /// 64-bit floating-point divider (Table 1, `64b fDiv`).
+    FloatDiv,
+    /// 64-bit integer multiplier + ALU/shifter (Table 1, `64b iMul + iALU/Shift`).
+    IntMulAlu,
+    /// 64-bit integer divider (Table 1, `64b iDiv`).
+    IntDiv,
+    /// Register-file-only operations (constants, pass, steer, merge).
+    Register,
+    /// Memory-block operations (Table 2 fabric: load/store ports).
+    Memory,
+}
+
+/// A single operation performed by a configured object.
+///
+/// Integer comparisons produce canonical predicates ([`Word::TRUE`] /
+/// [`Word::FALSE`]). Division by zero is defined (it produces zero) so that
+/// a datapath never traps: the paper's fabric has no exception machinery, and
+/// a deterministic result keeps simulation reproducible.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operation {
+    // --- integer ALU ------------------------------------------------------
+    /// Wrapping integer addition.
+    IAdd,
+    /// Wrapping integer subtraction.
+    ISub,
+    /// Wrapping integer multiplication.
+    IMul,
+    /// Signed integer division (0 when the divisor is 0).
+    IDiv,
+    /// Signed integer remainder (0 when the divisor is 0).
+    IRem,
+    /// Bitwise AND.
+    IAnd,
+    /// Bitwise OR.
+    IOr,
+    /// Bitwise XOR.
+    IXor,
+    /// Bitwise NOT (unary).
+    INot,
+    /// Logical shift left (shift amount taken modulo 64).
+    IShl,
+    /// Logical shift right (shift amount taken modulo 64).
+    IShr,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    ISar,
+    /// Signed less-than, producing a predicate.
+    ICmpLt,
+    /// Equality, producing a predicate.
+    ICmpEq,
+    /// Signed greater-than, producing a predicate.
+    ICmpGt,
+    /// Signed minimum.
+    IMin,
+    /// Signed maximum.
+    IMax,
+    // --- floating point ----------------------------------------------------
+    /// IEEE-754 double addition.
+    FAdd,
+    /// IEEE-754 double subtraction.
+    FSub,
+    /// IEEE-754 double multiplication.
+    FMul,
+    /// IEEE-754 double division.
+    FDiv,
+    /// IEEE-754 double negation (unary).
+    FNeg,
+    /// Floating less-than, producing a predicate.
+    FCmpLt,
+    /// Fused multiply-add `lhs * rhs + imm` (imm from local configuration).
+    FMulAddImm,
+    // --- register / plumbing ----------------------------------------------
+    /// Produces the immediate from the local configuration (no inputs).
+    Const,
+    /// Identity; forwards its single input.
+    Pass,
+    /// Adds the immediate from the local configuration to the input.
+    AddImm,
+    /// Multiplies the input by the immediate from the local configuration.
+    MulImm,
+    /// Forwards the value input only when the predicate input is *true*.
+    SteerTrue,
+    /// Forwards the value input only when the predicate input is *false*.
+    SteerFalse,
+    /// Forwards whichever of the two inputs arrives (non-deterministic merge
+    /// resolved deterministically as lhs-first in this model).
+    Merge,
+    // --- memory ------------------------------------------------------------
+    /// Reads the memory word addressed by the input (memory objects only).
+    Load,
+    /// Writes the rhs input to the address given by the lhs input
+    /// (memory objects only).
+    Store,
+}
+
+impl Operation {
+    /// Number of value input ports the operation consumes (0, 1 or 2).
+    ///
+    /// Steering operations additionally consume one token on the predicate
+    /// port; see [`Operation::uses_predicate`].
+    pub fn arity(self) -> usize {
+        use Operation::*;
+        match self {
+            Const => 0,
+            Pass | INot | FNeg | AddImm | MulImm | Load | SteerTrue | SteerFalse => 1,
+            IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | ISar | ICmpLt
+            | ICmpEq | ICmpGt | IMin | IMax | FAdd | FSub | FMul | FDiv | FCmpLt | FMulAddImm
+            | Merge | Store => 2,
+        }
+    }
+
+    /// Whether the operation also reads the predicate port.
+    pub fn uses_predicate(self) -> bool {
+        matches!(self, Operation::SteerTrue | Operation::SteerFalse)
+    }
+
+    /// The hardware module the operation occupies.
+    pub fn category(self) -> OpCategory {
+        use Operation::*;
+        match self {
+            FAdd | FSub | FMul | FNeg | FCmpLt | FMulAddImm => OpCategory::FloatMulAdd,
+            FDiv => OpCategory::FloatDiv,
+            IAdd | ISub | IMul | IAnd | IOr | IXor | INot | IShl | IShr | ISar | ICmpLt
+            | ICmpEq | ICmpGt | IMin | IMax | AddImm | MulImm => OpCategory::IntMulAlu,
+            IDiv | IRem => OpCategory::IntDiv,
+            Const | Pass | SteerTrue | SteerFalse | Merge => OpCategory::Register,
+            Load | Store => OpCategory::Memory,
+        }
+    }
+
+    /// Execution latency in fabric cycles.
+    ///
+    /// The paper gives no per-operation latencies (its §4 delay analysis is
+    /// dominated by the global wire), so these are conventional pipelined
+    /// FU depths: 1 for ALU/register moves, 3 for multipliers, and iterative
+    /// (non-pipelined) depths for the dividers.
+    pub fn latency(self) -> u32 {
+        use Operation::*;
+        match self {
+            Const | Pass | SteerTrue | SteerFalse | Merge => 1,
+            IAdd | ISub | IAnd | IOr | IXor | INot | IShl | IShr | ISar | ICmpLt | ICmpEq
+            | ICmpGt | IMin | IMax | AddImm => 1,
+            IMul | MulImm => 3,
+            FAdd | FSub | FCmpLt | FNeg => 3,
+            FMul | FMulAddImm => 4,
+            IDiv | IRem => 12,
+            FDiv => 16,
+            Load | Store => 2,
+        }
+    }
+
+    /// Whether this operation may only be configured onto a memory object.
+    pub fn is_memory_op(self) -> bool {
+        matches!(self, Operation::Load | Operation::Store)
+    }
+
+    /// Evaluates the operation.
+    ///
+    /// `lhs`/`rhs` are the value operands (ignored beyond [`Self::arity`]),
+    /// `imm` is the immediate from the local configuration. Steering and
+    /// memory operations are *not* evaluated here — they need port/memory
+    /// context and are handled by the datapath engine — and return `None`.
+    pub fn eval(self, lhs: Word, rhs: Word, imm: Word) -> Option<Word> {
+        use Operation::*;
+        let w = |v: u64| Some(Word(v));
+        let i = |v: i64| Some(Word::from_i64(v));
+        let f = |v: f64| Some(Word::from_f64(v));
+        let b = |v: bool| Some(Word::from_bool(v));
+        match self {
+            IAdd => w(lhs.0.wrapping_add(rhs.0)),
+            ISub => w(lhs.0.wrapping_sub(rhs.0)),
+            IMul => w(lhs.0.wrapping_mul(rhs.0)),
+            IDiv => i(if rhs.as_i64() == 0 {
+                0
+            } else {
+                lhs.as_i64().wrapping_div(rhs.as_i64())
+            }),
+            IRem => i(if rhs.as_i64() == 0 {
+                0
+            } else {
+                lhs.as_i64().wrapping_rem(rhs.as_i64())
+            }),
+            IAnd => w(lhs.0 & rhs.0),
+            IOr => w(lhs.0 | rhs.0),
+            IXor => w(lhs.0 ^ rhs.0),
+            INot => w(!lhs.0),
+            IShl => w(lhs.0.wrapping_shl(rhs.0 as u32)),
+            IShr => w(lhs.0.wrapping_shr(rhs.0 as u32)),
+            ISar => i(lhs.as_i64().wrapping_shr(rhs.0 as u32)),
+            ICmpLt => b(lhs.as_i64() < rhs.as_i64()),
+            ICmpEq => b(lhs.0 == rhs.0),
+            ICmpGt => b(lhs.as_i64() > rhs.as_i64()),
+            IMin => i(lhs.as_i64().min(rhs.as_i64())),
+            IMax => i(lhs.as_i64().max(rhs.as_i64())),
+            FAdd => f(lhs.as_f64() + rhs.as_f64()),
+            FSub => f(lhs.as_f64() - rhs.as_f64()),
+            FMul => f(lhs.as_f64() * rhs.as_f64()),
+            FDiv => f(lhs.as_f64() / rhs.as_f64()),
+            FNeg => f(-lhs.as_f64()),
+            FCmpLt => b(lhs.as_f64() < rhs.as_f64()),
+            FMulAddImm => f(lhs.as_f64() * rhs.as_f64() + imm.as_f64()),
+            Const => Some(imm),
+            Pass => Some(lhs),
+            AddImm => w(lhs.0.wrapping_add(imm.0)),
+            MulImm => w(lhs.0.wrapping_mul(imm.0)),
+            Merge => Some(lhs),
+            SteerTrue | SteerFalse | Load | Store => None,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// All operations, for exhaustive sweeps in tests and benches.
+pub const ALL_OPERATIONS: &[Operation] = &[
+    Operation::IAdd,
+    Operation::ISub,
+    Operation::IMul,
+    Operation::IDiv,
+    Operation::IRem,
+    Operation::IAnd,
+    Operation::IOr,
+    Operation::IXor,
+    Operation::INot,
+    Operation::IShl,
+    Operation::IShr,
+    Operation::ISar,
+    Operation::ICmpLt,
+    Operation::ICmpEq,
+    Operation::ICmpGt,
+    Operation::IMin,
+    Operation::IMax,
+    Operation::FAdd,
+    Operation::FSub,
+    Operation::FMul,
+    Operation::FDiv,
+    Operation::FNeg,
+    Operation::FCmpLt,
+    Operation::FMulAddImm,
+    Operation::Const,
+    Operation::Pass,
+    Operation::AddImm,
+    Operation::MulImm,
+    Operation::SteerTrue,
+    Operation::SteerFalse,
+    Operation::Merge,
+    Operation::Load,
+    Operation::Store,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic() {
+        let w = |v: i64| Word::from_i64(v);
+        assert_eq!(Operation::IAdd.eval(w(2), w(3), Word::ZERO), Some(w(5)));
+        assert_eq!(Operation::ISub.eval(w(2), w(3), Word::ZERO), Some(w(-1)));
+        assert_eq!(Operation::IMul.eval(w(-4), w(3), Word::ZERO), Some(w(-12)));
+        assert_eq!(Operation::IDiv.eval(w(7), w(2), Word::ZERO), Some(w(3)));
+        assert_eq!(Operation::IRem.eval(w(7), w(2), Word::ZERO), Some(w(1)));
+        assert_eq!(Operation::IMin.eval(w(-1), w(1), Word::ZERO), Some(w(-1)));
+        assert_eq!(Operation::IMax.eval(w(-1), w(1), Word::ZERO), Some(w(1)));
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        let w = |v: i64| Word::from_i64(v);
+        assert_eq!(Operation::IDiv.eval(w(7), w(0), Word::ZERO), Some(w(0)));
+        assert_eq!(Operation::IRem.eval(w(7), w(0), Word::ZERO), Some(w(0)));
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        assert_eq!(
+            Operation::IAdd.eval(Word(u64::MAX), Word(1), Word::ZERO),
+            Some(Word(0))
+        );
+        assert_eq!(
+            Operation::IDiv.eval(Word::from_i64(i64::MIN), Word::from_i64(-1), Word::ZERO),
+            Some(Word::from_i64(i64::MIN)) // wrapping_div semantics
+        );
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let f = |v: f64| Word::from_f64(v);
+        assert_eq!(
+            Operation::FAdd.eval(f(1.5), f(2.5), Word::ZERO),
+            Some(f(4.0))
+        );
+        assert_eq!(
+            Operation::FMul.eval(f(3.0), f(-2.0), Word::ZERO),
+            Some(f(-6.0))
+        );
+        assert_eq!(
+            Operation::FMulAddImm.eval(f(3.0), f(2.0), f(1.0)),
+            Some(f(7.0))
+        );
+        assert_eq!(
+            Operation::FCmpLt.eval(f(1.0), f(2.0), Word::ZERO),
+            Some(Word::TRUE)
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(
+            Operation::IShl.eval(Word(1), Word(65), Word::ZERO),
+            Some(Word(2))
+        );
+        assert_eq!(
+            Operation::ISar.eval(Word::from_i64(-8), Word(1), Word::ZERO),
+            Some(Word::from_i64(-4))
+        );
+    }
+
+    #[test]
+    fn comparisons_are_canonical_predicates() {
+        let w = |v: i64| Word::from_i64(v);
+        assert_eq!(
+            Operation::ICmpLt.eval(w(-5), w(3), Word::ZERO),
+            Some(Word::TRUE)
+        );
+        assert_eq!(
+            Operation::ICmpGt.eval(w(-5), w(3), Word::ZERO),
+            Some(Word::FALSE)
+        );
+        assert_eq!(
+            Operation::ICmpEq.eval(w(3), w(3), Word::ZERO),
+            Some(Word::TRUE)
+        );
+    }
+
+    #[test]
+    fn immediates() {
+        assert_eq!(
+            Operation::Const.eval(Word::ZERO, Word::ZERO, Word(42)),
+            Some(Word(42))
+        );
+        assert_eq!(
+            Operation::AddImm.eval(Word(1), Word::ZERO, Word(41)),
+            Some(Word(42))
+        );
+        assert_eq!(
+            Operation::MulImm.eval(Word(6), Word::ZERO, Word(7)),
+            Some(Word(42))
+        );
+    }
+
+    #[test]
+    fn steering_and_memory_need_context() {
+        for op in [
+            Operation::SteerTrue,
+            Operation::SteerFalse,
+            Operation::Load,
+            Operation::Store,
+        ] {
+            assert_eq!(op.eval(Word(1), Word(2), Word(3)), None);
+        }
+    }
+
+    #[test]
+    fn arity_matches_eval_usage() {
+        // Every non-context operation with arity 0 must ignore lhs/rhs.
+        assert_eq!(
+            Operation::Const.eval(Word(9), Word(9), Word(1)),
+            Operation::Const.eval(Word(0), Word(0), Word(1))
+        );
+        // Unary ops must ignore rhs.
+        assert_eq!(
+            Operation::INot.eval(Word(0), Word(1), Word::ZERO),
+            Operation::INot.eval(Word(0), Word(7), Word::ZERO)
+        );
+    }
+
+    #[test]
+    fn categories_cover_table1_modules() {
+        use std::collections::HashSet;
+        let cats: HashSet<_> = ALL_OPERATIONS.iter().map(|o| o.category()).collect();
+        assert!(cats.contains(&OpCategory::FloatMulAdd));
+        assert!(cats.contains(&OpCategory::FloatDiv));
+        assert!(cats.contains(&OpCategory::IntMulAlu));
+        assert!(cats.contains(&OpCategory::IntDiv));
+        assert!(cats.contains(&OpCategory::Register));
+        assert!(cats.contains(&OpCategory::Memory));
+    }
+
+    #[test]
+    fn latencies_are_positive_and_dividers_are_iterative() {
+        for op in ALL_OPERATIONS {
+            assert!(op.latency() >= 1, "{op} must take at least a cycle");
+        }
+        assert!(Operation::IDiv.latency() > Operation::IMul.latency());
+        assert!(Operation::FDiv.latency() > Operation::FMul.latency());
+    }
+
+    #[test]
+    fn memory_ops_flagged() {
+        assert!(Operation::Load.is_memory_op());
+        assert!(Operation::Store.is_memory_op());
+        assert!(!Operation::IAdd.is_memory_op());
+    }
+
+    #[test]
+    fn predicate_usage() {
+        assert!(Operation::SteerTrue.uses_predicate());
+        assert!(Operation::SteerFalse.uses_predicate());
+        assert!(!Operation::Merge.uses_predicate());
+    }
+}

@@ -1,0 +1,134 @@
+//! The 64-bit machine word that flows through configured datapaths.
+//!
+//! The paper's physical object is a 64-bit fabric (Table 1: 64b fMul/fAdd,
+//! fDiv, iMul + iALU/shift, iDiv, six 64-bit registers). A [`Word`] is the
+//! raw 64-bit payload; integer and floating-point views are bit-casts, just
+//! as they would be on a shared register file.
+
+use std::fmt;
+
+/// A 64-bit value exchanged between objects.
+///
+/// The interpretation (unsigned, signed, or IEEE-754 double) is decided by
+/// the operation consuming it, never by the word itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Word(pub u64);
+
+impl Word {
+    /// The all-zero word.
+    pub const ZERO: Word = Word(0);
+    /// Canonical boolean `true` (predicates produced by compare operations).
+    pub const TRUE: Word = Word(1);
+    /// Canonical boolean `false`.
+    pub const FALSE: Word = Word(0);
+
+    /// Builds a word from a signed 64-bit integer (two's complement).
+    #[inline]
+    pub fn from_i64(v: i64) -> Word {
+        Word(v as u64)
+    }
+
+    /// Builds a word from an IEEE-754 double (bit-cast).
+    #[inline]
+    pub fn from_f64(v: f64) -> Word {
+        Word(v.to_bits())
+    }
+
+    /// Reads the word as an unsigned integer.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reads the word as a signed integer (two's complement).
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Reads the word as an IEEE-754 double (bit-cast).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// Reads the word as a predicate: any non-zero value is `true`.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Builds a predicate word.
+    #[inline]
+    pub fn from_bool(v: bool) -> Word {
+        if v {
+            Word::TRUE
+        } else {
+            Word::FALSE
+        }
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Word {
+    fn from(v: u64) -> Word {
+        Word(v)
+    }
+}
+
+impl From<i64> for Word {
+    fn from(v: i64) -> Word {
+        Word::from_i64(v)
+    }
+}
+
+impl From<f64> for Word {
+    fn from(v: f64) -> Word {
+        Word::from_f64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42] {
+            assert_eq!(Word::from_i64(v).as_i64(), v);
+        }
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        for v in [0.0f64, -0.0, 1.5, -3.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(Word::from_f64(v).as_f64(), v);
+        }
+        assert!(Word::from_f64(f64::NAN).as_f64().is_nan());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Word::TRUE.as_bool());
+        assert!(!Word::FALSE.as_bool());
+        assert!(Word(0xdead_beef).as_bool());
+        assert_eq!(Word::from_bool(true), Word::TRUE);
+        assert_eq!(Word::from_bool(false), Word::FALSE);
+    }
+
+    #[test]
+    fn word_is_one_machine_word() {
+        assert_eq!(std::mem::size_of::<Word>(), 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the object model.
+
+use proptest::prelude::*;
+use vlsi_object::{
+    GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, MemoryBlock, ObjectId,
+    Operation, Word,
+};
+
+fn any_op() -> impl Strategy<Value = Operation> {
+    prop::sample::select(vlsi_object::op::ALL_OPERATIONS.to_vec())
+}
+
+proptest! {
+    /// Every operation is total: no input can make `eval` panic, and
+    /// context-free operations always produce a word.
+    #[test]
+    fn operations_are_total(op in any_op(), a: u64, b: u64, imm: u64) {
+        let out = op.eval(Word(a), Word(b), Word(imm));
+        let needs_context = op.uses_predicate() || op.is_memory_op();
+        prop_assert_eq!(out.is_none(), needs_context);
+    }
+
+    /// eval is a pure function: same inputs, same outputs (bit-exact, even
+    /// for NaN-producing float cases).
+    #[test]
+    fn operations_are_deterministic(op in any_op(), a: u64, b: u64, imm: u64) {
+        let x = op.eval(Word(a), Word(b), Word(imm)).map(|w| w.0);
+        let y = op.eval(Word(a), Word(b), Word(imm)).map(|w| w.0);
+        prop_assert_eq!(x, y);
+    }
+
+    /// Dependency distances match a naive recomputation that counts the
+    /// distinct IDs referenced since the previous reference.
+    #[test]
+    fn dependency_distance_matches_naive(
+        refs in prop::collection::vec((0u32..12, 0u32..12), 1..60)
+    ) {
+        let stream: GlobalConfigStream = refs
+            .iter()
+            .map(|&(sink, src)| GlobalConfigElement::unary(ObjectId(sink), ObjectId(src)))
+            .collect();
+        let flat: Vec<ObjectId> = stream
+            .elements()
+            .iter()
+            .flat_map(|e| e.referenced().collect::<Vec<_>>())
+            .collect();
+        let got = stream.dependency_distances();
+        prop_assert_eq!(got.len(), flat.len());
+        for (i, (id, dist)) in got.iter().enumerate() {
+            prop_assert_eq!(*id, flat[i]);
+            // Naive: find previous occurrence, count distinct IDs between.
+            let prev = flat[..i].iter().rposition(|x| x == id);
+            match prev {
+                None => prop_assert_eq!(*dist, None),
+                Some(p) => {
+                    let distinct: std::collections::HashSet<_> =
+                        flat[p + 1..i].iter().collect();
+                    prop_assert_eq!(*dist, Some(distinct.len()));
+                }
+            }
+        }
+    }
+
+    /// The LRU inclusion property: hits are monotone non-decreasing in
+    /// capacity — the foundation of the paper's stack-based replacement.
+    #[test]
+    fn hits_monotone_in_capacity(
+        refs in prop::collection::vec((0u32..16, 0u32..16), 1..80)
+    ) {
+        let stream: GlobalConfigStream = refs
+            .iter()
+            .map(|&(sink, src)| GlobalConfigElement::unary(ObjectId(sink), ObjectId(src)))
+            .collect();
+        let mut prev = 0usize;
+        for c in 0..20 {
+            let (hits, total) = stream.hit_count(c);
+            prop_assert!(hits >= prev);
+            prop_assert!(hits <= total);
+            prev = hits;
+        }
+        // At min_streaming_capacity, all reuse hits.
+        let c = stream.min_streaming_capacity();
+        let (hits, total) = stream.hit_count(c);
+        prop_assert_eq!(hits, total - stream.working_set().len());
+    }
+
+    /// Memory blocks are a word-addressable store: the last write wins.
+    #[test]
+    fn memory_last_write_wins(
+        writes in prop::collection::vec((0u64..8192, any::<u64>()), 1..50)
+    ) {
+        let mut m = MemoryBlock::new();
+        for &(a, v) in &writes {
+            m.store(a, Word(v)).unwrap();
+        }
+        let mut last = std::collections::HashMap::new();
+        for &(a, v) in &writes {
+            last.insert(a, v);
+        }
+        for (&a, &v) in &last {
+            prop_assert_eq!(m.load(a).unwrap(), Word(v));
+        }
+    }
+
+    /// Bind/unbind of a logical object preserves identity and register state
+    /// (virtual-hardware write-back round trip).
+    #[test]
+    fn bind_unbind_roundtrip(id: u32, init in prop::collection::vec(any::<u64>(), 0..6)) {
+        let lo = LogicalObject::compute(ObjectId(id), LocalConfig::op(Operation::IAdd))
+            .with_init(init.iter().map(|&v| Word(v)).collect());
+        let bound = vlsi_object::BoundObject::bind(lo.clone());
+        let back = bound.unbind();
+        prop_assert_eq!(back.id, lo.id);
+        // Written-back init is the full register file; prefix must match.
+        for (i, &v) in init.iter().enumerate() {
+            prop_assert_eq!(back.init[i], Word(v));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Cluster allocation: finding a free region for a resource request.
+//!
+//! §1's first benefit — "Application designers know the optimal amount of
+//! resources, and thus they should be able to control the reconfiguration"
+//! — means requests arrive as *counts*, not shapes. The allocator turns
+//! "give me `k` clusters" into a concrete free region: the squarest
+//! serpentine-prefix shape (full rows plus one partial row) that fits,
+//! scanned row-major across the chip. Serpentine prefixes always admit a
+//! linear stack path, so every allocation is gatherable by construction.
+//!
+//! §5 contrasts this with mesh tile processors where "a host system has
+//! to manage the placement, routing, replacement, and defragmentation";
+//! here the placement policy is this one deterministic function, and
+//! [`fragmentation`] measures how badly a chip's free space has decayed.
+
+use crate::cluster::ClusterGrid;
+use crate::coord::Coord;
+use crate::fold::serpentine;
+use crate::region::Region;
+
+/// Finds a free region of exactly `clusters` clusters, or `None`.
+///
+/// `is_free` reports whether a coordinate is allocatable (unowned,
+/// non-defective, on the chip). Candidate widths are tried squarest-first;
+/// anchors row-major — the first fit wins, so allocation is deterministic.
+pub fn find_region(
+    grid: &ClusterGrid,
+    clusters: usize,
+    mut is_free: impl FnMut(Coord) -> bool,
+) -> Option<Region> {
+    if clusters == 0 || clusters > grid.cluster_count() {
+        return None;
+    }
+    let gw = grid.width();
+    let gh = grid.height();
+    // Candidate widths, squarest first.
+    let ideal = (clusters as f64).sqrt();
+    let mut widths: Vec<u16> = (1..=gw.min(clusters as u16)).collect();
+    widths.sort_by(|&a, &b| {
+        (f64::from(a) - ideal)
+            .abs()
+            .partial_cmp(&(f64::from(b) - ideal).abs())
+            .unwrap()
+            .then(b.cmp(&a))
+    });
+    for w in widths {
+        let h = (clusters as u16).div_ceil(w);
+        if h > gh {
+            continue;
+        }
+        // Cells of the serpentine prefix within a w×h box.
+        let prefix: Vec<Coord> = serpentine(w, h)
+            .path()
+            .iter()
+            .take(clusters)
+            .copied()
+            .collect();
+        for y0 in 0..=(gh - h) {
+            'anchor: for x0 in 0..=(gw - w) {
+                for c in &prefix {
+                    let p = Coord::new(x0 + c.x, y0 + c.y);
+                    if !is_free(p) {
+                        continue 'anchor;
+                    }
+                }
+                return Some(Region::new(
+                    prefix.iter().map(|c| Coord::new(x0 + c.x, y0 + c.y)),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Free-space fragmentation in `[0, 1]`: 0 when the largest allocatable
+/// square region covers all free clusters, approaching 1 when free
+/// clusters exist but only tiny requests can be placed.
+pub fn fragmentation(grid: &ClusterGrid, mut is_free: impl FnMut(Coord) -> bool) -> f64 {
+    let free: Vec<Coord> = grid.coords().filter(|&c| is_free(c)).collect();
+    if free.is_empty() {
+        return 0.0;
+    }
+    // Largest k such that a k-cluster request still fits.
+    let mut best = 0usize;
+    let mut lo = 1usize;
+    let mut hi = free.len();
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        if find_region(grid, mid, |c| free.contains(&c)).is_some() {
+            best = mid;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    1.0 - best as f64 / free.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use std::collections::HashSet;
+
+    fn grid() -> ClusterGrid {
+        ClusterGrid::new(8, 8, Cluster::default())
+    }
+
+    #[test]
+    fn exact_squares_allocate_as_squares() {
+        let g = grid();
+        let r = find_region(&g, 16, |_| true).unwrap();
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.as_rect().map(|(_, w, h)| (w, h)), Some((4, 4)));
+        // And it's gatherable.
+        assert!(r.linear_path().is_ok());
+    }
+
+    #[test]
+    fn non_rect_counts_get_serpentine_prefixes() {
+        let g = grid();
+        for k in [1usize, 3, 5, 7, 11, 13, 23, 37] {
+            let r = find_region(&g, k, |_| true).unwrap_or_else(|| panic!("k={k} must allocate"));
+            assert_eq!(r.len(), k);
+            let f = r.linear_path().unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert!(f.max_hop_distance() <= 1);
+        }
+    }
+
+    #[test]
+    fn allocation_respects_occupancy() {
+        let g = grid();
+        // Occupy the left half.
+        let occupied: HashSet<Coord> = Region::rect(Coord::new(0, 0), 4, 8).cells().collect();
+        let r = find_region(&g, 16, |c| !occupied.contains(&c)).unwrap();
+        for c in r.cells() {
+            assert!(!occupied.contains(&c));
+        }
+    }
+
+    #[test]
+    fn oversized_requests_fail() {
+        let g = grid();
+        assert!(find_region(&g, 65, |_| true).is_none());
+        assert!(find_region(&g, 0, |_| true).is_none());
+        // Free space exists but no contiguous 9 fits in two 2x2 holes.
+        let holes: HashSet<Coord> = Region::rect(Coord::new(0, 0), 2, 2)
+            .union(&Region::rect(Coord::new(6, 6), 2, 2))
+            .cells()
+            .collect();
+        assert!(find_region(&g, 8, |c| holes.contains(&c)).is_none());
+        assert!(find_region(&g, 4, |c| holes.contains(&c)).is_some());
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let g = grid();
+        let a = find_region(&g, 6, |_| true).unwrap();
+        let b = find_region(&g, 6, |_| true).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let g = grid();
+        // Whole chip free: a 64-cluster request fits, fragmentation 0.
+        assert_eq!(fragmentation(&g, |_| true), 0.0);
+        // Checkerboard of free 1x1 holes: only 1-cluster requests fit.
+        let frag = fragmentation(&g, |c| (c.x + c.y) % 2 == 0);
+        assert!(frag > 0.9, "checkerboard fragmentation {frag}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Grid coordinates and directions.
+
+use std::fmt;
+
+/// A cluster coordinate on the chip grid. `x` grows eastward, `y` grows
+/// southward (row-major, row 0 at the top). `layer` selects the die in a
+/// 3D (chip-on-chip) stack — 0 for a planar chip.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Coord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+    /// Die layer (0 = bottom).
+    pub layer: u8,
+}
+
+impl Coord {
+    /// A planar (layer-0) coordinate.
+    pub fn new(x: u16, y: u16) -> Coord {
+        Coord { x, y, layer: 0 }
+    }
+
+    /// A coordinate on a stacked die.
+    pub fn on_layer(x: u16, y: u16, layer: u8) -> Coord {
+        Coord { x, y, layer }
+    }
+
+    /// Manhattan distance, counting a layer crossing as one hop (the 3D
+    /// stack switch of Figure 6(d)).
+    pub fn manhattan(self, other: Coord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        let dl = (self.layer as i32 - other.layer as i32).unsigned_abs();
+        dx + dy + dl
+    }
+
+    /// Whether `other` is one hop away (grid neighbour or directly
+    /// above/below through the die stack).
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// The neighbour in direction `d`, if it does not underflow.
+    pub fn step(self, d: Dir) -> Option<Coord> {
+        match d {
+            Dir::North => self.y.checked_sub(1).map(|y| Coord { y, ..self }),
+            Dir::South => Some(Coord {
+                y: self.y + 1,
+                ..self
+            }),
+            Dir::West => self.x.checked_sub(1).map(|x| Coord { x, ..self }),
+            Dir::East => Some(Coord {
+                x: self.x + 1,
+                ..self
+            }),
+            Dir::Up => Some(Coord {
+                layer: self.layer + 1,
+                ..self
+            }),
+            Dir::Down => self
+                .layer
+                .checked_sub(1)
+                .map(|layer| Coord { layer, ..self }),
+        }
+    }
+
+    /// The direction from `self` to an adjacent coordinate.
+    pub fn dir_to(self, other: Coord) -> Option<Dir> {
+        if !self.is_adjacent(other) {
+            return None;
+        }
+        Some(if other.x > self.x {
+            Dir::East
+        } else if other.x < self.x {
+            Dir::West
+        } else if other.y > self.y {
+            Dir::South
+        } else if other.y < self.y {
+            Dir::North
+        } else if other.layer > self.layer {
+            Dir::Up
+        } else {
+            Dir::Down
+        })
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.layer == 0 {
+            write!(f, "({},{})", self.x, self.y)
+        } else {
+            write!(f, "({},{},L{})", self.x, self.y, self.layer)
+        }
+    }
+}
+
+/// The six link directions of a (possibly die-stacked) cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dir {
+    /// Toward row 0.
+    North,
+    /// Away from row 0.
+    South,
+    /// Toward column max.
+    East,
+    /// Toward column 0.
+    West,
+    /// To the die above (Figure 6(d)).
+    Up,
+    /// To the die below.
+    Down,
+}
+
+impl Dir {
+    /// All directions.
+    pub const ALL: [Dir; 6] = [
+        Dir::North,
+        Dir::South,
+        Dir::East,
+        Dir::West,
+        Dir::Up,
+        Dir::Down,
+    ];
+
+    /// Dense index of the direction (for per-direction state arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::South => 1,
+            Dir::East => 2,
+            Dir::West => 3,
+            Dir::Up => 4,
+            Dir::Down => 5,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+            Dir::Up => Dir::Down,
+            Dir::Down => Dir::Up,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_and_adjacency() {
+        let a = Coord::new(1, 1);
+        assert_eq!(a.manhattan(Coord::new(4, 3)), 5);
+        assert!(a.is_adjacent(Coord::new(1, 2)));
+        assert!(a.is_adjacent(Coord::new(0, 1)));
+        assert!(!a.is_adjacent(Coord::new(2, 2)));
+        assert!(a.is_adjacent(Coord::on_layer(1, 1, 1)));
+    }
+
+    #[test]
+    fn step_and_dir_roundtrip() {
+        let c = Coord::on_layer(2, 2, 0);
+        for d in Dir::ALL {
+            if let Some(n) = c.step(d) {
+                assert_eq!(c.dir_to(n), Some(d));
+                assert_eq!(n.step(d.opposite()), Some(c));
+            }
+        }
+        // Underflows.
+        assert_eq!(Coord::new(0, 0).step(Dir::North), None);
+        assert_eq!(Coord::new(0, 0).step(Dir::West), None);
+        assert_eq!(Coord::new(0, 0).step(Dir::Down), None);
+    }
+
+    #[test]
+    fn dir_to_requires_adjacency() {
+        assert_eq!(Coord::new(0, 0).dir_to(Coord::new(2, 0)), None);
+        assert_eq!(Coord::new(0, 0).dir_to(Coord::new(0, 0)), None);
+    }
+
+    #[test]
+    fn opposites() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+}

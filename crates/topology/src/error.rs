@@ -1,0 +1,50 @@
+//! Errors of the topology layer.
+
+use crate::coord::Coord;
+use std::fmt;
+
+/// Errors raised while folding arrays or programming regions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TopologyError {
+    /// A coordinate fell outside the chip grid.
+    OutOfGrid(Coord),
+    /// A region was empty.
+    EmptyRegion,
+    /// A region was not connected.
+    Disconnected,
+    /// No linear path threads every cluster of the region.
+    NoLinearPath,
+    /// No closed (ring) path threads every cluster of the region.
+    NoRingPath,
+    /// A switch needed by the region is already owned by another region
+    /// (the reservation conflict wormhole configuration guards against).
+    SwitchConflict {
+        /// Where the conflict happened.
+        at: Coord,
+    },
+    /// Chain/unchain requested between non-adjacent clusters.
+    NotAdjacent(Coord, Coord),
+    /// The region/grid was too large for the path-search budget.
+    SearchBudgetExceeded,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::OutOfGrid(c) => write!(f, "coordinate {c} outside the grid"),
+            TopologyError::EmptyRegion => write!(f, "empty region"),
+            TopologyError::Disconnected => write!(f, "region is not connected"),
+            TopologyError::NoLinearPath => write!(f, "no linear path covers the region"),
+            TopologyError::NoRingPath => write!(f, "no ring path covers the region"),
+            TopologyError::SwitchConflict { at } => {
+                write!(f, "switch at {at} already owned by another region")
+            }
+            TopologyError::NotAdjacent(a, b) => {
+                write!(f, "clusters {a} and {b} are not adjacent")
+            }
+            TopologyError::SearchBudgetExceeded => write!(f, "path search budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,348 @@
+//! Programmable switches (Figure 6(b)/(c)) and the chip-wide switch fabric.
+//!
+//! Every cluster boundary carries two programmable networks:
+//!
+//! * the **unidirectional** stack-shift path (Figure 6(b)) — one inbound
+//!   and one outbound direction per cluster, forming the folded linear
+//!   array of the region;
+//! * the **bidirectional** chain network (Figure 6(c)) — per-direction
+//!   chain bits that splice the segmented CSD channels of adjacent
+//!   clusters together.
+//!
+//! "The default status of programmable switches is a 'unchained'" (§3.2).
+//! Scaling *is* programming these registers: "we can reconfigure the
+//! processor by storing the appropriate configuration data to appropriate
+//! switch" (§3.3) — no dedicated scaling instruction exists anywhere.
+//!
+//! Each switch also holds the **reservation flag** wormhole configuration
+//! stores "to avoid a resource (cluster) allocation conflict among the
+//! scaling configurations" (§3.3): a switch owned by one region rejects
+//! programming by any other region until released.
+
+use crate::coord::{Coord, Dir};
+use crate::error::TopologyError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of the region (scaled processor) owning a switch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RegionTag(pub u32);
+
+impl fmt::Display for RegionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region{}", self.0)
+    }
+}
+
+/// Programming registers of one cluster's switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SwitchState {
+    /// Direction the stack shift enters from (unidirectional network).
+    pub shift_in: Option<Dir>,
+    /// Direction the stack shift leaves toward.
+    pub shift_out: Option<Dir>,
+    /// Chain bits of the bidirectional network, indexed by [`Dir::index`].
+    pub chained: [bool; 6],
+    /// Reservation flag stored by wormhole configuration.
+    pub reserved_by: Option<RegionTag>,
+}
+
+impl SwitchState {
+    /// Whether any network is programmed.
+    pub fn is_programmed(&self) -> bool {
+        self.shift_in.is_some() || self.shift_out.is_some() || self.chained.iter().any(|&b| b)
+    }
+}
+
+/// The chip-wide collection of programmable switches.
+#[derive(Clone, Debug, Default)]
+pub struct SwitchFabric {
+    switches: HashMap<Coord, SwitchState>,
+    programming_stores: u64,
+}
+
+impl SwitchFabric {
+    /// A fabric with every switch in the default (unchained, unreserved)
+    /// state. Switch state is created lazily per coordinate.
+    pub fn new() -> SwitchFabric {
+        SwitchFabric::default()
+    }
+
+    /// The switch state at `c` (default state if never touched).
+    pub fn state(&self, c: Coord) -> SwitchState {
+        self.switches.get(&c).copied().unwrap_or_default()
+    }
+
+    /// The owner of the switch at `c`.
+    pub fn owner(&self, c: Coord) -> Option<RegionTag> {
+        self.state(c).reserved_by
+    }
+
+    /// Stores the reservation flag at `c` for `owner` — the per-switch
+    /// effect of a configuration worm passing through. Fails if another
+    /// region holds the switch.
+    pub fn reserve(&mut self, c: Coord, owner: RegionTag) -> Result<(), TopologyError> {
+        let s = self.switches.entry(c).or_default();
+        match s.reserved_by {
+            Some(o) if o != owner => Err(TopologyError::SwitchConflict { at: c }),
+            _ => {
+                s.reserved_by = Some(owner);
+                self.programming_stores += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Chains the bidirectional network between adjacent clusters `a` and
+    /// `b`. Both switches must be reserved by `owner`.
+    pub fn chain(&mut self, a: Coord, b: Coord, owner: RegionTag) -> Result<(), TopologyError> {
+        let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
+        for (c, dir) in [(a, d), (b, d.opposite())] {
+            if self.owner(c) != Some(owner) {
+                return Err(TopologyError::SwitchConflict { at: c });
+            }
+            self.switches.entry(c).or_default().chained[dir.index()] = true;
+            self.programming_stores += 1;
+        }
+        Ok(())
+    }
+
+    /// Unchains the bidirectional network between `a` and `b` (splitting).
+    pub fn unchain(&mut self, a: Coord, b: Coord) -> Result<(), TopologyError> {
+        let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
+        for (c, dir) in [(a, d), (b, d.opposite())] {
+            self.switches.entry(c).or_default().chained[dir.index()] = false;
+            self.programming_stores += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether the chain network connects adjacent `a` and `b` (both ends
+    /// must be chained).
+    pub fn is_chained(&self, a: Coord, b: Coord) -> bool {
+        let Some(d) = a.dir_to(b) else { return false };
+        self.state(a).chained[d.index()] && self.state(b).chained[d.opposite().index()]
+    }
+
+    /// Programs the unidirectional stack-shift path along `path` (already
+    /// validated as hop-adjacent), plus the chain network between every
+    /// consecutive pair. `close_ring` additionally chains last → first
+    /// (Figure 5). All touched switches must be reserved by `owner` first.
+    pub fn program_path(
+        &mut self,
+        path: &[Coord],
+        owner: RegionTag,
+        close_ring: bool,
+    ) -> Result<(), TopologyError> {
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
+            if self.owner(a) != Some(owner) {
+                return Err(TopologyError::SwitchConflict { at: a });
+            }
+            if self.owner(b) != Some(owner) {
+                return Err(TopologyError::SwitchConflict { at: b });
+            }
+            self.switches.entry(a).or_default().shift_out = Some(d);
+            self.switches.entry(b).or_default().shift_in = Some(d.opposite());
+            self.programming_stores += 2;
+            self.chain(a, b, owner)?;
+        }
+        if close_ring && path.len() >= 3 {
+            let (last, first) = (*path.last().unwrap(), path[0]);
+            let d = last
+                .dir_to(first)
+                .ok_or(TopologyError::NotAdjacent(last, first))?;
+            self.switches.entry(last).or_default().shift_out = Some(d);
+            self.switches.entry(first).or_default().shift_in = Some(d.opposite());
+            self.programming_stores += 2;
+            self.chain(last, first, owner)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a decoded per-switch program at `c` — the effect of one
+    /// configuration worm's payload arriving at its target cluster. The
+    /// switch must already hold `owner`'s reservation flag (stored by the
+    /// same worm via [`reserve`](Self::reserve)).
+    pub fn apply_program(
+        &mut self,
+        c: Coord,
+        owner: RegionTag,
+        program: SwitchState,
+    ) -> Result<(), TopologyError> {
+        if self.owner(c) != Some(owner) {
+            return Err(TopologyError::SwitchConflict { at: c });
+        }
+        let s = self.switches.entry(c).or_default();
+        s.shift_in = program.shift_in;
+        s.shift_out = program.shift_out;
+        s.chained = program.chained;
+        self.programming_stores += 1;
+        Ok(())
+    }
+
+    /// Releases every switch owned by `owner`, restoring the default
+    /// state — the down-scale path ("clearing active state, turns to be a
+    /// release", §3.4).
+    pub fn release_owner(&mut self, owner: RegionTag) -> usize {
+        let mut released = 0;
+        for s in self.switches.values_mut() {
+            if s.reserved_by == Some(owner) {
+                *s = SwitchState::default();
+                released += 1;
+                self.programming_stores += 1;
+            }
+        }
+        released
+    }
+
+    /// Follows the programmed shift path from `start` (useful to recover
+    /// a region's linear order from switch state alone). Stops after
+    /// `limit` hops or when the path ends or loops back to `start`.
+    pub fn trace_shift_path(&self, start: Coord, limit: usize) -> Vec<Coord> {
+        let mut path = vec![start];
+        let mut cur = start;
+        for _ in 0..limit {
+            let Some(d) = self.state(cur).shift_out else {
+                break;
+            };
+            let Some(next) = cur.step(d) else { break };
+            if next == start {
+                break; // closed ring
+            }
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// Total programming-register stores performed — the paper's cost
+    /// currency for reconfiguration ("simply requires routing and storing
+    /// the data set", §5).
+    pub fn store_count(&self) -> u64 {
+        self.programming_stores
+    }
+
+    /// Coordinates whose switch deviates from the default state.
+    pub fn programmed_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.switches
+            .iter()
+            .filter(|(_, s)| s.is_programmed() || s.reserved_by.is_some())
+            .map(|(&c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: u16, y: u16) -> Coord {
+        Coord::new(x, y)
+    }
+
+    #[test]
+    fn default_is_unchained_and_unreserved() {
+        let f = SwitchFabric::new();
+        let s = f.state(c(3, 3));
+        assert!(!s.is_programmed());
+        assert_eq!(s.reserved_by, None);
+        assert!(!f.is_chained(c(0, 0), c(1, 0)));
+    }
+
+    #[test]
+    fn reservation_conflicts_detected() {
+        let mut f = SwitchFabric::new();
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        // Same owner re-reserves fine.
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        // Other owner rejected.
+        assert_eq!(
+            f.reserve(c(0, 0), RegionTag(2)),
+            Err(TopologyError::SwitchConflict { at: c(0, 0) })
+        );
+    }
+
+    #[test]
+    fn chain_requires_reservation_and_adjacency() {
+        let mut f = SwitchFabric::new();
+        assert!(matches!(
+            f.chain(c(0, 0), c(2, 0), RegionTag(1)),
+            Err(TopologyError::NotAdjacent(_, _))
+        ));
+        assert!(matches!(
+            f.chain(c(0, 0), c(1, 0), RegionTag(1)),
+            Err(TopologyError::SwitchConflict { .. })
+        ));
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        f.reserve(c(1, 0), RegionTag(1)).unwrap();
+        f.chain(c(0, 0), c(1, 0), RegionTag(1)).unwrap();
+        assert!(f.is_chained(c(0, 0), c(1, 0)));
+        assert!(f.is_chained(c(1, 0), c(0, 0)));
+    }
+
+    #[test]
+    fn unchain_splits() {
+        let mut f = SwitchFabric::new();
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        f.reserve(c(1, 0), RegionTag(1)).unwrap();
+        f.chain(c(0, 0), c(1, 0), RegionTag(1)).unwrap();
+        f.unchain(c(0, 0), c(1, 0)).unwrap();
+        assert!(!f.is_chained(c(0, 0), c(1, 0)));
+    }
+
+    #[test]
+    fn program_path_sets_shift_and_chain() {
+        let mut f = SwitchFabric::new();
+        let path = [c(0, 0), c(1, 0), c(1, 1)];
+        for &p in &path {
+            f.reserve(p, RegionTag(7)).unwrap();
+        }
+        f.program_path(&path, RegionTag(7), false).unwrap();
+        assert_eq!(f.state(c(0, 0)).shift_out, Some(Dir::East));
+        assert_eq!(f.state(c(1, 0)).shift_in, Some(Dir::West));
+        assert_eq!(f.state(c(1, 0)).shift_out, Some(Dir::South));
+        assert_eq!(f.state(c(1, 1)).shift_in, Some(Dir::North));
+        assert!(f.is_chained(c(0, 0), c(1, 0)));
+        assert_eq!(f.trace_shift_path(c(0, 0), 10), path.to_vec());
+    }
+
+    #[test]
+    fn ring_closes_the_path() {
+        let mut f = SwitchFabric::new();
+        let path = [c(0, 0), c(1, 0), c(1, 1), c(0, 1)];
+        for &p in &path {
+            f.reserve(p, RegionTag(1)).unwrap();
+        }
+        f.program_path(&path, RegionTag(1), true).unwrap();
+        assert!(f.is_chained(c(0, 1), c(0, 0)));
+        assert_eq!(f.state(c(0, 1)).shift_out, Some(Dir::North));
+        // The trace stops when it loops back to the start.
+        assert_eq!(f.trace_shift_path(c(0, 0), 100).len(), 4);
+    }
+
+    #[test]
+    fn release_owner_restores_defaults() {
+        let mut f = SwitchFabric::new();
+        let path = [c(0, 0), c(1, 0)];
+        for &p in &path {
+            f.reserve(p, RegionTag(1)).unwrap();
+        }
+        f.program_path(&path, RegionTag(1), false).unwrap();
+        assert_eq!(f.release_owner(RegionTag(1)), 2);
+        assert!(!f.state(c(0, 0)).is_programmed());
+        assert_eq!(f.owner(c(0, 0)), None);
+        // Another region can take the clusters now.
+        f.reserve(c(0, 0), RegionTag(2)).unwrap();
+    }
+
+    #[test]
+    fn programming_store_accounting() {
+        let mut f = SwitchFabric::new();
+        let before = f.store_count();
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        f.reserve(c(1, 0), RegionTag(1)).unwrap();
+        f.chain(c(0, 0), c(1, 0), RegionTag(1)).unwrap();
+        assert!(f.store_count() > before);
+    }
+}

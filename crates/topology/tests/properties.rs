@@ -1,0 +1,140 @@
+//! Property-based tests for folds, regions, and the switch fabric.
+
+use proptest::prelude::*;
+use vlsi_topology::switch::RegionTag;
+use vlsi_topology::{fold, Coord, Region, SwitchFabric};
+
+proptest! {
+    /// Every serpentine fold is a bijection with single-hop adjacency.
+    #[test]
+    fn serpentine_fold_properties(w in 1u16..12, h in 1u16..12) {
+        let f = fold::serpentine(w, h);
+        prop_assert_eq!(f.len(), w as usize * h as usize);
+        prop_assert!(f.max_hop_distance() <= 1);
+        for i in 0..f.len() {
+            prop_assert_eq!(f.index_of(f.coord_of(i).unwrap()), Some(i));
+        }
+    }
+
+    /// The die-stack fold covers both layers, keeps adjacency, and always
+    /// closes into a ring through the 3D switch.
+    #[test]
+    fn die_stack_fold_properties(w in 1u16..8, h in 1u16..8) {
+        let f = fold::die_stack(w, h);
+        prop_assert_eq!(f.len(), 2 * w as usize * h as usize);
+        prop_assert!(f.max_hop_distance() <= 1);
+        if f.len() >= 3 {
+            prop_assert!(f.closes_as_ring());
+        }
+    }
+
+    /// rect_ring yields a Hamiltonian cycle exactly when area is even and
+    /// both sides are >= 2.
+    #[test]
+    fn rect_ring_existence(w in 1u16..10, h in 1u16..10) {
+        match fold::rect_ring(w, h) {
+            Some(f) => {
+                prop_assert!(w >= 2 && h >= 2);
+                prop_assert_eq!((w as usize * h as usize) % 2, 0);
+                prop_assert_eq!(f.len(), w as usize * h as usize);
+                prop_assert!(f.max_hop_distance() <= 1);
+                prop_assert!(f.closes_as_ring());
+            }
+            None => {
+                prop_assert!(w < 2 || h < 2 || (w as usize * h as usize) % 2 == 1);
+            }
+        }
+    }
+
+    /// Any connected region grown by random accretion admits a linear path
+    /// or reports a clean error; when a path exists it covers the region
+    /// with unit hops.
+    #[test]
+    fn grown_regions_path_or_fail_clean(seed_cells in prop::collection::vec((0u16..6, 0u16..6), 1..14)) {
+        // Grow a connected blob: keep cells adjacent to what we have.
+        let mut cells = vec![Coord::new(seed_cells[0].0, seed_cells[0].1)];
+        for &(x, y) in &seed_cells[1..] {
+            let c = Coord::new(x, y);
+            if cells.iter().any(|&p| p.is_adjacent(c)) && !cells.contains(&c) {
+                cells.push(c);
+            }
+        }
+        let region = Region::new(cells.clone());
+        prop_assert!(region.is_connected());
+        if let Ok(f) = region.linear_path() {
+            prop_assert_eq!(f.len(), region.len());
+            prop_assert!(f.max_hop_distance() <= 1);
+            for &p in f.path() {
+                prop_assert!(region.contains(p));
+            }
+        }
+    }
+
+    /// Programming a region's path and releasing its owner restores every
+    /// switch to the default state (clean down-scale).
+    #[test]
+    fn program_release_roundtrip(w in 1u16..6, h in 1u16..6, ox in 0u16..4, oy in 0u16..4) {
+        let region = Region::rect(Coord::new(ox, oy), w, h);
+        let f = region.linear_path().unwrap();
+        let mut fabric = SwitchFabric::new();
+        let tag = RegionTag(1);
+        for &c in f.path() {
+            fabric.reserve(c, tag).unwrap();
+        }
+        fabric.program_path(f.path(), tag, false).unwrap();
+        // The shift path is recoverable from switch state alone.
+        let traced = fabric.trace_shift_path(f.path()[0], f.len() + 4);
+        prop_assert_eq!(traced, f.path().to_vec());
+        fabric.release_owner(tag);
+        prop_assert_eq!(fabric.programmed_coords().count(), 0);
+    }
+
+    /// The allocator always returns exactly-k connected, threadable
+    /// regions when the chip is empty, for every k that fits.
+    #[test]
+    fn allocator_regions_are_always_gatherable(k in 1usize..40) {
+        let grid = vlsi_topology::ClusterGrid::new(8, 8, vlsi_topology::Cluster::default());
+        let r = vlsi_topology::alloc::find_region(&grid, k, |_| true)
+            .expect("empty chip always fits");
+        prop_assert_eq!(r.len(), k);
+        prop_assert!(r.is_connected());
+        let f = r.linear_path().expect("allocator shapes always thread");
+        prop_assert!(f.max_hop_distance() <= 1);
+        for c in r.cells() {
+            prop_assert!(grid.contains(c));
+        }
+    }
+
+    /// Fragmentation is always in [0, 1] for random occupancy patterns.
+    #[test]
+    fn fragmentation_bounded(occupied in prop::collection::vec((0u16..8, 0u16..8), 0..40)) {
+        let grid = vlsi_topology::ClusterGrid::new(8, 8, vlsi_topology::Cluster::default());
+        let occ: std::collections::HashSet<Coord> = occupied
+            .into_iter()
+            .map(|(x, y)| Coord::new(x, y))
+            .collect();
+        let f = vlsi_topology::alloc::fragmentation(&grid, |c| !occ.contains(&c));
+        prop_assert!((0.0..=1.0).contains(&f), "{f}");
+    }
+
+    /// Two disjoint regions never conflict; overlapping regions always do.
+    #[test]
+    fn reservation_conflicts_iff_overlap(
+        ax in 0u16..5, ay in 0u16..5, aw in 1u16..4, ah in 1u16..4,
+        bx in 0u16..5, by in 0u16..5, bw in 1u16..4, bh in 1u16..4,
+    ) {
+        let a = Region::rect(Coord::new(ax, ay), aw, ah);
+        let b = Region::rect(Coord::new(bx, by), bw, bh);
+        let mut fabric = SwitchFabric::new();
+        for c in a.cells() {
+            fabric.reserve(c, RegionTag(1)).unwrap();
+        }
+        let mut conflicted = false;
+        for c in b.cells() {
+            if fabric.reserve(c, RegionTag(2)).is_err() {
+                conflicted = true;
+            }
+        }
+        prop_assert_eq!(conflicted, !a.is_disjoint(&b));
+    }
+}

@@ -1,0 +1,35 @@
+//! # vlsi-workloads — applications for the VLSI processor
+//!
+//! The paper motivates the architecture with three application shapes:
+//! streaming datapaths with large data dependency (§1, "a streaming
+//! application with a large (data) dependency will probably require more
+//! resources"), random datapath configurations with controllable locality
+//! (§2.6.2's evaluation workload), and control-flow programs partitioned
+//! into basic blocks mapped onto separate processors (§3.3, Figure 7).
+//!
+//! This crate builds all three as *data* — logical objects plus global
+//! configuration streams — that `vlsi-ap` and `vlsi-core` execute:
+//!
+//! * [`streaming`] — FIR filters, AXPY, reductions: linear dataflow
+//!   kernels with known closed-form results for verification;
+//! * [`randpath`] — random datapaths over object IDs with a locality
+//!   parameter (the Figure 3 generator lifted to real objects);
+//! * [`program`] — a miniature expression IR, the basic-block partitioner
+//!   of Figure 7(a)→(b), and a compiler from basic blocks to datapaths;
+//! * [`figure7`] — the paper's worked example, prebuilt.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figure7;
+pub mod ocode;
+pub mod optimizer;
+pub mod program;
+pub mod randpath;
+pub mod streaming;
+
+pub use ocode::{assemble, disassemble};
+pub use optimizer::optimize_stream;
+pub use program::{BasicBlock, BlockDatapath, Expr, Program, Stmt, Terminator};
+pub use randpath::RandomDatapath;
+pub use streaming::StreamKernel;

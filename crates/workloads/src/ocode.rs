@@ -1,0 +1,285 @@
+//! Object code: a textual interface to the VLSI processor.
+//!
+//! §1 poses the interface question directly: "Because an AP does not
+//! require an instruction-set architecture in its basic model, we need to
+//! investigate how to interface between the VLSI processor and its
+//! application." §2.4 adds that "the dependency distance can be observed
+//! by an object code showing the object IDs". This module is that object
+//! code: a line-oriented text form of logical objects plus the global
+//! configuration stream, with an assembler and a disassembler that
+//! round-trip.
+//!
+//! ```text
+//! # y = 3*x + 5 over an 8-element stream
+//! object 1000 load  init=0,0,8        # memory object, block 0, len 8
+//! object 0    mulimm imm=3
+//! object 1    addimm imm=5
+//! object 1001 store init=0,1,0        # memory object, block 1
+//! element 0    lhs=1000
+//! element 1    lhs=0
+//! element 1001 rhs=1
+//! ```
+
+use std::fmt::Write as _;
+use vlsi_object::{
+    GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation, Word,
+};
+
+/// Assembly errors, with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OcodeError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for OcodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for OcodeError {}
+
+fn op_name(op: Operation) -> String {
+    format!("{op:?}").to_lowercase()
+}
+
+fn parse_op(s: &str) -> Option<Operation> {
+    vlsi_object::op::ALL_OPERATIONS
+        .iter()
+        .copied()
+        .find(|&op| op_name(op) == s)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(neg) = s.strip_prefix('-') {
+        neg.parse::<i64>().ok().map(|v| (-v) as u64)
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+/// Assembles object-code text into installable objects and a stream.
+///
+/// ```
+/// let (objects, stream) = vlsi_workloads::assemble(
+///     "object 0 const imm=2\n\
+///      object 1 mulimm imm=21\n\
+///      element 1 lhs=0",
+/// )
+/// .unwrap();
+/// assert_eq!(objects.len(), 2);
+/// assert_eq!(stream.len(), 1);
+/// assert_eq!(stream.working_set().len(), 2);
+/// ```
+pub fn assemble(text: &str) -> Result<(Vec<LogicalObject>, GlobalConfigStream), OcodeError> {
+    let mut objects: Vec<LogicalObject> = Vec::new();
+    let mut stream = GlobalConfigStream::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let err = |message: String| OcodeError {
+            line: line_no,
+            message,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("object") => {
+                let id = tokens
+                    .next()
+                    .and_then(|t| t.parse::<u32>().ok())
+                    .ok_or_else(|| err("object needs a numeric ID".into()))?;
+                let op = tokens
+                    .next()
+                    .and_then(parse_op)
+                    .ok_or_else(|| err("unknown operation".into()))?;
+                let mut imm = Word::ZERO;
+                let mut init: Vec<Word> = Vec::new();
+                for t in tokens {
+                    if let Some(v) = t.strip_prefix("imm=") {
+                        imm = Word(parse_u64(v).ok_or_else(|| err(format!("bad imm '{v}'")))?);
+                    } else if let Some(v) = t.strip_prefix("init=") {
+                        init = v
+                            .split(',')
+                            .map(|x| {
+                                parse_u64(x)
+                                    .map(Word)
+                                    .ok_or_else(|| err(format!("bad init word '{x}'")))
+                            })
+                            .collect::<Result<_, _>>()?;
+                    } else {
+                        return Err(err(format!("unexpected token '{t}'")));
+                    }
+                }
+                let obj = if op.is_memory_op() {
+                    LogicalObject::memory(ObjectId(id), LocalConfig::with_imm(op, imm))
+                } else {
+                    LogicalObject::compute(ObjectId(id), LocalConfig::with_imm(op, imm))
+                }
+                .with_init(init);
+                if objects.iter().any(|o| o.id == obj.id) {
+                    return Err(err(format!("duplicate object {id}")));
+                }
+                objects.push(obj);
+            }
+            Some("element") => {
+                let sink = tokens
+                    .next()
+                    .and_then(|t| t.parse::<u32>().ok())
+                    .ok_or_else(|| err("element needs a numeric sink ID".into()))?;
+                let mut e = GlobalConfigElement::nullary(ObjectId(sink));
+                for t in tokens {
+                    let (port, v) = t
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("expected port=id, got '{t}'")))?;
+                    let id = v
+                        .parse::<u32>()
+                        .map(ObjectId)
+                        .map_err(|_| err(format!("bad object ID '{v}'")))?;
+                    match port {
+                        "lhs" => e.src_lhs = Some(id),
+                        "rhs" => e.src_rhs = Some(id),
+                        "pred" => e.src_pred = Some(id),
+                        _ => return Err(err(format!("unknown port '{port}'"))),
+                    }
+                }
+                stream.push(e);
+            }
+            Some(other) => {
+                return Err(err(format!(
+                    "expected 'object' or 'element', got '{other}'"
+                )))
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    // Every referenced object must be declared.
+    for (i, e) in stream.elements().iter().enumerate() {
+        for id in e.referenced() {
+            if !objects.iter().any(|o| o.id == id) {
+                return Err(OcodeError {
+                    line: 0,
+                    message: format!("element {i} references undeclared object {id}"),
+                });
+            }
+        }
+    }
+    Ok((objects, stream))
+}
+
+/// Renders objects and a stream back to object-code text (assembles to an
+/// identical program).
+pub fn disassemble(objects: &[LogicalObject], stream: &GlobalConfigStream) -> String {
+    let mut out = String::new();
+    for o in objects {
+        write!(out, "object {} {}", o.id.0, op_name(o.cfg.op)).unwrap();
+        if o.cfg.imm != Word::ZERO {
+            write!(out, " imm={}", o.cfg.imm.0).unwrap();
+        }
+        if !o.init.is_empty() {
+            let words: Vec<String> = o.init.iter().map(|w| w.0.to_string()).collect();
+            write!(out, " init={}", words.join(",")).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    for e in stream.elements() {
+        write!(out, "element {}", e.sink.0).unwrap();
+        if let Some(s) = e.src_lhs {
+            write!(out, " lhs={}", s.0).unwrap();
+        }
+        if let Some(s) = e.src_rhs {
+            write!(out, " rhs={}", s.0).unwrap();
+        }
+        if let Some(s) = e.src_pred {
+            write!(out, " pred={}", s.0).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AXPY: &str = r"
+# y = 3*x + 5 over an 8-element stream
+object 1000 load  init=0,0,8
+object 0    mulimm imm=3
+object 1    addimm imm=5
+object 1001 store init=0,1,0
+element 0    lhs=1000
+element 1    lhs=0
+element 1001 rhs=1
+";
+
+    #[test]
+    fn assembles_a_kernel() {
+        let (objects, stream) = assemble(AXPY).unwrap();
+        assert_eq!(objects.len(), 4);
+        assert_eq!(stream.len(), 3);
+        let load = objects.iter().find(|o| o.id == ObjectId(1000)).unwrap();
+        assert_eq!(load.cfg.op, Operation::Load);
+        assert_eq!(load.kind, vlsi_object::ObjectKind::Memory);
+        assert_eq!(load.init[2], Word(8));
+        let mul = objects.iter().find(|o| o.id == ObjectId(0)).unwrap();
+        assert_eq!(mul.cfg.imm, Word(3));
+        assert_eq!(stream.elements()[2].src_rhs, Some(ObjectId(1)));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (objects, stream) = assemble(AXPY).unwrap();
+        let text = disassemble(&objects, &stream);
+        let (objects2, stream2) = assemble(&text).unwrap();
+        assert_eq!(objects, objects2);
+        assert_eq!(stream, stream2);
+    }
+
+    #[test]
+    fn all_operations_roundtrip_names() {
+        for &op in vlsi_object::op::ALL_OPERATIONS {
+            assert_eq!(parse_op(&op_name(op)), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn error_reporting_with_lines() {
+        let e = assemble("object 0 iadd\nelemen 1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("elemen"));
+
+        let e = assemble("object 0 frobnicate").unwrap_err();
+        assert!(e.message.contains("unknown operation"));
+
+        let e = assemble("object 0 iadd\nobject 0 isub").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = assemble("element 5 lhs=6").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+
+        let e = assemble("object 0 iadd\nelement 0 bogus=1").unwrap_err();
+        assert!(e.message.contains("port"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let (objects, _) = assemble("object 0 const imm=0xff\nobject 1 const imm=-2").unwrap();
+        assert_eq!(objects[0].cfg.imm, Word(0xff));
+        assert_eq!(objects[1].cfg.imm, Word::from_i64(-2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (objects, stream) = assemble("\n# nothing\nobject 0 pass # trailing\n\n").unwrap();
+        assert_eq!(objects.len(), 1);
+        assert!(stream.is_empty());
+    }
+}

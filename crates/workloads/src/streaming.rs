@@ -1,0 +1,364 @@
+//! Streaming dataflow kernels.
+//!
+//! Each kernel builds the logical objects and global configuration stream
+//! of a classic streaming datapath, together with a reference function for
+//! verification. Kernels read their input stream from memory object
+//! [`StreamKernel::LOAD_ID`] (block 0) and write results through memory
+//! object [`StreamKernel::STORE_ID`] (block 1), matching the load/store
+//! stream model of `vlsi-ap`.
+
+use vlsi_object::{
+    GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation, Word,
+};
+
+/// A built kernel: objects to install, the stream to configure, and the
+/// number of elements it consumes/produces.
+#[derive(Clone, Debug)]
+pub struct StreamKernel {
+    /// Human-readable kernel name.
+    pub name: &'static str,
+    /// Logical objects (compute + the two memory stream objects).
+    pub objects: Vec<LogicalObject>,
+    /// The datapath's global configuration stream.
+    pub stream: GlobalConfigStream,
+    /// Input elements consumed from block 0.
+    pub input_len: u64,
+    /// Output elements produced into block 1.
+    pub output_len: u64,
+}
+
+impl StreamKernel {
+    /// ID of the load-stream memory object (reads block 0).
+    pub const LOAD_ID: ObjectId = ObjectId(1000);
+    /// ID of the store-stream memory object (writes block 1).
+    pub const STORE_ID: ObjectId = ObjectId(1001);
+
+    fn load_object(len: u64) -> LogicalObject {
+        LogicalObject::memory(Self::LOAD_ID, LocalConfig::op(Operation::Load)).with_init(vec![
+            Word(0),
+            Word(0),
+            Word(len),
+        ])
+    }
+
+    fn store_object() -> LogicalObject {
+        LogicalObject::memory(Self::STORE_ID, LocalConfig::op(Operation::Store)).with_init(vec![
+            Word(0),
+            Word(1),
+            Word(0),
+        ])
+    }
+
+    fn store_element(src: ObjectId) -> GlobalConfigElement {
+        GlobalConfigElement {
+            sink: Self::STORE_ID,
+            src_lhs: None,
+            src_rhs: Some(src),
+            src_pred: None,
+        }
+    }
+
+    /// `y[i] = a * x[i] + b` — the scalar AXPY stream.
+    ///
+    /// Two compute objects: a multiplier and an adder, chained behind the
+    /// load stream.
+    pub fn axpy(a: u64, b: u64, len: u64) -> StreamKernel {
+        let mul = ObjectId(0);
+        let add = ObjectId(1);
+        let objects = vec![
+            LogicalObject::compute(mul, LocalConfig::with_imm(Operation::MulImm, Word(a))),
+            LogicalObject::compute(add, LocalConfig::with_imm(Operation::AddImm, Word(b))),
+            Self::load_object(len),
+            Self::store_object(),
+        ];
+        let stream: GlobalConfigStream = [
+            GlobalConfigElement::unary(mul, Self::LOAD_ID),
+            GlobalConfigElement::unary(add, mul),
+            Self::store_element(add),
+        ]
+        .into_iter()
+        .collect();
+        StreamKernel {
+            name: "axpy",
+            objects,
+            stream,
+            input_len: len,
+            output_len: len,
+        }
+    }
+
+    /// Reference for [`axpy`](Self::axpy).
+    pub fn axpy_reference(a: u64, b: u64, xs: &[u64]) -> Vec<u64> {
+        xs.iter()
+            .map(|&x| x.wrapping_mul(a).wrapping_add(b))
+            .collect()
+    }
+
+    /// An `n`-stage integer pipeline: `y = ((x + c1) + c2) + … + cn`,
+    /// exercising long linear chains ("large (data) dependency" streams).
+    pub fn chain(constants: &[u64], len: u64) -> StreamKernel {
+        assert!(!constants.is_empty());
+        let mut objects = vec![Self::load_object(len), Self::store_object()];
+        let mut elements = Vec::new();
+        let mut prev = Self::LOAD_ID;
+        for (i, &c) in constants.iter().enumerate() {
+            let id = ObjectId(i as u32);
+            objects.push(LogicalObject::compute(
+                id,
+                LocalConfig::with_imm(Operation::AddImm, Word(c)),
+            ));
+            elements.push(GlobalConfigElement::unary(id, prev));
+            prev = id;
+        }
+        elements.push(Self::store_element(prev));
+        StreamKernel {
+            name: "chain",
+            objects,
+            stream: elements.into_iter().collect(),
+            input_len: len,
+            output_len: len,
+        }
+    }
+
+    /// Reference for [`chain`](Self::chain).
+    pub fn chain_reference(constants: &[u64], xs: &[u64]) -> Vec<u64> {
+        xs.iter()
+            .map(|&x| constants.iter().fold(x, |acc, &c| acc.wrapping_add(c)))
+            .collect()
+    }
+
+    /// A 3-tap FIR-like kernel over a *delayed* stream:
+    /// `y[i] = c0*x[i] + c1*x[i] + c2*x[i]` computed as a fan-out of the
+    /// load stream into three multipliers reduced by two adders. (True
+    /// sample delays need per-object state; the fan-out/reduce shape is
+    /// what exercises the chaining fabric.)
+    pub fn fanout_reduce(c: [u64; 3], len: u64) -> StreamKernel {
+        let m: [ObjectId; 3] = [ObjectId(0), ObjectId(1), ObjectId(2)];
+        let add0 = ObjectId(3);
+        let add1 = ObjectId(4);
+        let mut objects = vec![Self::load_object(len), Self::store_object()];
+        for (i, &coeff) in c.iter().enumerate() {
+            objects.push(LogicalObject::compute(
+                m[i],
+                LocalConfig::with_imm(Operation::MulImm, Word(coeff)),
+            ));
+        }
+        objects.push(LogicalObject::compute(
+            add0,
+            LocalConfig::op(Operation::IAdd),
+        ));
+        objects.push(LogicalObject::compute(
+            add1,
+            LocalConfig::op(Operation::IAdd),
+        ));
+        let stream: GlobalConfigStream = [
+            GlobalConfigElement::unary(m[0], Self::LOAD_ID),
+            GlobalConfigElement::unary(m[1], Self::LOAD_ID),
+            GlobalConfigElement::unary(m[2], Self::LOAD_ID),
+            GlobalConfigElement::binary(add0, m[0], m[1]),
+            GlobalConfigElement::binary(add1, add0, m[2]),
+            Self::store_element(add1),
+        ]
+        .into_iter()
+        .collect();
+        StreamKernel {
+            name: "fanout_reduce",
+            objects,
+            stream,
+            input_len: len,
+            output_len: len,
+        }
+    }
+
+    /// Reference for [`fanout_reduce`](Self::fanout_reduce).
+    pub fn fanout_reduce_reference(c: [u64; 3], xs: &[u64]) -> Vec<u64> {
+        xs.iter()
+            .map(|&x| {
+                x.wrapping_mul(c[0])
+                    .wrapping_add(x.wrapping_mul(c[1]))
+                    .wrapping_add(x.wrapping_mul(c[2]))
+            })
+            .collect()
+    }
+
+    /// Horner evaluation of a degree-`d` polynomial with coefficient 1 at
+    /// every term: `y = (((x·1 + 1)·x … ))` is not expressible without a
+    /// second stream of `x`, so the kernel computes the affine recurrence
+    /// `y = ((x·c₀ + c₁)·1 + c₂)…` — an alternating MulImm/AddImm chain,
+    /// the canonical serial-ILP counterpoint to [`wide_tree`](Self::wide_tree).
+    pub fn horner(coeffs: &[u64], len: u64) -> StreamKernel {
+        assert!(coeffs.len() >= 2);
+        let mut objects = vec![Self::load_object(len), Self::store_object()];
+        let mut elements = Vec::new();
+        let mut prev = Self::LOAD_ID;
+        for (i, &c) in coeffs.iter().enumerate() {
+            let id = ObjectId(i as u32);
+            let op = if i % 2 == 0 {
+                Operation::MulImm
+            } else {
+                Operation::AddImm
+            };
+            objects.push(LogicalObject::compute(
+                id,
+                LocalConfig::with_imm(op, Word(c)),
+            ));
+            elements.push(GlobalConfigElement::unary(id, prev));
+            prev = id;
+        }
+        elements.push(Self::store_element(prev));
+        StreamKernel {
+            name: "horner",
+            objects,
+            stream: elements.into_iter().collect(),
+            input_len: len,
+            output_len: len,
+        }
+    }
+
+    /// Reference for [`horner`](Self::horner).
+    pub fn horner_reference(coeffs: &[u64], xs: &[u64]) -> Vec<u64> {
+        xs.iter()
+            .map(|&x| {
+                coeffs.iter().enumerate().fold(x, |acc, (i, &c)| {
+                    if i % 2 == 0 {
+                        acc.wrapping_mul(c)
+                    } else {
+                        acc.wrapping_add(c)
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// A width-`w` multiply tree: the load stream fans out to `w`
+    /// multipliers whose products reduce through an adder tree into the
+    /// store stream. Sweeping `w` sweeps the datapath's intrinsic ILP.
+    pub fn wide_tree(w: usize, coeff_base: u64, len: u64) -> StreamKernel {
+        assert!(w >= 1);
+        let mut objects = vec![Self::load_object(len), Self::store_object()];
+        let mut elements = Vec::new();
+        let mut next_id = 0u32;
+        let mut fresh = |objects: &mut Vec<LogicalObject>, cfg: LocalConfig| {
+            let id = ObjectId(next_id);
+            next_id += 1;
+            objects.push(LogicalObject::compute(id, cfg));
+            id
+        };
+        // Fan-out: w multipliers off the load stream.
+        let mut layer: Vec<ObjectId> = (0..w)
+            .map(|i| {
+                let id = fresh(
+                    &mut objects,
+                    LocalConfig::with_imm(Operation::MulImm, Word(coeff_base + i as u64)),
+                );
+                elements.push(GlobalConfigElement::unary(id, Self::LOAD_ID));
+                id
+            })
+            .collect();
+        // Reduce: pairwise adder tree.
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    let id = fresh(&mut objects, LocalConfig::op(Operation::IAdd));
+                    elements.push(GlobalConfigElement::binary(id, pair[0], pair[1]));
+                    next.push(id);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        elements.push(Self::store_element(layer[0]));
+        StreamKernel {
+            name: "wide_tree",
+            objects,
+            stream: elements.into_iter().collect(),
+            input_len: len,
+            output_len: len,
+        }
+    }
+
+    /// Reference for [`wide_tree`](Self::wide_tree).
+    pub fn wide_tree_reference(w: usize, coeff_base: u64, xs: &[u64]) -> Vec<u64> {
+        xs.iter()
+            .map(|&x| {
+                (0..w)
+                    .map(|i| x.wrapping_mul(coeff_base + i as u64))
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .collect()
+    }
+
+    /// The compute working-set size (objects that must be resident to
+    /// stream).
+    pub fn compute_working_set(&self) -> usize {
+        self.objects
+            .iter()
+            .filter(|o| o.kind == vlsi_object::ObjectKind::Compute)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_shape() {
+        let k = StreamKernel::axpy(3, 5, 16);
+        assert_eq!(k.compute_working_set(), 2);
+        assert_eq!(k.stream.len(), 3);
+        assert_eq!(StreamKernel::axpy_reference(3, 5, &[1, 2]), vec![8, 11]);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let k = StreamKernel::chain(&[1, 2, 3], 8);
+        assert_eq!(k.compute_working_set(), 3);
+        // Working set must match min streaming capacity analytics.
+        assert!(k.stream.min_streaming_capacity() <= k.compute_working_set() + 2);
+        assert_eq!(StreamKernel::chain_reference(&[1, 2, 3], &[10]), vec![16]);
+    }
+
+    #[test]
+    fn fanout_reduce_shape() {
+        let k = StreamKernel::fanout_reduce([1, 2, 3], 4);
+        assert_eq!(k.compute_working_set(), 5);
+        assert_eq!(
+            StreamKernel::fanout_reduce_reference([1, 2, 3], &[10]),
+            vec![60]
+        );
+    }
+
+    #[test]
+    fn horner_shape_and_reference() {
+        let k = StreamKernel::horner(&[2, 3, 4], 8);
+        assert_eq!(k.compute_working_set(), 3);
+        // x=5: ((5*2)+3)*4 = 52.
+        assert_eq!(StreamKernel::horner_reference(&[2, 3, 4], &[5]), vec![52]);
+    }
+
+    #[test]
+    fn wide_tree_shapes() {
+        for w in [1usize, 2, 3, 4, 7, 8] {
+            let k = StreamKernel::wide_tree(w, 1, 4);
+            // w multipliers + (w - 1) adders.
+            assert_eq!(k.compute_working_set(), 2 * w - 1, "width {w}");
+        }
+        // Reference: x=2, w=3, coeffs 1,2,3 -> 2+4+6 = 12.
+        assert_eq!(StreamKernel::wide_tree_reference(3, 1, &[2]), vec![12]);
+    }
+
+    #[test]
+    fn kernels_use_the_conventional_memory_ids() {
+        for k in [
+            StreamKernel::axpy(1, 1, 1),
+            StreamKernel::chain(&[1], 1),
+            StreamKernel::fanout_reduce([1, 1, 1], 1),
+        ] {
+            assert!(k.objects.iter().any(|o| o.id == StreamKernel::LOAD_ID));
+            assert!(k.objects.iter().any(|o| o.id == StreamKernel::STORE_ID));
+        }
+    }
+}

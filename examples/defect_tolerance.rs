@@ -1,0 +1,87 @@
+//! Defect tolerance by re-fusing around a failed adaptive processor.
+//!
+//! ```text
+//! cargo run --example defect_tolerance
+//! ```
+//!
+//! The introduction's scenario: "when four APs are used on chip … When a
+//! second AP fail[s], the first processor can become a small-scale
+//! processor, the third and fourth processors can be fused into the a
+//! medium-scale processor or split into two small-scale processors."
+
+use vlsi_processor::core::VlsiChip;
+use vlsi_processor::topology::{Cluster, Coord, Region};
+
+fn main() {
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+
+    // Four 2x2 APs in a row (the paper's minimum-AP scale).
+    let regions: Vec<Region> = (0..4)
+        .map(|i| Region::rect(Coord::new(i * 2, 0), 2, 2))
+        .collect();
+    let ids: Vec<_> = regions
+        .iter()
+        .map(|r| chip.gather(r.clone()).unwrap().id)
+        .collect();
+    println!("gathered four minimum APs: {:?}", ids);
+    println!("{}", chip.layout_text());
+    for id in &ids {
+        let p = chip.processor(*id).unwrap();
+        println!(
+            "  {}: {} clusters = {}+{} objects",
+            id,
+            p.scale(),
+            p.ap.config().compute_objects,
+            p.ap.config().memory_objects
+        );
+    }
+
+    // The second AP fails: release it and mark its clusters defective so
+    // no future gather touches them.
+    let failed = ids[1];
+    println!("\nAP {failed} fails — excising its clusters from the resource pool");
+    chip.release_processor(failed).unwrap();
+    for c in regions[1].cells() {
+        chip.mark_defective(c);
+    }
+    // Gathering over the defect is rejected.
+    let err = chip
+        .gather(Region::rect(Coord::new(0, 0), 8, 2))
+        .unwrap_err();
+    println!("gather across the defect correctly fails: {err}");
+
+    // The first processor stays a small-scale AP; the third and fourth
+    // fuse into a medium-scale processor.
+    let fused = chip.fuse(ids[2], ids[3]).unwrap();
+    let p = chip.processor(fused.id).unwrap();
+    println!(
+        "fused {} + {} -> {} ({} clusters, {}+{} objects, configured in {} NoC cycles)",
+        ids[2],
+        ids[3],
+        fused.id,
+        p.scale(),
+        p.ap.config().compute_objects,
+        p.ap.config().memory_objects,
+        fused.config_latency
+    );
+
+    // …or split back into two small-scale processors.
+    let halves = [
+        Region::rect(Coord::new(4, 0), 2, 2),
+        Region::rect(Coord::new(6, 0), 2, 2),
+    ];
+    let parts = chip.split(fused.id, &halves).unwrap();
+    println!(
+        "split {} back into {} and {}",
+        fused.id, parts[0].id, parts[1].id
+    );
+    println!("\nfinal floorplan ('#' = quarantined defects):");
+    println!("{}", chip.layout_text());
+    println!(
+        "surviving processors: {}, free clusters: {} (4 quarantined as defective)",
+        chip.processors().count(),
+        chip.free_clusters()
+    );
+    assert_eq!(chip.processors().count(), 3);
+    assert_eq!(chip.free_clusters(), 64 - 3 * 4 - 4);
+}

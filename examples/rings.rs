@@ -1,0 +1,63 @@
+//! Rings on the S-topology (Figure 5) and the die-stacked fold
+//! (Figure 6(d)).
+//!
+//! ```text
+//! cargo run --example rings
+//! ```
+
+use vlsi_processor::core::VlsiChip;
+use vlsi_processor::topology::{fold, Cluster, Coord, Region};
+
+fn main() {
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+
+    // Figure 5 shows several rectangular rings coexisting on one chip.
+    let rings = [
+        Region::rect(Coord::new(0, 0), 4, 2),
+        Region::rect(Coord::new(0, 4), 2, 4),
+        Region::rect(Coord::new(4, 2), 4, 4),
+    ];
+    for region in rings {
+        let out = chip.gather_ring(region.clone()).unwrap();
+        let p = chip.processor(out.id).unwrap();
+        println!(
+            "ring {}: {} clusters, fold closes: {}, worms {}, config latency {}",
+            out.id,
+            p.scale(),
+            p.fold.closes_as_ring(),
+            out.worms,
+            out.config_latency
+        );
+        assert!(p.fold.closes_as_ring());
+        // The programmed switches really form a cycle: tracing the shift
+        // path from the start returns to it after exactly |region| hops.
+        let start = p.fold.path()[0];
+        let traced = chip.fabric().trace_shift_path(start, 1000);
+        assert_eq!(traced.len(), p.scale());
+    }
+
+    // A hollow ring (donut) — an arbitrary shape per §3.1, on a fresh
+    // chip (the rings above already own most of this one).
+    let mut donut_chip = VlsiChip::new(8, 8, Cluster::default());
+    let mut cells: Vec<Coord> = Region::rect(Coord::new(2, 2), 3, 3).cells().collect();
+    cells.retain(|&c| c != Coord::new(3, 3));
+    let donut = Region::new(cells);
+    let out = donut_chip.gather_ring(donut).unwrap();
+    println!(
+        "donut {}: 8 clusters around a hole, fold closes: {}",
+        out.id,
+        donut_chip.processor(out.id).unwrap().fold.closes_as_ring()
+    );
+
+    // The 3D die-stack fold: a 4x4 array doubled across two dies, still
+    // with single-hop stack shifts, closing through the 3D switch.
+    let f = fold::die_stack(4, 4);
+    println!(
+        "die-stack fold: {} positions across 2 dies, max hop distance {}, ring: {}",
+        f.len(),
+        f.max_hop_distance(),
+        f.closes_as_ring()
+    );
+    assert_eq!(f.len(), 32);
+    assert_eq!(f.max_hop_distance(), 1);
+}

@@ -1,0 +1,14 @@
+//! # vlsi-processor — umbrella crate
+//!
+//! Re-exports the whole VLSI Processor reproduction behind one dependency.
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-paper-section inventory.
+
+pub use vlsi_ap as ap;
+pub use vlsi_core as core;
+pub use vlsi_cost as cost;
+pub use vlsi_csd as csd;
+pub use vlsi_noc as noc;
+pub use vlsi_object as object;
+pub use vlsi_topology as topology;
+pub use vlsi_workloads as workloads;

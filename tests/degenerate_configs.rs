@@ -1,0 +1,143 @@
+//! Integration: degenerate and hostile configurations fail cleanly, never
+//! panic.
+
+use vlsi_processor::ap::{AdaptiveProcessor, ApConfig, ApError};
+use vlsi_processor::core::{CoreError, VlsiChip};
+use vlsi_processor::csd::{CsdError, DynamicCsd};
+use vlsi_processor::noc::NocNetwork;
+use vlsi_processor::object::{
+    GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation,
+};
+use vlsi_processor::topology::{Cluster, Coord, Region};
+
+#[test]
+fn zero_channel_network_rejects_everything() {
+    let mut net = DynamicCsd::new(8, 0);
+    assert!(matches!(
+        net.connect(0, 5),
+        Err(CsdError::NoChannelAvailable { .. })
+    ));
+    assert_eq!(net.used_channels(), 0);
+}
+
+#[test]
+fn one_by_one_chip_works() {
+    let mut chip = VlsiChip::new(1, 1, Cluster::default());
+    let out = chip.gather(Region::rect(Coord::new(0, 0), 1, 1)).unwrap();
+    assert_eq!(out.worms, 1);
+    chip.activate(out.id).unwrap();
+    chip.deactivate(out.id).unwrap();
+    chip.release_processor(out.id).unwrap();
+    assert_eq!(chip.free_clusters(), 1);
+    // No room for anything bigger.
+    assert!(chip.gather_any(2).is_err());
+}
+
+#[test]
+fn tiny_ap_still_streams_tiny_datapaths() {
+    let mut ap = AdaptiveProcessor::new(ApConfig {
+        compute_objects: 2,
+        memory_objects: 0,
+        channels: 1,
+        ..ApConfig::default()
+    });
+    ap.install([
+        LogicalObject::compute(
+            ObjectId(0),
+            LocalConfig::with_imm(Operation::Const, vlsi_processor::object::Word(1)),
+        ),
+        LogicalObject::compute(
+            ObjectId(1),
+            LocalConfig::with_imm(Operation::AddImm, vlsi_processor::object::Word(1)),
+        ),
+    ])
+    .unwrap();
+    let stream: GlobalConfigStream = [GlobalConfigElement::unary(ObjectId(1), ObjectId(0))]
+        .into_iter()
+        .collect();
+    ap.configure(stream).unwrap();
+    let r = ap.execute(1, 10_000).unwrap();
+    assert_eq!(r.taps[&ObjectId(1)], vec![vlsi_processor::object::Word(2)]);
+}
+
+#[test]
+fn memory_object_in_stream_but_not_installed() {
+    let mut ap = AdaptiveProcessor::new(ApConfig::default());
+    ap.install([LogicalObject::compute(
+        ObjectId(1),
+        LocalConfig::op(Operation::Pass),
+    )])
+    .unwrap();
+    // Object 999 was never installed anywhere.
+    let stream: GlobalConfigStream = [GlobalConfigElement::unary(ObjectId(1), ObjectId(999))]
+        .into_iter()
+        .collect();
+    assert!(matches!(ap.configure(stream), Err(ApError::Object(_))));
+}
+
+#[test]
+fn all_clusters_defective_leaves_nothing_to_gather() {
+    let mut chip = VlsiChip::new(2, 2, Cluster::default());
+    for c in Region::rect(Coord::new(0, 0), 2, 2).cells() {
+        chip.mark_defective(c);
+    }
+    assert_eq!(chip.free_clusters(), 0);
+    assert!(matches!(
+        chip.gather(Region::rect(Coord::new(0, 0), 1, 1)),
+        Err(CoreError::DefectiveCluster(_))
+    ));
+    assert!(chip.gather_any(1).is_err());
+    assert_eq!(chip.fragmentation(), 0.0, "no free space, no fragmentation");
+}
+
+#[test]
+fn noc_of_width_one_routes_vertically() {
+    let mut net = NocNetwork::new(1, 8);
+    net.inject(Coord::new(0, 0), Coord::new(0, 7), vec![1, 2])
+        .unwrap();
+    net.run_until_drained(10_000).unwrap();
+    assert_eq!(net.take_delivered().len(), 1);
+}
+
+#[test]
+fn empty_mailbox_write_is_a_noop() {
+    let mut chip = VlsiChip::new(4, 4, Cluster::default());
+    let id = chip
+        .gather(Region::rect(Coord::new(0, 0), 1, 1))
+        .unwrap()
+        .id;
+    chip.write_mailbox(id, 0, 0, &[]).unwrap();
+    assert_eq!(chip.read_mailbox(id, 0, 0, 0).unwrap(), vec![]);
+}
+
+#[test]
+fn gather_any_zero_clusters_fails() {
+    let mut chip = VlsiChip::new(4, 4, Cluster::default());
+    assert!(chip.gather_any(0).is_err());
+}
+
+#[test]
+fn wsrf_overflow_detected_before_chaining() {
+    // A working set larger than the WSRF but within the stack capacity.
+    let mut ap = AdaptiveProcessor::new(ApConfig {
+        compute_objects: 16,
+        wsrf_entries: 3,
+        ..ApConfig::default()
+    });
+    let objects: Vec<LogicalObject> = (0..6u32)
+        .map(|i| {
+            LogicalObject::compute(
+                ObjectId(i),
+                LocalConfig::with_imm(Operation::AddImm, vlsi_processor::object::Word(1)),
+            )
+        })
+        .collect();
+    ap.install(objects).unwrap();
+    let stream: GlobalConfigStream = (1..6u32)
+        .map(|i| GlobalConfigElement::unary(ObjectId(i), ObjectId(i - 1)))
+        .collect();
+    assert!(matches!(
+        ap.configure(stream),
+        Err(ApError::WorkingSetExceedsWsrf { .. })
+    ));
+}

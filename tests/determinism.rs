@@ -1,0 +1,75 @@
+//! Integration: the whole stack is deterministic — identical seeds and
+//! inputs give bit-identical metrics and results across runs.
+
+use std::collections::HashMap;
+use vlsi_processor::core::{BlockExecutor, VlsiChip};
+use vlsi_processor::csd::CsdSimulator;
+use vlsi_processor::topology::{Cluster, Coord, Region};
+use vlsi_processor::workloads::{figure7, RandomDatapath, StreamKernel};
+
+fn full_scenario() -> (Vec<u64>, u64, u64, Vec<i64>) {
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    // Streaming kernel on one AP.
+    let id = chip
+        .gather(Region::rect(Coord::new(4, 4), 2, 2))
+        .unwrap()
+        .id;
+    let kernel = StreamKernel::axpy(3, 7, 16);
+    chip.install(id, kernel.objects.clone()).unwrap();
+    let xs: Vec<vlsi_processor::object::Word> =
+        (0..16u64).map(vlsi_processor::object::Word).collect();
+    chip.write_mailbox(id, 0, 0, &xs).unwrap();
+    chip.activate(id).unwrap();
+    let cfg = chip.configure(id, kernel.stream.clone()).unwrap();
+    let report = chip.execute(id, 0, 1_000_000).unwrap();
+    chip.deactivate(id).unwrap();
+    let outputs: Vec<u64> = chip
+        .read_mailbox(id, 1, 0, 16)
+        .unwrap()
+        .iter()
+        .map(|w| w.as_u64())
+        .collect();
+
+    // Partitioned program on four more APs.
+    let exec = BlockExecutor::deploy(&mut chip, figure7::program().partition()).unwrap();
+    let mut results = Vec::new();
+    for i in 0..6i64 {
+        let inputs = HashMap::from([("x".to_string(), i), ("y".to_string(), 3 - i)]);
+        let (env, _) = exec.run(&mut chip, &inputs).unwrap();
+        results.push(env[figure7::RESULT_VAR]);
+    }
+    (outputs, cfg.cycles, report.cycles, results)
+}
+
+#[test]
+fn chip_scenarios_are_deterministic() {
+    let a = full_scenario();
+    let b = full_scenario();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn csd_sweeps_are_deterministic() {
+    let sim = CsdSimulator::new(64, 64);
+    let a = sim.sweep_point(0.4, 10, 99);
+    let b = sim.sweep_point(0.4, 10, 99);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scalar_metrics_are_deterministic() {
+    use vlsi_processor::ap::{AdaptiveProcessor, ApConfig};
+    let run = || {
+        let gen = RandomDatapath {
+            n_objects: 20,
+            n_elements: 150,
+            locality: 0.3,
+            seed: 12345,
+        };
+        let mut ap = AdaptiveProcessor::new(ApConfig::default());
+        ap.install(gen.objects()).unwrap();
+        ap.execute_scalar(&gen.stream()).unwrap();
+        ap.metrics()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,170 @@
+//! Integration: streaming kernels on gathered processors, virtual
+//! hardware, and scaling under load.
+
+use vlsi_processor::core::{CoreError, VlsiChip};
+use vlsi_processor::object::Word;
+use vlsi_processor::topology::{Cluster, Coord, Region};
+use vlsi_processor::workloads::{RandomDatapath, StreamKernel};
+
+#[test]
+fn all_stream_kernels_verify_on_a_gathered_processor() {
+    let xs: Vec<u64> = (0..24).map(|i| i * 3 + 1).collect();
+    let cases: Vec<(StreamKernel, Vec<u64>)> = vec![
+        (
+            StreamKernel::axpy(7, 9, xs.len() as u64),
+            StreamKernel::axpy_reference(7, 9, &xs),
+        ),
+        (
+            StreamKernel::chain(&[1, 2, 3, 4, 5], xs.len() as u64),
+            StreamKernel::chain_reference(&[1, 2, 3, 4, 5], &xs),
+        ),
+        (
+            StreamKernel::fanout_reduce([2, 4, 8], xs.len() as u64),
+            StreamKernel::fanout_reduce_reference([2, 4, 8], &xs),
+        ),
+        (
+            StreamKernel::horner(&[3, 1, 2, 7], xs.len() as u64),
+            StreamKernel::horner_reference(&[3, 1, 2, 7], &xs),
+        ),
+        (
+            StreamKernel::wide_tree(4, 2, xs.len() as u64),
+            StreamKernel::wide_tree_reference(4, 2, &xs),
+        ),
+    ];
+    for (kernel, expect) in cases {
+        let mut chip = VlsiChip::new(4, 4, Cluster::default());
+        let id = chip
+            .gather(Region::rect(Coord::new(0, 0), 2, 2))
+            .unwrap()
+            .id;
+        chip.install(id, kernel.objects.clone()).unwrap();
+        let words: Vec<Word> = xs.iter().map(|&x| Word(x)).collect();
+        chip.write_mailbox(id, 0, 0, &words).unwrap();
+        chip.activate(id).unwrap();
+        chip.configure(id, kernel.stream.clone()).unwrap();
+        let report = chip.execute(id, 0, 1_000_000).unwrap();
+        assert_eq!(report.stores, expect.len() as u64, "{}", kernel.name);
+        chip.deactivate(id).unwrap();
+        let got = chip.read_mailbox(id, 1, 0, expect.len()).unwrap();
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(g.as_u64(), *e, "{}[{}]", kernel.name, i);
+        }
+    }
+}
+
+#[test]
+fn random_datapaths_configure_or_fail_cleanly_at_every_locality() {
+    // Fuzz the full configure path with the §2.6.2 generator. Datapaths
+    // whose working set fits must configure; all others must fail with
+    // the capacity error, never panic.
+    for locality in [0.0, 0.5, 1.0] {
+        for seed in 0..10 {
+            let gen = RandomDatapath {
+                n_objects: 12,
+                n_elements: 24,
+                locality,
+                seed,
+            };
+            let mut chip = VlsiChip::new(4, 4, Cluster::default());
+            let id = chip
+                .gather(Region::rect(Coord::new(0, 0), 2, 2))
+                .unwrap()
+                .id;
+            chip.install(id, gen.objects()).unwrap();
+            chip.activate(id).unwrap();
+            let stream = gen.stream();
+            use vlsi_processor::ap::ApError;
+            match chip.configure(id, stream.clone()) {
+                Ok(out) => {
+                    assert!(out.misses as usize <= 12);
+                }
+                // Routability exhaustion is a legitimate outcome the paper
+                // itself warns about ("the number of channels determines
+                // the routability", §6); anything else is a bug.
+                Err(CoreError::Ap(ApError::Csd(_))) => {}
+                Err(e) => panic!("locality {locality} seed {seed}: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn virtual_hardware_equivalence_on_chip() {
+    // The same chain computed streamed (on a big processor) and scalar
+    // (on a small one) gives identical results.
+    use vlsi_processor::object::{
+        GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation,
+    };
+    let stages = 30u32;
+    let objects: Vec<LogicalObject> = std::iter::once(LogicalObject::compute(
+        ObjectId(0),
+        LocalConfig::with_imm(Operation::Const, Word(5)),
+    ))
+    .chain((1..=stages).map(|i| {
+        LogicalObject::compute(
+            ObjectId(i),
+            LocalConfig::with_imm(Operation::AddImm, Word(u64::from(i))),
+        )
+    }))
+    .collect();
+    let stream: GlobalConfigStream = (1..=stages)
+        .map(|i| GlobalConfigElement::unary(ObjectId(i), ObjectId(i - 1)))
+        .collect();
+
+    // Big processor (3x3 clusters = 36 compute objects): streams.
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let big = chip
+        .gather(Region::rect(Coord::new(0, 0), 3, 3))
+        .unwrap()
+        .id;
+    chip.install(big, objects.clone()).unwrap();
+    chip.activate(big).unwrap();
+    chip.configure(big, stream.clone()).unwrap();
+    let report = chip.execute(big, 1, 1_000_000).unwrap();
+    let streamed = report.taps[&ObjectId(stages)][0];
+
+    // Small processor (1 cluster = 4 compute objects): virtual hardware.
+    let small = chip
+        .gather(Region::rect(Coord::new(4, 0), 1, 1))
+        .unwrap()
+        .id;
+    chip.install(small, objects).unwrap();
+    chip.activate(small).unwrap();
+    let scalar = chip.execute_scalar(small, &stream).unwrap();
+    assert_eq!(streamed, scalar[&ObjectId(stages)]);
+    // And it really swapped: more misses than the object count is only
+    // possible through replacement.
+    let m = chip.processor(small).unwrap().ap.metrics();
+    assert!(m.swap_outs > 0);
+}
+
+#[test]
+fn many_processors_run_concurrent_workloads() {
+    // Four independent APs on one chip, each running a different AXPY.
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let params: [(u64, u64); 4] = [(2, 1), (3, 5), (5, 0), (7, 7)];
+    let xs: Vec<u64> = (1..=8).collect();
+    let mut ids = Vec::new();
+    for (i, &(a, b)) in params.iter().enumerate() {
+        let origin = Coord::new((i as u16 % 4) * 2, (i as u16 / 4) * 2);
+        let id = chip.gather(Region::rect(origin, 2, 2)).unwrap().id;
+        let kernel = StreamKernel::axpy(a, b, xs.len() as u64);
+        chip.install(id, kernel.objects.clone()).unwrap();
+        let words: Vec<Word> = xs.iter().map(|&x| Word(x)).collect();
+        chip.write_mailbox(id, 0, 0, &words).unwrap();
+        chip.activate(id).unwrap();
+        chip.configure(id, kernel.stream.clone()).unwrap();
+        ids.push(id);
+    }
+    for (i, &(a, b)) in params.iter().enumerate() {
+        chip.execute(ids[i], 0, 1_000_000).unwrap();
+        chip.deactivate(ids[i]).unwrap();
+        let got = chip.read_mailbox(ids[i], 1, 0, xs.len()).unwrap();
+        let expect = StreamKernel::axpy_reference(a, b, &xs);
+        assert_eq!(
+            got.iter().map(|w| w.as_u64()).collect::<Vec<_>>(),
+            expect,
+            "processor {i}"
+        );
+    }
+}

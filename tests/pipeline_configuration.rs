@@ -1,0 +1,113 @@
+//! Integration: the Figure 1 configuration procedure across crates.
+//!
+//! Exercises the request → acknowledge → acquirement sequence end to end:
+//! the management pipeline (vlsi-ap) drives the object library
+//! (vlsi-object) and the dynamic CSD network (vlsi-csd), and the whole
+//! thing is observable through the WSRF and the network's route table.
+
+use vlsi_processor::ap::{AdaptiveProcessor, ApConfig};
+use vlsi_processor::object::{
+    GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation, Word,
+};
+
+fn diamond_stream() -> (Vec<LogicalObject>, GlobalConfigStream) {
+    // 0 (const) fans out to 1 and 2, which join at 3.
+    let objects = vec![
+        LogicalObject::compute(
+            ObjectId(0),
+            LocalConfig::with_imm(Operation::Const, Word(10)),
+        ),
+        LogicalObject::compute(
+            ObjectId(1),
+            LocalConfig::with_imm(Operation::AddImm, Word(1)),
+        ),
+        LogicalObject::compute(
+            ObjectId(2),
+            LocalConfig::with_imm(Operation::MulImm, Word(3)),
+        ),
+        LogicalObject::compute(ObjectId(3), LocalConfig::op(Operation::IAdd)),
+    ];
+    let stream: GlobalConfigStream = [
+        GlobalConfigElement::unary(ObjectId(1), ObjectId(0)),
+        GlobalConfigElement::unary(ObjectId(2), ObjectId(0)),
+        GlobalConfigElement::binary(ObjectId(3), ObjectId(1), ObjectId(2)),
+    ]
+    .into_iter()
+    .collect();
+    (objects, stream)
+}
+
+#[test]
+fn configuration_acquires_chains_and_wsrf_entries() {
+    let mut ap = AdaptiveProcessor::new(ApConfig::default());
+    let (objects, stream) = diamond_stream();
+    ap.install(objects).unwrap();
+    let out = ap.configure(stream).unwrap();
+
+    // Every object was a compulsory miss, loaded from the library.
+    assert_eq!(out.misses, 4);
+    assert_eq!(ap.library().load_count(), 4);
+    // All four are acquired in the WSRF…
+    assert_eq!(ap.wsrf().len(), 4);
+    // …and chained over the CSD network (4 producer->consumer edges).
+    assert_eq!(out.routes, 4);
+    assert_eq!(ap.csd().live_routes(), 4);
+    ap.csd().check_invariants().unwrap();
+
+    // The diamond executes: (10+1) + (10*3) = 41.
+    let report = ap.execute(1, 100_000).unwrap();
+    assert_eq!(report.taps[&ObjectId(3)], vec![Word(41)]);
+}
+
+#[test]
+fn release_tokens_free_chains_but_cache_objects() {
+    let mut ap = AdaptiveProcessor::new(ApConfig::default());
+    let (objects, stream) = diamond_stream();
+    ap.install(objects).unwrap();
+    ap.configure(stream.clone()).unwrap();
+    let report = ap.execute(1, 100_000).unwrap();
+    // Release tokens propagated source-first through the datapath.
+    assert_eq!(report.release_order[0], ObjectId(0));
+    assert!(report.release_tokens > 0);
+
+    ap.release();
+    assert_eq!(ap.csd().live_routes(), 0, "chains torn down");
+    assert_eq!(ap.wsrf().len(), 0, "acquirements cleared");
+    assert_eq!(ap.stack().len(), 4, "objects stay cached");
+
+    // The paper's §2.3 replay: requesting again hits every object.
+    let again = ap.configure(stream).unwrap();
+    assert_eq!(again.misses, 0);
+    assert!(again.hits > 0);
+}
+
+#[test]
+fn cache_miss_inserts_library_load_sequence() {
+    // Capacity 2 with a 4-object *scalar* trace: every new element faults,
+    // and the faults cost library loads + stack shifts.
+    let mut ap = AdaptiveProcessor::new(ApConfig {
+        compute_objects: 2,
+        ..ApConfig::default()
+    });
+    let objects: Vec<LogicalObject> = (0..4)
+        .map(|i| {
+            LogicalObject::compute(
+                ObjectId(i),
+                LocalConfig::with_imm(Operation::AddImm, Word(1)),
+            )
+        })
+        .collect();
+    ap.install(objects).unwrap();
+    let stream: GlobalConfigStream = (1..4)
+        .map(|i| GlobalConfigElement::unary(ObjectId(i), ObjectId(i - 1)))
+        .collect();
+    ap.execute_scalar(&stream).unwrap();
+    let m = ap.metrics();
+    assert!(m.object_misses >= 4);
+    assert!(m.swap_outs >= 2, "LRU victims written back");
+    assert_eq!(
+        ap.library().store_count(),
+        m.swap_outs,
+        "every swap-out is a library write-back"
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration: S-topology folds, switch programming, and the chip's view
+//! of both.
+
+use vlsi_processor::core::VlsiChip;
+use vlsi_processor::topology::{fold, Cluster, Coord, Region};
+
+#[test]
+fn every_gathered_fold_has_unit_hops() {
+    // The defining S-topology property survives the full gather path:
+    // whatever shape is gathered, consecutive stack slots are adjacent.
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let shapes = [
+        Region::rect(Coord::new(0, 0), 1, 1),
+        Region::rect(Coord::new(2, 0), 3, 2),
+        Region::new([
+            Coord::new(0, 2),
+            Coord::new(0, 3),
+            Coord::new(1, 3),
+            Coord::new(1, 4),
+            Coord::new(0, 4),
+        ]),
+        Region::rect(Coord::new(6, 6), 2, 2),
+    ];
+    for region in shapes {
+        let id = chip.gather(region).unwrap().id;
+        let p = chip.processor(id).unwrap();
+        assert!(p.fold.max_hop_distance() <= 1);
+        // Switch state is consistent with the fold: tracing reproduces it.
+        let traced = chip
+            .fabric()
+            .trace_shift_path(p.fold.path()[0], p.fold.len() + 2);
+        assert_eq!(traced, p.fold.path().to_vec());
+    }
+}
+
+#[test]
+fn stack_shift_direction_is_programmable_end_to_end() {
+    // Gather, then verify each cluster's unidirectional switch points at
+    // the next fold hop (Figure 6(b)).
+    let mut chip = VlsiChip::new(4, 4, Cluster::default());
+    let id = chip
+        .gather(Region::rect(Coord::new(0, 0), 4, 2))
+        .unwrap()
+        .id;
+    let fold_path = chip.processor(id).unwrap().fold.path().to_vec();
+    for w in fold_path.windows(2) {
+        let state = chip.fabric().state(w[0]);
+        let dir = w[0].dir_to(w[1]).unwrap();
+        assert_eq!(state.shift_out, Some(dir));
+        let next_state = chip.fabric().state(w[1]);
+        assert_eq!(next_state.shift_in, Some(dir.opposite()));
+        assert!(chip.fabric().is_chained(w[0], w[1]));
+    }
+}
+
+#[test]
+fn chip_scale_bookkeeping_matches_cost_model_minimum_ap() {
+    // A 2x2 gather of default clusters is exactly the cost model's AP:
+    // 16 physical objects + 16 memory blocks.
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let id = chip
+        .gather(Region::rect(Coord::new(0, 0), 2, 2))
+        .unwrap()
+        .id;
+    let cfg = *chip.processor(id).unwrap().ap.config();
+    let comp = vlsi_processor::cost::ApComposition::default();
+    assert_eq!(cfg.compute_objects as u32, comp.compute_objects);
+    assert_eq!(cfg.memory_objects as u32, comp.memory_objects);
+}
+
+#[test]
+fn folds_compose_across_scales() {
+    // §3.1's "hierarchical or fractal" requirement: the serpentine works
+    // at every rectangular scale, and the die stack doubles it.
+    for (w, h) in [(1u16, 1u16), (2, 2), (4, 4), (8, 8), (16, 16), (5, 9)] {
+        let f = fold::serpentine(w, h);
+        assert_eq!(f.len(), w as usize * h as usize);
+        assert!(f.max_hop_distance() <= 1);
+        let d = fold::die_stack(w, h);
+        assert_eq!(d.len(), 2 * f.len());
+        assert!(d.max_hop_distance() <= 1);
+    }
+}
+
+#[test]
+fn manhattan_distance_of_chains_bounded_by_fold_span() {
+    // Physical distance between any two stack slots never exceeds the
+    // region's half-perimeter (the Manhattan diameter) — the quantity the
+    // paper's delay analysis keys on.
+    let f = fold::serpentine(8, 8);
+    for a in (0..f.len()).step_by(7) {
+        for b in (0..f.len()).step_by(11) {
+            let d = f.physical_distance(a, b).unwrap();
+            assert!(d <= 14, "slots {a},{b} at distance {d}");
+        }
+    }
+}
