@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The repository's CI gate: formatting, lints as errors, full test suite.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q --workspace --offline
+
+echo "CI green."

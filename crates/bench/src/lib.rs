@@ -37,18 +37,15 @@ pub fn figure3_sweep(
             // Independent sweep points run concurrently; each simulator
             // run stays single-threaded and deterministic.
             let mut row = Vec::with_capacity(sizes.len());
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = sizes
                     .iter()
-                    .map(|&n| {
-                        s.spawn(move |_| CsdSimulator::new(n, n).sweep_point(loc, runs, seed))
-                    })
+                    .map(|&n| s.spawn(move || CsdSimulator::new(n, n).sweep_point(loc, runs, seed)))
                     .collect();
                 for h in handles {
                     row.push(h.join().expect("sweep worker"));
                 }
-            })
-            .expect("scope");
+            });
             (loc, row)
         })
         .collect()

@@ -206,6 +206,47 @@ impl VlsiChip {
             .count()
     }
 
+    /// Total clusters on the die (free, owned, and defective alike).
+    pub fn total_clusters(&self) -> usize {
+        self.grid.cluster_count()
+    }
+
+    /// Clusters currently marked defective.
+    pub fn defective_count(&self) -> usize {
+        self.defective.len()
+    }
+
+    /// Clusters usable for gathering in principle: the die minus its
+    /// defects (some may currently be owned). The ceiling any single
+    /// resource request can ever reach.
+    pub fn usable_clusters(&self) -> usize {
+        self.total_clusters() - self.defective_count()
+    }
+
+    /// The processor owning cluster `c`, if any.
+    pub fn processor_at(&self, c: Coord) -> Option<ProcessorId> {
+        self.fabric.owner(c).map(|tag| ProcessorId(tag.0))
+    }
+
+    /// The largest cluster count [`gather_any`](Self::gather_any) would
+    /// currently succeed for — a read-only admission-control probe.
+    /// Because the allocator places serpentine-prefix regions, fit is
+    /// monotone in the request size, so this is a binary search over
+    /// [`find_region`](vlsi_topology::alloc::find_region).
+    pub fn largest_gatherable(&self) -> usize {
+        let free = |c: Coord| self.fabric.owner(c).is_none() && !self.defective.contains(&c);
+        let (mut lo, mut hi) = (0usize, self.free_clusters());
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if vlsi_topology::alloc::find_region(&self.grid, mid, free).is_some() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
     // --- scaling -----------------------------------------------------------
 
     /// Gathers a region into a new processor with a linear (open) fold.
@@ -565,6 +606,19 @@ impl VlsiChip {
     /// memory blocks).
     pub fn deactivate(&mut self, id: ProcessorId) -> Result<(), CoreError> {
         self.transition(id, ProcState::Inactive)
+    }
+
+    /// Wipes an inactive processor's adaptive processor back to its
+    /// just-gathered state — empty library, zeroed memory blocks, cold
+    /// object cache — while keeping the already-programmed switches. A
+    /// warm pool uses this to hand a region to a new tenant without
+    /// paying the configuration worms again.
+    pub fn recycle_processor(&mut self, id: ProcessorId) -> Result<(), CoreError> {
+        self.require_state(id, ProcState::Inactive)?;
+        let cluster = self.grid.cluster();
+        let p = self.processor_mut(id)?;
+        p.ap = AdaptiveProcessor::new(ScaledProcessor::ap_config(&p.region, &cluster));
+        Ok(())
     }
 
     /// Puts an active processor to sleep, optionally with a wake timer.
@@ -1185,6 +1239,25 @@ mod tests {
             c.send_message(None, a, 0, 0, &[Word(1)]),
             Err(CoreError::ProtectionViolation { .. })
         ));
+    }
+
+    #[test]
+    fn admission_probes_track_chip_state() {
+        let mut c = chip();
+        assert_eq!(c.total_clusters(), 64);
+        assert_eq!(c.usable_clusters(), 64);
+        assert_eq!(c.largest_gatherable(), 64);
+        // A centre pin splits free space: the probe drops below the free
+        // count while the count itself only shrinks by the pin.
+        let pin = c.gather(Region::rect(Coord::new(3, 0), 2, 8)).unwrap().id;
+        assert_eq!(c.free_clusters(), 48);
+        assert!(c.largest_gatherable() < 48, "{}", c.largest_gatherable());
+        assert_eq!(c.processor_at(Coord::new(3, 0)), Some(pin));
+        assert_eq!(c.processor_at(Coord::new(0, 0)), None);
+        // Defects shrink the usable ceiling.
+        c.mark_defective(Coord::new(0, 0));
+        assert_eq!(c.defective_count(), 1);
+        assert_eq!(c.usable_clusters(), 63);
     }
 
     #[test]

@@ -18,8 +18,7 @@
 
 use crate::channel::Position;
 use crate::network::DynamicCsd;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vlsi_prng::Prng;
 
 /// One chaining request of the one-source model: connect the object at
 /// `source` to the object at `sink`.
@@ -53,7 +52,7 @@ impl LocalityWorkload {
     pub fn generate(&self) -> Vec<Request> {
         let n = self.n_objects;
         assert!(n >= 2, "need at least two objects to chain");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         // Maximum |offset| the locality allows. locality 1 -> 0 hops;
         // locality 0 -> anywhere in the array.
         let max_off = ((1.0 - self.locality.clamp(0.0, 1.0)) * (n - 1) as f64).round() as i64;
@@ -80,7 +79,7 @@ impl LocalityWorkload {
     pub fn generate_two_source(&self) -> Vec<Request> {
         let n = self.n_objects;
         assert!(n >= 2, "need at least two objects to chain");
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x2507));
+        let mut rng = Prng::seed_from_u64(self.seed.wrapping_add(0x2507));
         let max_off = ((1.0 - self.locality.clamp(0.0, 1.0)) * (n - 1) as f64).round() as i64;
         let mut requests = Vec::with_capacity(2 * n);
         for _ in 0..n {
@@ -105,7 +104,7 @@ impl LocalityWorkload {
     pub fn generate_fanout(&self, fanout: usize) -> Vec<(Position, Vec<Position>)> {
         let n = self.n_objects;
         assert!(n >= 2 && fanout >= 1);
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xFA0));
+        let mut rng = Prng::seed_from_u64(self.seed.wrapping_add(0xFA0));
         let max_off = ((1.0 - self.locality.clamp(0.0, 1.0)) * (n - 1) as f64).round() as i64;
         (0..n)
             .map(|_| {

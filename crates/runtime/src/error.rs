@@ -1,0 +1,110 @@
+//! Typed failures of the runtime layer.
+
+use crate::job::JobId;
+use std::fmt;
+use vlsi_core::CoreError;
+
+/// Errors raised by the runtime (and recorded on failed jobs).
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuntimeError {
+    /// The request can never fit: it exceeds the chip's usable clusters.
+    TooLarge {
+        /// The job.
+        job: JobId,
+        /// Clusters requested.
+        requested: usize,
+        /// Usable clusters on the chip (total minus defects).
+        capacity: usize,
+    },
+    /// Admission kept failing; the retry budget ran out.
+    RetriesExhausted {
+        /// The job.
+        job: JobId,
+        /// Gather attempts made.
+        attempts: u32,
+    },
+    /// The job finished after its deadline (or the deadline passed while
+    /// it was still queued).
+    DeadlineMissed {
+        /// The job.
+        job: JobId,
+        /// The deadline it carried.
+        deadline: u64,
+        /// The tick it actually finished (or was abandoned).
+        finished: u64,
+    },
+    /// The workload executed but produced wrong output (reference
+    /// mismatch) or could not run.
+    Workload {
+        /// The job.
+        job: JobId,
+        /// What went wrong.
+        detail: String,
+    },
+    /// No such job.
+    UnknownJob(JobId),
+    /// The simulation ran past its tick budget without draining.
+    Hung {
+        /// Ticks simulated before giving up.
+        ticks: u64,
+        /// Jobs still queued or running.
+        outstanding: usize,
+    },
+    /// A chip-layer operation failed unrecoverably.
+    Core(CoreError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TooLarge {
+                job,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "{job}: requests {requested} clusters but the chip has only {capacity} usable"
+            ),
+            RuntimeError::RetriesExhausted { job, attempts } => {
+                write!(f, "{job}: admission failed after {attempts} attempts")
+            }
+            RuntimeError::DeadlineMissed {
+                job,
+                deadline,
+                finished,
+            } => write!(f, "{job}: deadline {deadline} missed (finished {finished})"),
+            RuntimeError::Workload { job, detail } => write!(f, "{job}: workload error: {detail}"),
+            RuntimeError::UnknownJob(job) => write!(f, "unknown job {job}"),
+            RuntimeError::Hung { ticks, outstanding } => write!(
+                f,
+                "runtime did not drain within {ticks} ticks ({outstanding} jobs outstanding)"
+            ),
+            RuntimeError::Core(e) => write!(f, "chip error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> RuntimeError {
+        RuntimeError::Core(e)
+    }
+}
+
+impl RuntimeError {
+    /// The short label used in [`EventKind::Failed`].
+    ///
+    /// [`EventKind::Failed`]: crate::EventKind::Failed
+    pub fn reason(&self) -> &'static str {
+        match self {
+            RuntimeError::TooLarge { .. } => "too-large",
+            RuntimeError::RetriesExhausted { .. } => "retries",
+            RuntimeError::DeadlineMissed { .. } => "deadline",
+            RuntimeError::Workload { .. } => "workload",
+            RuntimeError::UnknownJob(_) => "unknown",
+            RuntimeError::Hung { .. } => "hung",
+            RuntimeError::Core(_) => "core",
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Job descriptors: what a tenant submits to the runtime.
+
+use std::collections::HashMap;
+use std::fmt;
+use vlsi_core::ProcessorId;
+use vlsi_workloads::{Program, StreamKernel};
+
+/// Identifier of a submitted job, in submission order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// The work a job performs once its clusters are gathered.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// A streaming kernel: `input` is written to the processor's load
+    /// mailbox (block 0); results are read back from the store mailbox
+    /// (block 1) at completion and checked against `expected` when given.
+    Stream {
+        /// The kernel to install and execute.
+        kernel: StreamKernel,
+        /// Input elements for block 0.
+        input: Vec<u64>,
+        /// Reference output; a mismatch fails the job.
+        expected: Option<Vec<u64>>,
+    },
+    /// A basic-block program (Figure 7): partitioned, each block deployed
+    /// on its own 4-cluster processor, datasets pushed through the block
+    /// pipeline.
+    Blocks {
+        /// The program to partition and deploy.
+        program: Program,
+        /// Input environments, one per dataset.
+        datasets: Vec<HashMap<String, i64>>,
+        /// The variable to read out of each final environment.
+        result_var: String,
+    },
+    /// Pure occupancy: hold the gathered clusters for `ticks` simulated
+    /// ticks without executing (a reserved-capacity tenant).
+    Idle {
+        /// Hold duration in ticks.
+        ticks: u64,
+    },
+}
+
+impl Workload {
+    /// A short label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Stream { .. } => "stream",
+            Workload::Blocks { .. } => "blocks",
+            Workload::Idle { .. } => "idle",
+        }
+    }
+}
+
+/// A job submission.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Human-readable name (for traces and reports).
+    pub name: String,
+    /// Clusters requested. For [`Workload::Blocks`] this must be at least
+    /// `4 × non-empty blocks` (the per-block processors the deploy
+    /// gathers); [`JobSpec::for_blocks`] computes it.
+    pub clusters: usize,
+    /// The work itself.
+    pub workload: Workload,
+    /// Scheduling priority: higher runs first under the priority policy.
+    pub priority: u8,
+    /// Absolute deadline in runtime ticks; a job finishing after it fails
+    /// gracefully with [`RuntimeError::DeadlineMissed`].
+    ///
+    /// [`RuntimeError::DeadlineMissed`]: crate::RuntimeError::DeadlineMissed
+    pub deadline: Option<u64>,
+    /// Admission attempts before the job fails with
+    /// [`RuntimeError::RetriesExhausted`].
+    ///
+    /// [`RuntimeError::RetriesExhausted`]: crate::RuntimeError::RetriesExhausted
+    pub max_retries: u32,
+}
+
+impl JobSpec {
+    /// A named job with defaults: priority 0, no deadline, 8 retries.
+    pub fn new(name: impl Into<String>, clusters: usize, workload: Workload) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            clusters,
+            workload,
+            priority: 0,
+            deadline: None,
+            max_retries: 8,
+        }
+    }
+
+    /// A streaming job whose output is verified against the kernel's
+    /// reference result.
+    pub fn for_stream(
+        name: impl Into<String>,
+        clusters: usize,
+        kernel: StreamKernel,
+        input: Vec<u64>,
+        expected: Vec<u64>,
+    ) -> JobSpec {
+        JobSpec::new(
+            name,
+            clusters,
+            Workload::Stream {
+                kernel,
+                input,
+                expected: Some(expected),
+            },
+        )
+    }
+
+    /// A basic-block program job; the cluster request is derived from the
+    /// partition (4 clusters per non-empty block).
+    pub fn for_blocks(
+        name: impl Into<String>,
+        program: Program,
+        datasets: Vec<HashMap<String, i64>>,
+        result_var: impl Into<String>,
+    ) -> JobSpec {
+        let blocks = program.partition();
+        let needed = blocks
+            .iter()
+            .filter(|b| !b.assigns.is_empty() || b.cond.is_some())
+            .count()
+            * 4;
+        JobSpec::new(
+            name,
+            needed.max(4),
+            Workload::Blocks {
+                program,
+                datasets,
+                result_var: result_var.into(),
+            },
+        )
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, priority: u8) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline in absolute ticks (builder style).
+    pub fn with_deadline(mut self, deadline: u64) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry budget (builder style).
+    pub fn with_max_retries(mut self, retries: u32) -> JobSpec {
+        self.max_retries = retries;
+        self
+    }
+}
+
+/// What a completed job produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutput {
+    /// Words read back from a stream job's store mailbox.
+    Stream(Vec<u64>),
+    /// Per-dataset values of the result variable of a blocks job.
+    Blocks(Vec<i64>),
+    /// Idle jobs produce nothing.
+    None,
+}
+
+/// Lifecycle of a job inside the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Waiting for admission.
+    Queued,
+    /// Holding gathered clusters until its finish tick.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Failed gracefully (deadline, retries, workload error).
+    Failed,
+}
+
+/// Per-job accounting, filled in as the job moves through the runtime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Tick the job was submitted.
+    pub submitted_at: u64,
+    /// Tick the job was admitted (clusters gathered), if it ever was.
+    pub admitted_at: Option<u64>,
+    /// Tick the job completed or failed.
+    pub finished_at: Option<u64>,
+    /// Gather attempts (1 = admitted first try).
+    pub attempts: u32,
+    /// Defect-triggered relocations/re-gathers survived.
+    pub relocations: u32,
+    /// Whether admission reused a warm pooled processor.
+    pub pool_hit: bool,
+    /// Simulated cycles of configuration (worms + datapath config).
+    pub config_cycles: u64,
+    /// Simulated cycles of execution.
+    pub exec_cycles: u64,
+    /// Queue wait: `admitted_at - submitted_at`.
+    pub wait: u64,
+    /// Turnaround: `finished_at - submitted_at`.
+    pub turnaround: u64,
+}
+
+/// The runtime's record of one job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job's ID.
+    pub id: JobId,
+    /// The submission, as given.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Processors currently held (one for stream/idle; one per block for
+    /// blocks jobs). Empty unless running.
+    pub procs: Vec<ProcessorId>,
+    /// Output, once completed.
+    pub output: Option<JobOutput>,
+    /// Why the job failed, if it did.
+    pub failure: Option<crate::error::RuntimeError>,
+    /// Accounting.
+    pub stats: JobStats,
+    /// Earliest tick the next admission attempt may run (backoff).
+    pub(crate) next_attempt_at: u64,
+    /// Tick the current hold ends (while running).
+    pub(crate) finish_at: u64,
+}

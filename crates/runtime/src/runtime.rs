@@ -1,0 +1,1178 @@
+//! The runtime engine: a deterministic, simulated-time multi-tenant
+//! scheduler on top of [`VlsiChip`].
+//!
+//! One [`Runtime`] owns one chip. Tenants [`submit`] jobs; every call to
+//! [`tick`] advances one unit of simulated time and performs, in a fixed
+//! order: sleep-timer expiry (warm-pool reclaim), scheduled defect
+//! injection and recovery, job completion, queued-deadline expiry, and
+//! admission. Because the order is fixed and every container is iterated
+//! deterministically, the same submissions on the same seed produce the
+//! exact same [`RuntimeEvent`] log.
+//!
+//! [`submit`]: Runtime::submit
+//! [`tick`]: Runtime::tick
+
+use std::collections::BTreeMap;
+
+use vlsi_core::{BlockExecutor, CoreError, ProcState, ProcessorId, VlsiChip};
+use vlsi_object::Word;
+use vlsi_topology::Coord;
+use vlsi_workloads::StreamKernel;
+
+use crate::error::RuntimeError;
+use crate::events::{EventKind, RuntimeEvent};
+use crate::job::{JobId, JobOutput, JobRecord, JobSpec, JobState, JobStats, Workload};
+use crate::policy::{QueuedJob, SchedPolicy};
+
+/// Tunables of the runtime. [`Default`] gives the values used by the
+/// integration tests and Ablation I.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Backoff after a failed gather: attempt `n` waits
+    /// `backoff_base << (n - 1)` ticks (capped).
+    pub backoff_base: u64,
+    /// Upper bound on the backoff delay, in ticks.
+    pub backoff_cap: u64,
+    /// When a gather fails and [`VlsiChip::fragmentation`] exceeds this
+    /// while enough total free clusters exist, the runtime compacts and
+    /// retries once before backing off.
+    pub compact_threshold: f64,
+    /// Warm pool: a completed single-processor job's region is parked
+    /// asleep for this many ticks instead of released; a matching later
+    /// admission reuses it without re-gathering (no configuration worms).
+    /// `None` disables the pool.
+    pub pool_ttl: Option<u64>,
+    /// Simulated chip cycles per runtime tick (a job holding its clusters
+    /// for `c` cycles holds them for `max(1, c / cycles_per_tick)` ticks).
+    pub cycles_per_tick: u64,
+    /// Cycle budget handed to [`VlsiChip::execute`] per kernel run.
+    pub max_exec_cycles: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            backoff_base: 2,
+            backoff_cap: 64,
+            compact_threshold: 0.35,
+            pool_ttl: Some(32),
+            cycles_per_tick: 64,
+            max_exec_cycles: 1_000_000,
+        }
+    }
+}
+
+/// Chip-level counters, accumulated across the whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that failed gracefully.
+    pub failed: u64,
+    /// Gather attempts that found no region.
+    pub failed_gathers: u64,
+    /// Fragmentation-triggered compactions.
+    pub compactions: u64,
+    /// Defect-triggered relocations that kept a job alive.
+    pub relocations: u64,
+    /// Defect recoveries that had to re-queue the job instead.
+    pub requeues: u64,
+    /// Admissions served from the warm pool.
+    pub pool_hits: u64,
+    /// Processors parked in the warm pool.
+    pub pooled: u64,
+    /// Pool parks reclaimed by timer expiry (or defects).
+    pub pool_reclaims: u64,
+    /// Cluster-ticks spent held by processors (busy area).
+    pub busy_cluster_ticks: u64,
+    /// Cluster-ticks available (usable area × ticks).
+    pub total_cluster_ticks: u64,
+}
+
+/// The digest [`Runtime::run_until_idle`] returns — what the ablation
+/// bench tabulates per policy.
+#[derive(Clone, Debug)]
+pub struct RuntimeSummary {
+    /// Name of the scheduling policy that produced this run.
+    pub policy: &'static str,
+    /// Ticks simulated until the queue drained.
+    pub ticks: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that failed gracefully.
+    pub failed: u64,
+    /// Tick of the last job completion or failure.
+    pub makespan: u64,
+    /// Mean queue wait (submission → admission) over admitted jobs.
+    pub mean_wait: f64,
+    /// Mean turnaround (submission → completion) over finished jobs.
+    pub mean_turnaround: f64,
+    /// Busy cluster-ticks over available cluster-ticks.
+    pub utilization: f64,
+    /// The final chip-level counters.
+    pub stats: RuntimeStats,
+}
+
+/// A region parked in the warm pool.
+#[derive(Clone, Copy, Debug)]
+struct PoolEntry {
+    proc: ProcessorId,
+    clusters: usize,
+}
+
+/// The multi-tenant scheduler. See the [module docs](self).
+pub struct Runtime {
+    chip: VlsiChip,
+    policy: Box<dyn SchedPolicy>,
+    config: RuntimeConfig,
+    now: u64,
+    next_job: u64,
+    jobs: BTreeMap<JobId, JobRecord>,
+    queue: Vec<JobId>,
+    running: Vec<JobId>,
+    pool: Vec<PoolEntry>,
+    defect_plan: BTreeMap<u64, Vec<Coord>>,
+    events: Vec<RuntimeEvent>,
+    stats: RuntimeStats,
+}
+
+impl Runtime {
+    /// A runtime owning `chip`, scheduling with `policy`.
+    pub fn new(chip: VlsiChip, policy: Box<dyn SchedPolicy>, config: RuntimeConfig) -> Runtime {
+        Runtime {
+            chip,
+            policy,
+            config,
+            now: 0,
+            next_job: 0,
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            running: Vec::new(),
+            pool: Vec::new(),
+            defect_plan: BTreeMap::new(),
+            events: Vec::new(),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    // --- submission ----------------------------------------------------------
+
+    /// Submits a job. Returns its ID; a request that can never fit (or is
+    /// empty) is failed immediately and gracefully — check
+    /// [`JobRecord::failure`].
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.stats.submitted += 1;
+        self.push_event(EventKind::Submitted {
+            job: id,
+            clusters: spec.clusters,
+            priority: spec.priority,
+        });
+        let clusters = spec.clusters;
+        let record = JobRecord {
+            id,
+            spec,
+            state: JobState::Queued,
+            procs: Vec::new(),
+            output: None,
+            failure: None,
+            stats: JobStats {
+                submitted_at: self.now,
+                ..JobStats::default()
+            },
+            next_attempt_at: self.now,
+            finish_at: 0,
+        };
+        self.jobs.insert(id, record);
+        let capacity = self.chip.usable_clusters();
+        if clusters == 0 {
+            self.fail_job(
+                id,
+                RuntimeError::Workload {
+                    job: id,
+                    detail: "job requests zero clusters".into(),
+                },
+            );
+        } else if clusters > capacity {
+            self.fail_job(
+                id,
+                RuntimeError::TooLarge {
+                    job: id,
+                    requested: clusters,
+                    capacity,
+                },
+            );
+        } else {
+            self.queue.push(id);
+        }
+        id
+    }
+
+    /// Schedules a cluster to become defective at the start of `tick`
+    /// (fault injection; past ticks apply on the next tick).
+    pub fn inject_defect_at(&mut self, tick: u64, coord: Coord) {
+        let tick = tick.max(self.now + 1);
+        self.defect_plan.entry(tick).or_default().push(coord);
+    }
+
+    // --- the clock -----------------------------------------------------------
+
+    /// Advances simulated time by one tick. See the [module docs](self)
+    /// for the fixed intra-tick order.
+    pub fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.now += 1;
+        let now = self.now;
+
+        // 1. Sleep timers: pooled regions whose TTL expired wake and are
+        //    reclaimed — idle capacity returns to the free pool.
+        for proc in self.chip.tick_timers(1) {
+            if let Some(pos) = self.pool.iter().position(|e| e.proc == proc) {
+                self.pool.remove(pos);
+                self.chip.deactivate(proc)?;
+                self.chip.release_processor(proc)?;
+                self.stats.pool_reclaims += 1;
+                self.push_event(EventKind::PoolReclaimed { proc });
+            }
+        }
+
+        // 2. Scheduled defects land, and their victims are recovered.
+        if let Some(coords) = self.defect_plan.remove(&now) {
+            for c in coords {
+                self.apply_defect(c)?;
+            }
+        }
+
+        // 3. Completions, in (finish tick, job id) order.
+        let mut due: Vec<(u64, JobId)> = self
+            .running
+            .iter()
+            .map(|id| (self.jobs[id].finish_at, *id))
+            .filter(|(f, _)| *f <= now)
+            .collect();
+        due.sort_unstable();
+        for (_, job_id) in due {
+            self.complete_job(job_id)?;
+        }
+
+        // 4. Queued jobs whose deadline can no longer be met fail now
+        //    rather than occupying the queue forever.
+        let expired: Vec<(JobId, u64)> = self
+            .queue
+            .iter()
+            .filter_map(|id| {
+                let d = self.jobs[id].spec.deadline?;
+                (now >= d).then_some((*id, d))
+            })
+            .collect();
+        for (id, deadline) in expired {
+            self.fail_job(
+                id,
+                RuntimeError::DeadlineMissed {
+                    job: id,
+                    deadline,
+                    finished: now,
+                },
+            );
+        }
+
+        // 5. Admission: ask the policy until it passes or the queue dries
+        //    up. Each try either admits, backs off, or fails the job, so
+        //    this loop terminates.
+        loop {
+            if self.queue.is_empty() {
+                break;
+            }
+            let free = self.chip.free_clusters();
+            let view: Vec<QueuedJob> = self
+                .queue
+                .iter()
+                .map(|id| {
+                    let r = &self.jobs[id];
+                    QueuedJob {
+                        id: *id,
+                        clusters: r.spec.clusters,
+                        priority: r.spec.priority,
+                        submitted_at: r.stats.submitted_at,
+                        next_attempt_at: r.next_attempt_at,
+                        deadline: r.spec.deadline,
+                    }
+                })
+                .collect();
+            let Some(i) = self.policy.pick(&view, free, now) else {
+                break;
+            };
+            self.try_admit(view[i].id)?;
+        }
+
+        // 6. Area accounting.
+        let usable = self.chip.usable_clusters();
+        let free = self.chip.free_clusters();
+        self.stats.busy_cluster_ticks += (usable - free) as u64;
+        self.stats.total_cluster_ticks += usable as u64;
+        Ok(())
+    }
+
+    /// Ticks until no job is queued or running, then returns the run's
+    /// summary. More than `max_ticks` ticks means the system is stuck:
+    /// [`RuntimeError::Hung`].
+    pub fn run_until_idle(&mut self, max_ticks: u64) -> Result<RuntimeSummary, RuntimeError> {
+        let mut ticks = 0;
+        while self.outstanding() > 0 {
+            if ticks >= max_ticks {
+                return Err(RuntimeError::Hung {
+                    ticks,
+                    outstanding: self.outstanding(),
+                });
+            }
+            self.tick()?;
+            ticks += 1;
+        }
+        Ok(self.summary())
+    }
+
+    /// Releases every warm-pooled region immediately (end of a tenancy).
+    pub fn drain_pool(&mut self) -> Result<(), RuntimeError> {
+        for e in std::mem::take(&mut self.pool) {
+            self.chip.wake(e.proc)?;
+            self.chip.deactivate(e.proc)?;
+            self.chip.release_processor(e.proc)?;
+            self.stats.pool_reclaims += 1;
+            self.push_event(EventKind::PoolReclaimed { proc: e.proc });
+        }
+        Ok(())
+    }
+
+    // --- defects -------------------------------------------------------------
+
+    fn apply_defect(&mut self, c: Coord) -> Result<(), RuntimeError> {
+        let victim = self.chip.processor_at(c);
+        self.chip.mark_defective(c);
+        self.push_event(EventKind::DefectInjected { coord: c, victim });
+        let Some(pid) = victim else { return Ok(()) };
+
+        // A parked pool region: just reclaim it.
+        if let Some(pos) = self.pool.iter().position(|e| e.proc == pid) {
+            self.pool.remove(pos);
+            self.chip.wake(pid)?;
+            self.chip.deactivate(pid)?;
+            self.chip.release_processor(pid)?;
+            self.stats.pool_reclaims += 1;
+            self.push_event(EventKind::PoolReclaimed { proc: pid });
+            return Ok(());
+        }
+
+        let Some(job_id) = self
+            .running
+            .iter()
+            .copied()
+            .find(|j| self.jobs[j].procs.contains(&pid))
+        else {
+            return Ok(());
+        };
+        self.recover_job(job_id, pid)
+    }
+
+    /// A defect hit processor `pid` of running job `job_id`: relocate it
+    /// (state moves intact); a mid-run stream is restarted on the new
+    /// region; if no placement exists, the job re-queues for a fresh
+    /// gather.
+    fn recover_job(&mut self, job_id: JobId, pid: ProcessorId) -> Result<(), RuntimeError> {
+        let workload = self.jobs[&job_id].spec.workload.clone();
+        match workload {
+            Workload::Stream { kernel, input, .. } => {
+                self.chip.deactivate(pid)?;
+                match self.chip.relocate(pid) {
+                    Ok(outcome) => {
+                        // The datapath was mid-stream; restart it from
+                        // scratch on the relocated region.
+                        self.chip.recycle_processor(pid)?;
+                        match self.run_stream_on(pid, &kernel, &input) {
+                            Ok((cfg, exec)) => {
+                                let dur = self.to_ticks(outcome.config_latency + cfg + exec);
+                                let rec = self.jobs.get_mut(&job_id).expect("running job");
+                                rec.finish_at = self.now + dur;
+                                rec.stats.relocations += 1;
+                                self.stats.relocations += 1;
+                                self.push_event(EventKind::DefectRecovered {
+                                    job: job_id,
+                                    proc: pid,
+                                    reran: true,
+                                });
+                            }
+                            Err(e) => {
+                                self.fail_job(
+                                    job_id,
+                                    RuntimeError::Workload {
+                                        job: job_id,
+                                        detail: format!("restart after defect: {e}"),
+                                    },
+                                );
+                            }
+                        }
+                        Ok(())
+                    }
+                    Err(_) => self.requeue_job(job_id),
+                }
+            }
+            Workload::Idle { .. } => {
+                self.chip.deactivate(pid)?;
+                match self.chip.relocate(pid) {
+                    Ok(_) => {
+                        self.chip.activate(pid)?;
+                        let rec = self.jobs.get_mut(&job_id).expect("running job");
+                        rec.stats.relocations += 1;
+                        self.stats.relocations += 1;
+                        self.push_event(EventKind::DefectRecovered {
+                            job: job_id,
+                            proc: pid,
+                            reran: false,
+                        });
+                        Ok(())
+                    }
+                    Err(_) => self.requeue_job(job_id),
+                }
+            }
+            Workload::Blocks { .. } => {
+                // Block processors idle Inactive between runs, and the
+                // outputs are already computed — a quiet relocation keeps
+                // the tenancy intact.
+                match self.chip.relocate(pid) {
+                    Ok(_) => {
+                        let rec = self.jobs.get_mut(&job_id).expect("running job");
+                        rec.stats.relocations += 1;
+                        self.stats.relocations += 1;
+                        self.push_event(EventKind::DefectRecovered {
+                            job: job_id,
+                            proc: pid,
+                            reran: false,
+                        });
+                        Ok(())
+                    }
+                    Err(_) => self.requeue_job(job_id),
+                }
+            }
+        }
+    }
+
+    /// Recovery could not relocate in place: release everything the job
+    /// holds and send it back to the queue for a fresh gather.
+    fn requeue_job(&mut self, job_id: JobId) -> Result<(), RuntimeError> {
+        let procs = {
+            let rec = self.jobs.get_mut(&job_id).expect("running job");
+            std::mem::take(&mut rec.procs)
+        };
+        for p in procs {
+            if self.chip.state(p) == Ok(ProcState::Active) {
+                self.chip.deactivate(p)?;
+            }
+            self.chip.release_processor(p)?;
+        }
+        self.running.retain(|j| *j != job_id);
+        self.queue.push(job_id);
+        let now = self.now;
+        let rec = self.jobs.get_mut(&job_id).expect("running job");
+        rec.state = JobState::Queued;
+        rec.next_attempt_at = now + 1;
+        rec.output = None;
+        let attempt = rec.stats.attempts;
+        self.stats.requeues += 1;
+        self.push_event(EventKind::Requeued {
+            job: job_id,
+            attempt,
+        });
+        Ok(())
+    }
+
+    // --- completion ----------------------------------------------------------
+
+    fn complete_job(&mut self, job_id: JobId) -> Result<(), RuntimeError> {
+        let workload = self.jobs[&job_id].spec.workload.clone();
+        let output = match workload {
+            Workload::Stream {
+                kernel, expected, ..
+            } => {
+                let pid = self.jobs[&job_id].procs[0];
+                self.chip.deactivate(pid)?;
+                let words = self
+                    .chip
+                    .read_mailbox(pid, 1, 0, kernel.output_len as usize)?;
+                let got: Vec<u64> = words.iter().map(|w| w.as_u64()).collect();
+                if let Some(exp) = expected {
+                    if got != exp {
+                        self.fail_job(
+                            job_id,
+                            RuntimeError::Workload {
+                                job: job_id,
+                                detail: format!(
+                                    "{}: output mismatch (got {got:?}, expected {exp:?})",
+                                    kernel.name
+                                ),
+                            },
+                        );
+                        return Ok(());
+                    }
+                }
+                JobOutput::Stream(got)
+            }
+            Workload::Blocks { .. } => self.jobs[&job_id].output.clone().unwrap_or(JobOutput::None),
+            Workload::Idle { .. } => {
+                let pid = self.jobs[&job_id].procs[0];
+                self.chip.deactivate(pid)?;
+                JobOutput::None
+            }
+        };
+
+        let now = self.now;
+        if let Some(d) = self.jobs[&job_id].spec.deadline {
+            if now > d {
+                self.fail_job(
+                    job_id,
+                    RuntimeError::DeadlineMissed {
+                        job: job_id,
+                        deadline: d,
+                        finished: now,
+                    },
+                );
+                return Ok(());
+            }
+        }
+
+        // Park or release the held regions.
+        let procs = {
+            let rec = self.jobs.get_mut(&job_id).expect("running job");
+            std::mem::take(&mut rec.procs)
+        };
+        let single = procs.len() == 1;
+        for p in procs {
+            match (single, self.config.pool_ttl) {
+                (true, Some(ttl)) => {
+                    let clusters = self.chip.processor(p)?.region.len();
+                    self.chip.activate(p)?;
+                    self.chip.sleep(p, Some(ttl))?;
+                    self.pool.push(PoolEntry { proc: p, clusters });
+                    self.stats.pooled += 1;
+                    self.push_event(EventKind::Pooled {
+                        proc: p,
+                        clusters,
+                        ttl,
+                    });
+                }
+                _ => self.chip.release_processor(p)?,
+            }
+        }
+
+        self.running.retain(|j| *j != job_id);
+        let rec = self.jobs.get_mut(&job_id).expect("running job");
+        rec.state = JobState::Completed;
+        rec.output = Some(output);
+        rec.stats.finished_at = Some(now);
+        rec.stats.turnaround = now - rec.stats.submitted_at;
+        let (wait, turnaround) = (rec.stats.wait, rec.stats.turnaround);
+        self.stats.completed += 1;
+        self.push_event(EventKind::Completed {
+            job: job_id,
+            wait,
+            turnaround,
+        });
+        Ok(())
+    }
+
+    /// Marks a job failed, releasing anything it still holds. Failures
+    /// are graceful: the error lands on the record, never unwinds.
+    fn fail_job(&mut self, job_id: JobId, err: RuntimeError) {
+        let procs = {
+            let rec = self.jobs.get_mut(&job_id).expect("known job");
+            std::mem::take(&mut rec.procs)
+        };
+        for p in procs {
+            match self.chip.state(p) {
+                Ok(ProcState::Active) => {
+                    let _ = self.chip.deactivate(p);
+                }
+                Ok(ProcState::Sleep) => {
+                    let _ = self.chip.wake(p);
+                    let _ = self.chip.deactivate(p);
+                }
+                _ => {}
+            }
+            let _ = self.chip.release_processor(p);
+        }
+        self.queue.retain(|j| *j != job_id);
+        self.running.retain(|j| *j != job_id);
+        let now = self.now;
+        let reason = err.reason();
+        let rec = self.jobs.get_mut(&job_id).expect("known job");
+        rec.state = JobState::Failed;
+        rec.stats.finished_at = Some(now);
+        rec.stats.turnaround = now - rec.stats.submitted_at;
+        rec.failure = Some(err);
+        self.stats.failed += 1;
+        self.push_event(EventKind::Failed {
+            job: job_id,
+            reason,
+        });
+    }
+
+    // --- admission -----------------------------------------------------------
+
+    fn try_admit(&mut self, job_id: JobId) -> Result<(), RuntimeError> {
+        let clusters = self.jobs[&job_id].spec.clusters;
+        // Defects since submission may have shrunk the chip below the
+        // request for good.
+        let capacity = self.chip.usable_clusters();
+        if clusters > capacity {
+            self.fail_job(
+                job_id,
+                RuntimeError::TooLarge {
+                    job: job_id,
+                    requested: clusters,
+                    capacity,
+                },
+            );
+            return Ok(());
+        }
+        let attempts = {
+            let rec = self.jobs.get_mut(&job_id).expect("queued job");
+            rec.stats.attempts += 1;
+            rec.stats.attempts
+        };
+        let workload = self.jobs[&job_id].spec.workload.clone();
+        match workload {
+            Workload::Stream { kernel, input, .. } => {
+                self.admit_single(job_id, clusters, attempts, Some((kernel, input)), 0)
+            }
+            Workload::Idle { ticks } => self.admit_single(job_id, clusters, attempts, None, ticks),
+            Workload::Blocks {
+                program,
+                datasets,
+                result_var,
+            } => self.admit_blocks(job_id, clusters, attempts, program, datasets, result_var),
+        }
+    }
+
+    /// Gather failed: compact if fragmentation pressure warrants a retry
+    /// (caller retries once when this returns `true`), otherwise the
+    /// caller backs off or fails the job.
+    fn compact_for(&mut self, clusters: usize) -> bool {
+        let frag = self.chip.fragmentation();
+        if frag <= self.config.compact_threshold || self.chip.free_clusters() < clusters {
+            return false;
+        }
+        let moved = self.chip.compact();
+        let after = self.chip.fragmentation();
+        self.stats.compactions += 1;
+        self.push_event(EventKind::Compacted {
+            moved,
+            frag_before_milli: (frag * 1000.0).round() as u32,
+            frag_after_milli: (after * 1000.0).round() as u32,
+        });
+        true
+    }
+
+    fn back_off(&mut self, job_id: JobId, attempts: u32) {
+        let max_retries = self.jobs[&job_id].spec.max_retries;
+        if attempts > max_retries {
+            self.fail_job(
+                job_id,
+                RuntimeError::RetriesExhausted {
+                    job: job_id,
+                    attempts,
+                },
+            );
+            return;
+        }
+        let shift = (attempts.saturating_sub(1)).min(16);
+        let delay = (self.config.backoff_base << shift)
+            .min(self.config.backoff_cap)
+            .max(1);
+        let retry_at = self.now + delay;
+        let rec = self.jobs.get_mut(&job_id).expect("queued job");
+        rec.next_attempt_at = retry_at;
+        self.stats.failed_gathers += 1;
+        self.push_event(EventKind::GatherFailed {
+            job: job_id,
+            attempt: attempts,
+            retry_at,
+        });
+    }
+
+    fn admit_single(
+        &mut self,
+        job_id: JobId,
+        clusters: usize,
+        attempts: u32,
+        stream: Option<(StreamKernel, Vec<u64>)>,
+        idle_ticks: u64,
+    ) -> Result<(), RuntimeError> {
+        // Warm pool first: an exact-size parked region skips the gather
+        // (and its configuration worms) entirely.
+        let mut acquired: Option<(ProcessorId, u64, bool)> = None;
+        if let Some(pos) = self.pool.iter().position(|e| e.clusters == clusters) {
+            let e = self.pool.remove(pos);
+            self.chip.wake(e.proc)?;
+            self.chip.deactivate(e.proc)?;
+            self.chip.recycle_processor(e.proc)?;
+            self.stats.pool_hits += 1;
+            self.push_event(EventKind::PoolWoken {
+                proc: e.proc,
+                job: job_id,
+            });
+            acquired = Some((e.proc, 0, true));
+        }
+        if acquired.is_none() {
+            acquired = match self.chip.gather_any(clusters) {
+                Ok(o) => Some((o.id, o.config_latency, false)),
+                Err(_) if self.compact_for(clusters) => self
+                    .chip
+                    .gather_any(clusters)
+                    .ok()
+                    .map(|o| (o.id, o.config_latency, false)),
+                Err(_) => None,
+            };
+        }
+        let Some((pid, latency, pool_hit)) = acquired else {
+            self.back_off(job_id, attempts);
+            return Ok(());
+        };
+
+        let (cfg_cycles, exec_cycles, duration) = match &stream {
+            Some((kernel, input)) => match self.run_stream_on(pid, kernel, input) {
+                Ok((cfg, exec)) => {
+                    let dur = self.to_ticks(latency + cfg + exec);
+                    (latency + cfg, exec, dur)
+                }
+                Err(e) => {
+                    if self.chip.state(pid) == Ok(ProcState::Active) {
+                        self.chip.deactivate(pid)?;
+                    }
+                    self.chip.release_processor(pid)?;
+                    self.fail_job(
+                        job_id,
+                        RuntimeError::Workload {
+                            job: job_id,
+                            detail: e.to_string(),
+                        },
+                    );
+                    return Ok(());
+                }
+            },
+            None => {
+                self.chip.activate(pid)?;
+                (latency, 0, idle_ticks.max(1))
+            }
+        };
+        self.mark_admitted(
+            job_id,
+            vec![pid],
+            attempts,
+            pool_hit,
+            cfg_cycles,
+            exec_cycles,
+            duration,
+        );
+        Ok(())
+    }
+
+    fn admit_blocks(
+        &mut self,
+        job_id: JobId,
+        clusters: usize,
+        attempts: u32,
+        program: vlsi_workloads::Program,
+        datasets: Vec<std::collections::HashMap<String, i64>>,
+        result_var: String,
+    ) -> Result<(), RuntimeError> {
+        let mut exec = match self.deploy_blocks(&program) {
+            Some(e) => Some(e),
+            None if self.compact_for(clusters) => self.deploy_blocks(&program),
+            None => None,
+        };
+        let Some(exec) = exec.take() else {
+            self.back_off(job_id, attempts);
+            return Ok(());
+        };
+        let procs: Vec<ProcessorId> = (0..exec.processor_count())
+            .filter_map(|i| exec.processor_of(i))
+            .collect();
+
+        let mut outs = Vec::with_capacity(datasets.len());
+        let mut cfg_total = 0u64;
+        let mut exec_total = 0u64;
+        for ds in &datasets {
+            // Run on the chip and check against the program interpreter —
+            // the blocks-level analogue of the stream reference check.
+            let (env, run) = match exec.run(&mut self.chip, ds) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.release_all(&procs)?;
+                    self.fail_job(
+                        job_id,
+                        RuntimeError::Workload {
+                            job: job_id,
+                            detail: e.to_string(),
+                        },
+                    );
+                    return Ok(());
+                }
+            };
+            cfg_total += run.config_cycles;
+            exec_total += run.exec_cycles;
+            let mut reference = ds.clone();
+            program.interpret(&mut reference);
+            let got = env.get(&result_var).copied();
+            let expect = reference.get(&result_var).copied();
+            if got.is_none() || got != expect {
+                self.release_all(&procs)?;
+                self.fail_job(
+                    job_id,
+                    RuntimeError::Workload {
+                        job: job_id,
+                        detail: format!(
+                            "blocks result `{result_var}` = {got:?}, interpreter says {expect:?}"
+                        ),
+                    },
+                );
+                return Ok(());
+            }
+            outs.push(got.expect("checked above"));
+        }
+
+        let latency: u64 = procs
+            .iter()
+            .map(|p| self.chip.processor(*p).map(|sp| sp.config_latency))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .sum();
+        let duration = self.to_ticks(latency + cfg_total + exec_total);
+        {
+            let rec = self.jobs.get_mut(&job_id).expect("queued job");
+            rec.output = Some(JobOutput::Blocks(outs));
+        }
+        self.mark_admitted(
+            job_id,
+            procs,
+            attempts,
+            false,
+            latency + cfg_total,
+            exec_total,
+            duration,
+        );
+        Ok(())
+    }
+
+    /// Deploys a program's blocks, releasing any partially-gathered
+    /// processors if the deploy fails midway.
+    fn deploy_blocks(&mut self, program: &vlsi_workloads::Program) -> Option<BlockExecutor> {
+        let before: Vec<ProcessorId> = self.chip.processors().map(|p| p.id).collect();
+        match BlockExecutor::deploy(&mut self.chip, program.partition()) {
+            Ok(exec) => Some(exec),
+            Err(_) => {
+                let leaked: Vec<ProcessorId> = self
+                    .chip
+                    .processors()
+                    .map(|p| p.id)
+                    .filter(|id| !before.contains(id))
+                    .collect();
+                for id in leaked {
+                    let _ = self.chip.release_processor(id);
+                }
+                None
+            }
+        }
+    }
+
+    fn release_all(&mut self, procs: &[ProcessorId]) -> Result<(), RuntimeError> {
+        for p in procs {
+            if self.chip.state(*p) == Ok(ProcState::Active) {
+                self.chip.deactivate(*p)?;
+            }
+            self.chip.release_processor(*p)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mark_admitted(
+        &mut self,
+        job_id: JobId,
+        procs: Vec<ProcessorId>,
+        attempts: u32,
+        pool_hit: bool,
+        config_cycles: u64,
+        exec_cycles: u64,
+        duration: u64,
+    ) {
+        let now = self.now;
+        self.queue.retain(|j| *j != job_id);
+        self.running.push(job_id);
+        let rec = self.jobs.get_mut(&job_id).expect("queued job");
+        rec.state = JobState::Running;
+        rec.procs = procs.clone();
+        rec.finish_at = now + duration.max(1);
+        rec.stats.pool_hit = rec.stats.pool_hit || pool_hit;
+        rec.stats.config_cycles += config_cycles;
+        rec.stats.exec_cycles += exec_cycles;
+        if rec.stats.admitted_at.is_none() {
+            rec.stats.admitted_at = Some(now);
+            rec.stats.wait = now - rec.stats.submitted_at;
+        }
+        self.push_event(EventKind::Admitted {
+            job: job_id,
+            procs,
+            attempt: attempts,
+            pool_hit,
+        });
+    }
+
+    // --- workload driving ----------------------------------------------------
+
+    /// Installs, feeds, and executes a stream kernel on an inactive
+    /// processor, leaving it active. Returns (config, execute) cycles.
+    fn run_stream_on(
+        &mut self,
+        pid: ProcessorId,
+        kernel: &StreamKernel,
+        input: &[u64],
+    ) -> Result<(u64, u64), CoreError> {
+        self.chip.install(pid, kernel.objects.clone())?;
+        let words: Vec<Word> = input.iter().map(|&x| Word(x)).collect();
+        self.chip.write_mailbox(pid, 0, 0, &words)?;
+        self.chip.activate(pid)?;
+        let cfg = self.chip.configure(pid, kernel.stream.clone())?;
+        let rep = self.chip.execute(pid, 0, self.config.max_exec_cycles)?;
+        Ok((cfg.cycles, rep.cycles))
+    }
+
+    fn to_ticks(&self, cycles: u64) -> u64 {
+        (cycles / self.config.cycles_per_tick.max(1)).max(1)
+    }
+
+    fn push_event(&mut self, kind: EventKind) {
+        self.events.push(RuntimeEvent {
+            tick: self.now,
+            kind,
+        });
+    }
+
+    // --- observation ---------------------------------------------------------
+
+    /// The chip (read-only; all mutation goes through the runtime).
+    pub fn chip(&self) -> &VlsiChip {
+        &self.chip
+    }
+
+    /// The full, ordered event log.
+    pub fn events(&self) -> &[RuntimeEvent] {
+        &self.events
+    }
+
+    /// A job's record.
+    pub fn job(&self, id: JobId) -> Result<&JobRecord, RuntimeError> {
+        self.jobs.get(&id).ok_or(RuntimeError::UnknownJob(id))
+    }
+
+    /// All job records, in submission order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Jobs still queued or running.
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+
+    /// Regions currently parked in the warm pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The scheduling policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The chip-level counters so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Digest of the run so far (what the ablation bench tabulates).
+    pub fn summary(&self) -> RuntimeSummary {
+        let finished = self.jobs.values().filter(|r| r.stats.finished_at.is_some());
+        let makespan = finished
+            .clone()
+            .filter_map(|r| r.stats.finished_at)
+            .max()
+            .unwrap_or(0);
+        let admitted: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|r| r.stats.admitted_at.is_some())
+            .map(|r| r.stats.wait)
+            .collect();
+        let turnarounds: Vec<u64> = finished.map(|r| r.stats.turnaround).collect();
+        let mean = |xs: &[u64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<u64>() as f64 / xs.len() as f64
+            }
+        };
+        RuntimeSummary {
+            policy: self.policy.name(),
+            ticks: self.now,
+            completed: self.stats.completed,
+            failed: self.stats.failed,
+            makespan,
+            mean_wait: mean(&admitted),
+            mean_turnaround: mean(&turnarounds),
+            utilization: if self.stats.total_cluster_ticks == 0 {
+                0.0
+            } else {
+                self.stats.busy_cluster_ticks as f64 / self.stats.total_cluster_ticks as f64
+            },
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Fifo;
+    use vlsi_topology::Cluster;
+
+    fn rt(pool_ttl: Option<u64>) -> Runtime {
+        let chip = VlsiChip::new(8, 8, Cluster::default());
+        let config = RuntimeConfig {
+            pool_ttl,
+            ..RuntimeConfig::default()
+        };
+        Runtime::new(chip, Box::new(Fifo), config)
+    }
+
+    fn idle(clusters: usize, ticks: u64) -> JobSpec {
+        JobSpec::new("idle", clusters, Workload::Idle { ticks })
+    }
+
+    #[test]
+    fn too_large_fails_gracefully_at_submit() {
+        let mut rt = rt(None);
+        let id = rt.submit(idle(65, 1));
+        let rec = rt.job(id).unwrap();
+        assert_eq!(rec.state, JobState::Failed);
+        assert!(matches!(
+            rec.failure,
+            Some(RuntimeError::TooLarge { requested: 65, .. })
+        ));
+        assert_eq!(rt.outstanding(), 0);
+    }
+
+    #[test]
+    fn warm_pool_reuses_an_exact_size_region() {
+        let mut rt = rt(Some(64));
+        let a = rt.submit(idle(4, 2));
+        rt.run_until_idle(1_000).unwrap();
+        assert_eq!(rt.pool_len(), 1, "completed region parks in the pool");
+        let b = rt.submit(idle(4, 2));
+        rt.run_until_idle(1_000).unwrap();
+        assert!(rt.job(b).unwrap().stats.pool_hit);
+        assert!(!rt.job(a).unwrap().stats.pool_hit);
+        assert_eq!(rt.stats().pool_hits, 1);
+        assert!(rt
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PoolWoken { job, .. } if job == b)));
+    }
+
+    #[test]
+    fn pool_timer_expiry_reclaims_the_region() {
+        let mut rt = rt(Some(5));
+        rt.submit(idle(4, 1));
+        rt.run_until_idle(1_000).unwrap();
+        assert_eq!(rt.pool_len(), 1);
+        for _ in 0..6 {
+            rt.tick().unwrap();
+        }
+        assert_eq!(rt.pool_len(), 0);
+        assert_eq!(rt.chip().free_clusters(), 64);
+        assert!(rt
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PoolReclaimed { .. })));
+        assert_eq!(rt.stats().pool_reclaims, 1);
+    }
+
+    #[test]
+    fn queued_job_missing_its_deadline_fails_gracefully() {
+        let mut rt = rt(None);
+        let hog = rt.submit(idle(64, 50));
+        let late = rt.submit(idle(64, 1).with_deadline(5));
+        let summary = rt.run_until_idle(10_000).unwrap();
+        assert_eq!(rt.job(hog).unwrap().state, JobState::Completed);
+        let rec = rt.job(late).unwrap();
+        assert_eq!(rec.state, JobState::Failed);
+        assert!(matches!(
+            rec.failure,
+            Some(RuntimeError::DeadlineMissed { deadline: 5, .. })
+        ));
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.failed, 1);
+    }
+
+    // A defective cluster in the middle of the die makes a 60-cluster
+    // *contiguous* gather impossible even though 63 clusters are free —
+    // the policy's fit check passes, the gather fails, and the backoff
+    // path runs.
+    fn impossible_gather(max_retries: u32) -> (Runtime, JobId) {
+        let mut rt = rt(None);
+        rt.inject_defect_at(1, Coord::new(3, 3));
+        rt.tick().unwrap();
+        let starved = rt.submit(idle(60, 1).with_max_retries(max_retries));
+        (rt, starved)
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let (mut rt, starved) = impossible_gather(6);
+        rt.run_until_idle(10_000).unwrap();
+        let retries: Vec<u64> = rt
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::GatherFailed { job, retry_at, .. } if job == starved => {
+                    Some(retry_at - e.tick)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(retries.len() >= 3, "expected several retries: {retries:?}");
+        for w in retries.windows(2) {
+            assert!(w[1] >= w[0], "backoff never shrinks: {retries:?}");
+        }
+        assert!(retries.iter().all(|&d| d <= 64), "capped: {retries:?}");
+        assert_eq!(retries[0], 2);
+        assert_eq!(retries[1], 4);
+    }
+
+    #[test]
+    fn retries_exhausted_fails_gracefully() {
+        let (mut rt, starved) = impossible_gather(2);
+        rt.run_until_idle(10_000).unwrap();
+        let rec = rt.job(starved).unwrap();
+        assert_eq!(rec.state, JobState::Failed);
+        assert!(matches!(
+            rec.failure,
+            Some(RuntimeError::RetriesExhausted { attempts: 3, .. })
+        ));
+        assert_eq!(rt.chip().free_clusters(), 63, "nothing leaked");
+    }
+}

@@ -16,12 +16,15 @@
 //!   parameter (the Figure 3 generator lifted to real objects);
 //! * [`program`] — a miniature expression IR, the basic-block partitioner
 //!   of Figure 7(a)→(b), and a compiler from basic blocks to datapaths;
-//! * [`figure7`] — the paper's worked example, prebuilt.
+//! * [`figure7`] — the paper's worked example, prebuilt;
+//! * [`jobmix`] — deterministic generators of verified workload
+//!   instances for the runtime's multi-tenant job mixes.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod figure7;
+pub mod jobmix;
 pub mod ocode;
 pub mod optimizer;
 pub mod program;

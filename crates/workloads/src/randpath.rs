@@ -6,11 +6,10 @@
 //! locality knob. Used for pipeline/cache characterisation (Ablation B)
 //! and fuzzing the full configure/execute path.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vlsi_object::{
     GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation, Word,
 };
+use vlsi_prng::Prng;
 
 /// Generator parameters.
 #[derive(Clone, Copy, Debug)]
@@ -65,7 +64,7 @@ impl RandomDatapath {
     pub fn stream(&self) -> GlobalConfigStream {
         assert!(self.n_objects >= 2);
         let n = i64::from(self.n_objects);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Prng::seed_from_u64(self.seed);
         let max_off = ((1.0 - self.locality.clamp(0.0, 1.0)) * (n - 1) as f64).round() as i64;
         let mut prev_sink = 0i64;
         (0..self.n_elements)

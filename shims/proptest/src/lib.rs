@@ -1,0 +1,507 @@
+//! # proptest-shim — an offline, deterministic subset of proptest
+//!
+//! This workspace builds with **no registry access**, so the real
+//! `proptest` crate cannot be downloaded. This shim implements the slice
+//! of its API the repo's property tests use — the `proptest!` macro with
+//! `x in strategy` / `x: Type` parameters, `prop_assert!`/
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::select`, tuple strategies, and
+//! `Strategy::prop_map` — on top of the workspace's own SplitMix64
+//! generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the values bound by
+//!   that case (via the normal assert message); it is not minimised.
+//! * **Fixed deterministic seeding.** Every test runs
+//!   [`CASES`] cases whose seeds derive from the case index alone, so a
+//!   failure reproduces on every run and every machine.
+//! * **Strategies are sampled, not explored**: ranges draw uniformly.
+
+#![forbid(unsafe_code)]
+
+use vlsi_prng::{Bounded, Prng, UniformSample};
+
+/// Cases each property runs (real proptest defaults to 256; the chip
+/// properties here gather/execute on every case, so a smaller count keeps
+/// `cargo test` quick while still sweeping each strategy well).
+pub const CASES: u64 = 64;
+
+/// The RNG for one test case. Seeds are a function of the case index
+/// only: deterministic across runs, machines, and test-order shuffles.
+pub fn case_rng(case: u64) -> Prng {
+    Prng::seed_from_u64(0x9E3C_A5E5_EED5_EED0 ^ case.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+// --- Strategy ---------------------------------------------------------------
+
+/// A generator of test-case values (the shim's take on
+/// `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut Prng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut Prng) -> V {
+        self.0.new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut Prng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut Prng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: UniformSample + Bounded,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut Prng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: UniformSample,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut Prng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String strategies from a regex subset, matching proptest's
+/// `impl Strategy for &str`. Supported: concatenations of literal
+/// characters and `[...]` classes (ranges, `\n`/`\t`/`\\`/`\-`/`\]`
+/// escapes), each with an optional `{m,n}` / `{n}` / `*` / `+` / `?`
+/// quantifier. This covers the patterns used in this workspace's tests.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut Prng) -> String {
+        let atoms = parse_regex_subset(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for (class, (lo, hi)) in &atoms {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                let &(a, b) = rng.choose(class).expect("non-empty class");
+                let span = b as u32 - a as u32;
+                let c = char::from_u32(a as u32 + rng.gen_range(0..=span))
+                    .expect("range endpoints are chars");
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+type CharClass = Vec<(char, char)>;
+type RegexAtom = (CharClass, (usize, usize));
+
+/// Parses the supported regex subset into `(class, (min, max))` atoms.
+fn parse_regex_subset(pattern: &str) -> Result<Vec<RegexAtom>, String> {
+    let mut atoms: Vec<RegexAtom> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    let unescape = |c: char| match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    };
+    while let Some(c) = chars.next() {
+        let class: CharClass = match c {
+            '[' => {
+                let mut class = Vec::new();
+                loop {
+                    let item = match chars.next() {
+                        None => return Err("unterminated class".into()),
+                        Some(']') => break,
+                        Some('\\') => unescape(chars.next().ok_or("dangling escape")?),
+                        Some(other) => other,
+                    };
+                    // A range `a-z`? Only when `-` is not last in class.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(']') | None => {}
+                            _ => {
+                                chars.next(); // consume '-'
+                                let end = match chars.next() {
+                                    Some('\\') => unescape(chars.next().ok_or("dangling escape")?),
+                                    Some(e) => e,
+                                    None => return Err("unterminated range".into()),
+                                };
+                                if end < item {
+                                    return Err(format!("reversed range {item:?}-{end:?}"));
+                                }
+                                class.push((item, end));
+                                continue;
+                            }
+                        }
+                    }
+                    class.push((item, item));
+                }
+                if class.is_empty() {
+                    return Err("empty class".into());
+                }
+                class
+            }
+            '\\' => {
+                let e = unescape(chars.next().ok_or("dangling escape")?);
+                vec![(e, e)]
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                return Err(format!("unsupported regex operator {c:?}"));
+            }
+            literal => vec![(literal, literal)],
+        };
+        // Optional quantifier.
+        let reps = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let parts: Vec<&str> = body.split(',').collect();
+                match parts.as_slice() {
+                    [n] => {
+                        let n = n.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                        (n, n)
+                    }
+                    [m, n] => (
+                        m.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                        n.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                    ),
+                    _ => return Err(format!("bad quantifier {{{body}}}")),
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((class, reps));
+    }
+    Ok(atoms)
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut Prng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+pub struct OneOf<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut Prng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].new_value(rng)
+    }
+}
+
+// --- Arbitrary (the `any::<T>()` / `x: Type` path) --------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut Prng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Prng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Prng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut Prng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- prop:: modules ---------------------------------------------------------
+
+/// The `prop::` namespace (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use vlsi_prng::{Prng, SampleRange};
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+        pub struct VecStrategy<S, R> {
+            elem: S,
+            len: R,
+        }
+
+        /// `vec(element_strategy, length_range)`.
+        pub fn vec<S: Strategy, R: SampleRange<usize>>(elem: S, len: R) -> VecStrategy<S, R> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy, R: SampleRange<usize>> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut Prng) -> Vec<S::Value> {
+                let (lo, hi) = self.len.bounds();
+                let n = rng.gen_range(lo..=hi);
+                (0..n).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+        use vlsi_prng::Prng;
+
+        /// Uniform choice from a fixed set of values.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// `select(values)` — draws uniformly from `values`.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select() needs at least one value");
+            Select(values)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut Prng) -> T {
+                rng.choose(&self.0).expect("non-empty").clone()
+            }
+        }
+    }
+}
+
+// --- macros -----------------------------------------------------------------
+
+/// The `proptest!` block: each contained `#[test] fn name(params) { .. }`
+/// becomes a zero-argument test that runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            for __case in 0..$crate::CASES {
+                let mut __rng = $crate::case_rng(__case);
+                $crate::__proptest_bind!(__rng, $($params)*);
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: binds one `proptest!` parameter list against an RNG.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident,) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::new_value(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::new_value(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice between the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Push(u64),
+        Pop,
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![any::<u64>().prop_map(Op::Push), Just(Op::Pop)],
+            1..20,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u16..5, ab in (any::<u8>(), any::<u8>()), v in prop::collection::vec((0usize..4, -3i64..=3), 1..10)) {
+            prop_assert!(x < 5);
+            let _ = ab;
+            for (p, q) in v {
+                prop_assert!(p < 4);
+                prop_assert!((-3..=3).contains(&q));
+            }
+        }
+
+        #[test]
+        fn oneof_and_select(script in ops(), pick in prop::sample::select(vec![1u8, 3, 5])) {
+            prop_assert!(!script.is_empty());
+            prop_assert_eq!(pick % 2, 1);
+        }
+
+        #[test]
+        fn typed_params_draw(seed: u64, flag: bool) {
+            // Just exercise the `name: Type` binding path.
+            let _ = (seed, flag);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn regex_strategy_generates_matching_text(text in "[ -~\n]{0,200}", word in "ab[0-9]{2}x?") {
+            prop_assert!(text.len() <= 200);
+            prop_assert!(text.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            prop_assert!(word.starts_with("ab"));
+            let digits: String = word[2..4].to_string();
+            prop_assert!(digits.chars().all(|c| c.is_ascii_digit()), "{}", word);
+            prop_assert!(word.len() == 4 || (word.len() == 5 && word.ends_with('x')));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let draw = |case| {
+            let mut rng = super::case_rng(case);
+            ops().new_value(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

@@ -10,5 +10,7 @@ pub use vlsi_cost as cost;
 pub use vlsi_csd as csd;
 pub use vlsi_noc as noc;
 pub use vlsi_object as object;
+pub use vlsi_prng as prng;
+pub use vlsi_runtime as runtime;
 pub use vlsi_topology as topology;
 pub use vlsi_workloads as workloads;

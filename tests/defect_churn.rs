@@ -1,0 +1,180 @@
+//! Integration: defect tolerance under allocation churn.
+//!
+//! Defects land while processors are inactive *and* active; relocation
+//! must preserve mailbox contents and lifecycle state, and compaction
+//! must measurably reduce fragmentation.
+
+use vlsi_processor::core::{ProcState, VlsiChip};
+use vlsi_processor::object::Word;
+use vlsi_processor::topology::{Cluster, Coord, Region};
+
+fn words(xs: &[u64]) -> Vec<Word> {
+    xs.iter().map(|&x| Word(x)).collect()
+}
+
+#[test]
+fn defect_under_an_inactive_processor_relocates_with_mailboxes_intact() {
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let id = chip
+        .gather(Region::rect(Coord::new(0, 0), 2, 2))
+        .unwrap()
+        .id;
+    let payload = [11u64, 22, 33, 44, 55];
+    chip.write_mailbox(id, 0, 0, &words(&payload)).unwrap();
+    chip.write_mailbox(id, 1, 4, &words(&[99, 98])).unwrap();
+
+    // The defect appears under the (inactive) processor's region.
+    chip.mark_defective(Coord::new(1, 1));
+    let old_region = chip.processor(id).unwrap().region.clone();
+    chip.relocate(id).unwrap();
+
+    let p = chip.processor(id).unwrap();
+    assert_ne!(p.region, old_region, "must move off the defect");
+    assert!(!p.region.cells().any(|c| chip.is_defective(c)));
+    assert_eq!(p.state, ProcState::Inactive, "lifecycle state preserved");
+    let got = chip.read_mailbox(id, 0, 0, payload.len()).unwrap();
+    assert_eq!(
+        got.iter().map(|w| w.as_u64()).collect::<Vec<_>>(),
+        payload,
+        "block-0 mailbox moved intact"
+    );
+    let got = chip.read_mailbox(id, 1, 4, 2).unwrap();
+    assert_eq!(got.iter().map(|w| w.as_u64()).collect::<Vec<_>>(), [99, 98]);
+}
+
+#[test]
+fn defect_under_an_active_processor_survives_deactivate_then_relocate() {
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let id = chip
+        .gather(Region::rect(Coord::new(0, 0), 2, 2))
+        .unwrap()
+        .id;
+    let payload = [7u64, 6, 5, 4];
+    chip.write_mailbox(id, 0, 0, &words(&payload)).unwrap();
+    chip.activate(id).unwrap();
+    assert_eq!(chip.state(id).unwrap(), ProcState::Active);
+
+    // Defect while running: the host deactivates, relocates, resumes.
+    chip.mark_defective(Coord::new(0, 1));
+    chip.deactivate(id).unwrap();
+    chip.relocate(id).unwrap();
+    assert!(!chip
+        .processor(id)
+        .unwrap()
+        .region
+        .cells()
+        .any(|c| chip.is_defective(c)));
+    let got = chip.read_mailbox(id, 0, 0, payload.len()).unwrap();
+    assert_eq!(got.iter().map(|w| w.as_u64()).collect::<Vec<_>>(), payload);
+
+    // The full lifecycle still works after the move.
+    chip.activate(id).unwrap();
+    assert_eq!(chip.state(id).unwrap(), ProcState::Active);
+    chip.sleep(id, Some(3)).unwrap();
+    assert_eq!(chip.state(id).unwrap(), ProcState::Sleep);
+    let woke = chip.tick_timers(3);
+    assert_eq!(woke, vec![id]);
+    chip.deactivate(id).unwrap();
+    chip.release_processor(id).unwrap();
+    assert_eq!(chip.free_clusters() + chip.defective_count(), 64);
+}
+
+#[test]
+fn compaction_reduces_fragmentation_after_churny_releases() {
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    // Tile the die with four 2×8 strips, then release the two middle
+    // ones: 32 clusters free, but split into separated strips.
+    let ids: Vec<_> = (0..4)
+        .map(|i| {
+            chip.gather(Region::rect(Coord::new(i * 2, 0), 2, 8))
+                .unwrap()
+                .id
+        })
+        .collect();
+    chip.release_processor(ids[1]).unwrap();
+    chip.release_processor(ids[3]).unwrap();
+
+    let free_before = chip.free_clusters();
+    let frag_before = chip.fragmentation();
+    assert_eq!(free_before, 32);
+    assert!(
+        frag_before > 0.0,
+        "separated free strips must show fragmentation, got {frag_before}"
+    );
+
+    let moved = chip.compact();
+    assert!(moved > 0, "some processor must relocate");
+    let frag_after = chip.fragmentation();
+    assert!(
+        frag_after < frag_before,
+        "compaction must reduce fragmentation ({frag_before} -> {frag_after})"
+    );
+    assert_eq!(chip.free_clusters(), free_before, "no clusters lost");
+    assert!(
+        chip.largest_gatherable() > 16,
+        "the merged hole admits requests no strip could"
+    );
+
+    // The survivors still hold their regions and remain releasable.
+    for id in [ids[0], ids[2]] {
+        assert_eq!(chip.state(id).unwrap(), ProcState::Inactive);
+        chip.release_processor(id).unwrap();
+    }
+    assert_eq!(chip.free_clusters(), 64);
+}
+
+#[test]
+fn churn_with_defects_keeps_the_allocator_consistent() {
+    // Gather/release churn while defects accumulate: the allocator must
+    // never hand out a defective cluster and accounting must balance.
+    let mut chip = VlsiChip::new(8, 8, Cluster::default());
+    let defects = [Coord::new(3, 3), Coord::new(6, 1), Coord::new(1, 6)];
+    let mut live: Vec<_> = Vec::new();
+    for round in 0..6 {
+        if round < defects.len() {
+            let d = defects[round];
+            chip.mark_defective(d);
+            // The defect may land under a live processor: relocate it
+            // off the bad cluster (or release it if the die is too
+            // packed to move).
+            if let Some(victim) = chip.processor_at(d) {
+                if chip.relocate(victim).is_err() {
+                    chip.release_processor(victim).unwrap();
+                    live.retain(|id| *id != victim);
+                }
+            }
+        }
+        // Gather as much as fits in 4-cluster bites.
+        while let Ok(out) = chip.gather_any(4) {
+            live.push(out.id);
+        }
+        for id in &live {
+            let p = chip.processor(*id).unwrap();
+            assert!(
+                !p.region.cells().any(|c| chip.is_defective(c)),
+                "round {round}: defective cluster handed out"
+            );
+        }
+        // Release every other processor and compact.
+        let released: Vec<_> = live
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == round % 2)
+            .map(|(_, id)| *id)
+            .collect();
+        for id in &released {
+            chip.release_processor(*id).unwrap();
+        }
+        live.retain(|id| !released.contains(id));
+        chip.compact();
+        let held: usize = live
+            .iter()
+            .map(|id| chip.processor(*id).unwrap().region.len())
+            .sum();
+        assert_eq!(
+            chip.free_clusters() + chip.defective_count() + held,
+            64,
+            "round {round}: accounting broke"
+        );
+    }
+}
