@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== chaos suite (fixed seed matrix: 3 seeds x 3 fault rates)"
+cargo test -q --offline --test chaos_transport
+
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 

@@ -175,6 +175,22 @@ impl VlsiChip {
         self.defective.contains(&c)
     }
 
+    /// Reports a stuck programmable switch at `c`: the fabric records
+    /// the stuck-at fault (all further programming there fails typed)
+    /// and the cluster is marked defective so region allocation routes
+    /// around it. This is the topology layer's fault report propagating
+    /// into the resource-allocation view — the caller (typically the
+    /// runtime) then relocates whatever was running on the cluster.
+    pub fn mark_switch_stuck(&mut self, c: Coord) {
+        self.fabric.mark_stuck(c);
+        self.defective.insert(c);
+    }
+
+    /// Whether the programmable switch at `c` is marked stuck.
+    pub fn is_switch_stuck(&self, c: Coord) -> bool {
+        self.fabric.is_stuck(c)
+    }
+
     /// Live processors, in ID order.
     pub fn processors(&self) -> impl Iterator<Item = &ScaledProcessor> {
         self.processors.values()
@@ -920,6 +936,20 @@ mod tests {
         assert_eq!(err, CoreError::DefectiveCluster(Coord::new(1, 1)));
         // A region avoiding the defect gathers fine.
         c.gather(Region::rect(Coord::new(2, 0), 2, 2)).unwrap();
+    }
+
+    #[test]
+    fn stuck_switch_becomes_a_defect_and_blocks_gather() {
+        let mut c = chip();
+        c.mark_switch_stuck(Coord::new(1, 1));
+        assert!(c.is_switch_stuck(Coord::new(1, 1)));
+        assert!(c.is_defective(Coord::new(1, 1)));
+        // The fault report flows into allocation: a region over the stuck
+        // switch is rejected typed, one around it gathers fine.
+        let err = c.gather(Region::rect(Coord::new(0, 0), 2, 2)).unwrap_err();
+        assert_eq!(err, CoreError::DefectiveCluster(Coord::new(1, 1)));
+        c.gather(Region::rect(Coord::new(2, 0), 2, 2)).unwrap();
+        assert_eq!(c.usable_clusters(), 63);
     }
 
     #[test]

@@ -40,13 +40,20 @@ pub struct ChannelSegments {
     /// and `i + 1`), or `None` when the segment is free (default: chained,
     /// carrying nothing).
     owner: Vec<Option<RouteId>>,
+    /// `failed[i]` marks segment `i` as physically broken: it can carry
+    /// no communication and is never granted. Failure is a property of
+    /// the *wire*, so — unlike ownership — it does not move on a stack
+    /// shift.
+    failed: Vec<bool>,
 }
 
 impl ChannelSegments {
     /// Builds the segment array for an `n_positions`-long array.
     pub fn new(n_positions: usize) -> ChannelSegments {
+        let n = n_positions.saturating_sub(1);
         ChannelSegments {
-            owner: vec![None; n_positions.saturating_sub(1)],
+            owner: vec![None; n],
+            failed: vec![false; n],
         }
     }
 
@@ -60,18 +67,47 @@ impl ChannelSegments {
         self.owner.is_empty()
     }
 
-    /// Whether every segment in `[lo, hi)` is free.
+    /// Whether every segment in `[lo, hi)` is free *and healthy*.
     pub fn span_free(&self, lo: Position, hi: Position) -> bool {
-        self.owner[lo..hi].iter().all(|s| s.is_none())
+        self.owner[lo..hi].iter().all(|s| s.is_none()) && !self.failed[lo..hi].iter().any(|&f| f)
     }
 
     /// Claims `[lo, hi)` for `route`. Caller must have checked
     /// [`span_free`](Self::span_free); double-claims panic in debug builds.
     pub fn claim(&mut self, lo: Position, hi: Position, route: RouteId) {
-        for s in &mut self.owner[lo..hi] {
+        for (s, &f) in self.owner[lo..hi].iter_mut().zip(&self.failed[lo..hi]) {
             debug_assert!(s.is_none(), "claiming an occupied segment");
+            debug_assert!(!f, "claiming a failed segment");
             *s = Some(route);
         }
+    }
+
+    /// Marks segment `i` as failed and returns the route that was riding
+    /// it, if any (the caller must re-chain or tear that route down).
+    /// Out-of-range indices are ignored.
+    pub fn fail_segment(&mut self, i: usize) -> Option<RouteId> {
+        if i >= self.failed.len() {
+            return None;
+        }
+        self.failed[i] = true;
+        self.owner[i]
+    }
+
+    /// Repairs segment `i` (a transient fault healing).
+    pub fn heal_segment(&mut self, i: usize) {
+        if let Some(f) = self.failed.get_mut(i) {
+            *f = false;
+        }
+    }
+
+    /// Whether segment `i` is marked failed.
+    pub fn is_failed(&self, i: usize) -> bool {
+        self.failed.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of segments currently marked failed.
+    pub fn failed_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| f).count()
     }
 
     /// Releases every segment owned by `route`. Returns how many segments
@@ -107,7 +143,10 @@ impl ChannelSegments {
     /// mirroring a stack shift of the object array: segment `i` takes the
     /// previous owner of segment `i - 1`; segment 0 becomes free; the
     /// owner of the last segment is returned (routes pushed off the bottom
-    /// must be torn down by the caller).
+    /// must be torn down by the caller). Failure marks stay put — they
+    /// belong to the physical wire, not to what it carries — so a shifted
+    /// route can land on a failed segment; callers detect that with
+    /// [`is_failed`](Self::is_failed) and re-chain or tear down.
     pub fn shift_down(&mut self) -> Option<RouteId> {
         if self.owner.is_empty() {
             return None;

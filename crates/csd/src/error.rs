@@ -23,6 +23,13 @@ pub enum CsdError {
     UnknownRoute(RouteId),
     /// A fan-out request listed no sinks.
     EmptyFanOut,
+    /// A fault-injection site named a channel/segment outside the network.
+    BadSegment {
+        /// Channel index.
+        channel: usize,
+        /// Segment index within the channel.
+        segment: usize,
+    },
 }
 
 impl fmt::Display for CsdError {
@@ -35,6 +42,9 @@ impl fmt::Display for CsdError {
             }
             CsdError::UnknownRoute(r) => write!(f, "route {r} is not live"),
             CsdError::EmptyFanOut => write!(f, "fan-out request with no sinks"),
+            CsdError::BadSegment { channel, segment } => {
+                write!(f, "segment {segment} of channel {channel} does not exist")
+            }
         }
     }
 }

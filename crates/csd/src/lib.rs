@@ -39,6 +39,6 @@ pub mod sim;
 
 pub use channel::{ChannelId, Position, RouteId};
 pub use error::CsdError;
-pub use network::{DynamicCsd, Route};
+pub use network::{DynamicCsd, Route, SegmentFaultOutcome};
 pub use protocol::{HandshakeEvent, HandshakeOutcome, ProtocolSim};
 pub use sim::{ChannelUsage, CsdSimulator};

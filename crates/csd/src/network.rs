@@ -34,6 +34,29 @@ pub struct Route {
     pub sinks: Vec<Position>,
 }
 
+/// What became of a route whose channel lost a segment underneath it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SegmentFaultOutcome {
+    /// The victim was moved — same span, same ID — onto another channel
+    /// with a healthy free span (the priority encoder re-ran for it).
+    Rechained {
+        /// The affected route (still live).
+        route: RouteId,
+        /// The channel it was riding when the segment failed.
+        from: ChannelId,
+        /// The channel now carrying it.
+        to: ChannelId,
+    },
+    /// Every other channel was occupied or broken over the span: the
+    /// route was torn down. The typed degradation result — the caller
+    /// (an AP pipeline or the runtime) decides whether to retry, shrink,
+    /// or fail the dependent computation.
+    Unroutable {
+        /// The torn-down route.
+        route: Route,
+    },
+}
+
 impl Route {
     /// Segment span `[lo, hi)` consumed on the channel.
     pub fn span(&self) -> (Position, Position) {
@@ -87,6 +110,8 @@ pub struct DynamicCsd {
     next_route: u32,
     grants: u64,
     rejections: u64,
+    segment_faults: u64,
+    rechains: u64,
 }
 
 impl DynamicCsd {
@@ -101,6 +126,8 @@ impl DynamicCsd {
             next_route: 0,
             grants: 0,
             rejections: 0,
+            segment_faults: 0,
+            rechains: 0,
         }
     }
 
@@ -173,9 +200,73 @@ impl DynamicCsd {
         Ok(route)
     }
 
+    /// Fails one segment of one channel (a broken chain switch or wire).
+    ///
+    /// The segment is withdrawn from allocation until
+    /// [`heal_segment`](Self::heal_segment). If a route was riding it,
+    /// the grant machinery re-runs for that route's span: it is
+    /// **re-chained** onto the lowest other channel with a healthy free
+    /// span, or — when no channel can carry it — torn down with a typed
+    /// [`SegmentFaultOutcome::Unroutable`]. Returns what happened to the
+    /// victim (`None` when the segment was idle).
+    pub fn fail_segment(
+        &mut self,
+        channel: usize,
+        segment: usize,
+    ) -> Result<Option<SegmentFaultOutcome>, CsdError> {
+        if channel >= self.channels.len() || segment >= self.channels[channel].len() {
+            return Err(CsdError::BadSegment { channel, segment });
+        }
+        self.segment_faults += 1;
+        let Some(victim) = self.channels[channel].fail_segment(segment) else {
+            return Ok(None);
+        };
+        Ok(Some(self.rehome(victim)))
+    }
+
+    /// Repairs a previously failed segment (a transient fault healing).
+    /// Routes torn down while it was broken are not resurrected.
+    pub fn heal_segment(&mut self, channel: usize, segment: usize) -> Result<(), CsdError> {
+        if channel >= self.channels.len() || segment >= self.channels[channel].len() {
+            return Err(CsdError::BadSegment { channel, segment });
+        }
+        self.channels[channel].heal_segment(segment);
+        Ok(())
+    }
+
+    /// Moves `victim` off its current channel: re-chained onto the lowest
+    /// channel with a healthy free span, or torn down as unroutable.
+    fn rehome(&mut self, victim: RouteId) -> SegmentFaultOutcome {
+        let route = self.routes.get(&victim).expect("victim is live").clone();
+        let (lo, hi) = route.span();
+        let from = route.channel;
+        self.channels[from.0 as usize].release(victim);
+        if let Some(ch) = self.channels.iter().position(|c| c.span_free(lo, hi)) {
+            self.channels[ch].claim(lo, hi, victim);
+            let to = ChannelId(ch as u16);
+            self.routes
+                .get_mut(&victim)
+                .expect("victim is live")
+                .channel = to;
+            self.rechains += 1;
+            SegmentFaultOutcome::Rechained {
+                route: victim,
+                from,
+                to,
+            }
+        } else {
+            let route = self.routes.remove(&victim).expect("victim is live");
+            self.rejections += 1;
+            SegmentFaultOutcome::Unroutable { route }
+        }
+    }
+
     /// Applies one stack shift: every object (and therefore every route
     /// endpoint) moves one position toward the bottom. Routes whose span
-    /// would leave the array are torn down and returned.
+    /// would leave the array are torn down and returned — as are routes
+    /// that shift onto a failed segment and cannot be re-chained
+    /// elsewhere (failure marks belong to the physical wire and do not
+    /// shift with the data).
     pub fn stack_shift(&mut self) -> Vec<Route> {
         let mut evicted: Vec<RouteId> = Vec::new();
         for c in &mut self.channels {
@@ -198,6 +289,24 @@ impl DynamicCsd {
             route.source += 1;
             for s in &mut route.sinks {
                 *s += 1;
+            }
+        }
+        // Routes that slid onto a broken wire re-run the grant machinery
+        // (in route order, for determinism).
+        let mut stranded: Vec<RouteId> = self
+            .routes
+            .values()
+            .filter(|r| {
+                let (lo, hi) = r.span();
+                let ch = &self.channels[r.channel.0 as usize];
+                (lo..hi).any(|s| ch.is_failed(s))
+            })
+            .map(|r| r.id)
+            .collect();
+        stranded.sort_unstable();
+        for id in stranded {
+            if let SegmentFaultOutcome::Unroutable { route } = self.rehome(id) {
+                out.push(route);
             }
         }
         out
@@ -244,6 +353,21 @@ impl DynamicCsd {
         self.rejections
     }
 
+    /// Segment faults injected since construction.
+    pub fn segment_fault_count(&self) -> u64 {
+        self.segment_faults
+    }
+
+    /// Routes successfully re-chained around a failed segment.
+    pub fn rechain_count(&self) -> u64 {
+        self.rechains
+    }
+
+    /// Segments currently marked failed, network-wide.
+    pub fn failed_segments(&self) -> usize {
+        self.channels.iter().map(|c| c.failed_count()).sum()
+    }
+
     /// Internal consistency check (used by property tests): every live
     /// route's span is exactly the set of segments it owns, and no segment
     /// is owned by a dead route.
@@ -263,6 +387,9 @@ impl DynamicCsd {
         for (ci, ch) in self.channels.iter().enumerate() {
             for seg in 0..ch.len() {
                 if let Some(owner) = ch.owner_of(seg) {
+                    if ch.is_failed(seg) {
+                        return Err(format!("failed segment {seg} of ch{ci} owned by {owner}"));
+                    }
                     let Some(route) = self.routes.get(&owner) else {
                         return Err(format!("segment {seg} of ch{ci} owned by dead {owner}"));
                     };
@@ -373,6 +500,114 @@ mod tests {
         assert_eq!(evicted.len(), 1);
         assert_eq!(net.live_routes(), 0);
         assert_eq!(net.used_channels(), 0);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn idle_segment_failure_just_withdraws_it() {
+        let mut net = DynamicCsd::new(8, 2);
+        assert_eq!(net.fail_segment(0, 3), Ok(None));
+        assert_eq!(net.failed_segments(), 1);
+        // The broken segment pushes an overlapping request to channel 1.
+        let r = net.connect(2, 5).unwrap();
+        assert_eq!(net.route(r).unwrap().channel, ChannelId(1));
+        // A request clear of the break still gets channel 0.
+        let r2 = net.connect(5, 7).unwrap();
+        assert_eq!(net.route(r2).unwrap().channel, ChannelId(0));
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn victim_route_is_rechained_onto_another_channel() {
+        let mut net = DynamicCsd::new(8, 2);
+        let r = net.connect(1, 5).unwrap();
+        assert_eq!(net.route(r).unwrap().channel, ChannelId(0));
+        let outcome = net.fail_segment(0, 3).unwrap();
+        assert_eq!(
+            outcome,
+            Some(SegmentFaultOutcome::Rechained {
+                route: r,
+                from: ChannelId(0),
+                to: ChannelId(1),
+            })
+        );
+        // Same span, same ID, new channel; the datapath survived.
+        let route = net.route(r).unwrap();
+        assert_eq!(route.channel, ChannelId(1));
+        assert_eq!(route.span(), (1, 5));
+        assert_eq!(net.rechain_count(), 1);
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unroutable_victim_is_torn_down_typed() {
+        let mut net = DynamicCsd::new(8, 2);
+        let victim = net.connect(1, 5).unwrap();
+        let blocker = net.connect(2, 6).unwrap(); // occupies channel 1
+        let outcome = net.fail_segment(0, 3).unwrap();
+        let Some(SegmentFaultOutcome::Unroutable { route }) = outcome else {
+            panic!("expected Unroutable, got {outcome:?}");
+        };
+        assert_eq!(route.id, victim);
+        assert!(net.route(victim).is_none(), "victim torn down");
+        assert!(net.route(blocker).is_some(), "bystander survives");
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn heal_restores_the_segment() {
+        let mut net = DynamicCsd::new(8, 1);
+        net.fail_segment(0, 2).unwrap();
+        assert!(net.connect(1, 4).is_err());
+        net.heal_segment(0, 2).unwrap();
+        assert!(net.connect(1, 4).is_ok());
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bad_fault_sites_rejected() {
+        let mut net = DynamicCsd::new(8, 2);
+        assert_eq!(
+            net.fail_segment(5, 0),
+            Err(CsdError::BadSegment {
+                channel: 5,
+                segment: 0
+            })
+        );
+        assert_eq!(
+            net.fail_segment(0, 7),
+            Err(CsdError::BadSegment {
+                channel: 0,
+                segment: 7
+            })
+        );
+        assert!(net.heal_segment(9, 9).is_err());
+    }
+
+    #[test]
+    fn stack_shift_rechains_routes_that_slide_onto_a_break() {
+        let mut net = DynamicCsd::new(8, 2);
+        let r = net.connect(0, 2).unwrap(); // segments 0,1 of channel 0
+                                            // Break segment 2 of channel 0: idle today, but the shift slides
+                                            // the route onto it (span 0..2 → 1..3).
+        net.fail_segment(0, 2).unwrap();
+        let evicted = net.stack_shift();
+        assert!(evicted.is_empty(), "re-chaining saves the route");
+        let route = net.route(r).unwrap();
+        assert_eq!(route.channel, ChannelId(1));
+        assert_eq!(route.span(), (1, 3));
+        net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stack_shift_evicts_stranded_routes_with_no_spare_channel() {
+        let mut net = DynamicCsd::new(8, 1);
+        let r = net.connect(0, 2).unwrap();
+        net.fail_segment(0, 2).unwrap();
+        let evicted = net.stack_shift();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].id, r);
+        assert_eq!(net.live_routes(), 0);
         net.check_invariants().unwrap();
     }
 

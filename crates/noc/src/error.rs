@@ -1,5 +1,6 @@
 //! Errors of the NoC layer.
 
+use crate::flit::WormId;
 use std::fmt;
 use vlsi_topology::Coord;
 
@@ -12,10 +13,25 @@ pub enum NocError {
     InjectionStall(Coord),
     /// A packet had no flits.
     EmptyPacket,
+    /// An input queue was offered a flit while full (backpressure; the
+    /// flit stays with the sender instead of being dropped).
+    QueueFull {
+        /// The router whose queue refused the flit.
+        at: Coord,
+    },
     /// The network did not drain within the cycle budget.
     Timeout {
         /// Cycles simulated.
         cycles: u64,
+    },
+    /// A worm exhausted its retransmission budget: every attempt ended
+    /// in a delivery timeout, a livelock-bound trip, or a checksum
+    /// failure. The sender must degrade (reroute, relocate, or report).
+    Undeliverable {
+        /// The worm that could not be delivered.
+        worm: WormId,
+        /// Delivery attempts made (initial send plus retransmissions).
+        attempts: u32,
     },
 }
 
@@ -25,8 +41,12 @@ impl fmt::Display for NocError {
             NocError::OutOfGrid(c) => write!(f, "router coordinate {c} outside the grid"),
             NocError::InjectionStall(c) => write!(f, "local queue at {c} full"),
             NocError::EmptyPacket => write!(f, "packet with no flits"),
+            NocError::QueueFull { at } => write!(f, "input queue at {at} full (backpressure)"),
             NocError::Timeout { cycles } => {
                 write!(f, "network did not drain within {cycles} cycles")
+            }
+            NocError::Undeliverable { worm, attempts } => {
+                write!(f, "{worm} undeliverable after {attempts} attempts")
             }
         }
     }

@@ -27,6 +27,8 @@ pub mod vc;
 
 pub use error::NocError;
 pub use flit::{Flit, Packet, WormId};
-pub use network::{NetworkStats, NocNetwork};
+pub use network::{
+    NetworkStats, NocNetwork, MAX_DELIVERY_ATTEMPTS, RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP,
+};
 pub use router::{Port, Router, INPUT_QUEUE_DEPTH};
 pub use vc::VcNetwork;

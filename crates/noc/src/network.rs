@@ -10,12 +10,44 @@
 //! Per-worm injection and delivery timestamps are recorded: configuration
 //! latency — how long a scaling worm takes to program its target switch —
 //! is the quantity the Ablation C bench sweeps against region size.
+//!
+//! ## Fault tolerance
+//!
+//! Attaching a [`FaultPlan`] ([`NocNetwork::attach_fault_plan`]) arms the
+//! end-to-end reliability layer, modelled on the DNP's error-notification
+//! and retransmission path:
+//!
+//! * every packet carries a sender-side FNV-1a checksum, re-verified at
+//!   reassembly — a `LinkCorrupt` flip is always detected;
+//! * every worm has a delivery deadline; a missed deadline (flits wedged
+//!   behind a down link or stalled router) **purges** the worm's flits
+//!   from the fabric and retransmits from the source with capped
+//!   exponential backoff;
+//! * heads route adaptively around *permanently* dead links and routers
+//!   (transient outages are cheaper to wait out in place); because the
+//!   detour breaks XY's deadlock freedom, each worm gets a hop budget —
+//!   the livelock bound — and a budget trip is handled like a timeout;
+//! * a worm that exhausts its retransmission budget is reported as
+//!   [`NocError::Undeliverable`] via [`NocNetwork::take_failed`], never
+//!   dropped silently.
+//!
+//! Without a plan attached none of this machinery runs and the network
+//! behaves bit-identically to the fault-free simulator.
 
 use crate::error::NocError;
 use crate::flit::{Flit, Packet, WormId};
 use crate::router::{Port, Router};
-use std::collections::{HashMap, VecDeque};
-use vlsi_topology::Coord;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use vlsi_faults::{payload_checksum, FaultPlan};
+use vlsi_topology::{Coord, Dir};
+
+/// Delivery attempts per worm before it is declared undeliverable
+/// (initial send plus retransmissions).
+pub const MAX_DELIVERY_ATTEMPTS: u32 = 6;
+/// First retransmission backoff, in cycles; doubles per attempt.
+pub const RETRY_BACKOFF_BASE: u64 = 8;
+/// Retransmission backoff cap, in cycles.
+pub const RETRY_BACKOFF_CAP: u64 = 512;
 
 /// Aggregate statistics of one network run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -28,12 +60,45 @@ pub struct NetworkStats {
     pub flits_delivered: u64,
     /// Router-to-router link crossings.
     pub link_crossings: u64,
+    /// Payload words corrupted on a faulty link.
+    pub corrupted_crossings: u64,
+    /// Reassemblies rejected by the end-to-end checksum.
+    pub checksum_failures: u64,
+    /// Worms purged after missing a delivery deadline or tripping the
+    /// livelock bound.
+    pub worm_timeouts: u64,
+    /// Retransmissions issued.
+    pub retransmissions: u64,
+    /// Heads steered off the XY route around a permanent fault.
+    pub misroutes: u64,
+    /// Worms that exhausted their retransmission budget.
+    pub undeliverable: u64,
 }
 
 #[derive(Clone, Debug)]
 struct Reassembly {
     payload: Vec<u64>,
     injected_at: u64,
+}
+
+/// Sender-side state of one in-flight worm (fault-tolerant mode only).
+#[derive(Clone, Debug)]
+struct PendingWorm {
+    src: Coord,
+    dest: Coord,
+    payload: Vec<u64>,
+    checksum: u64,
+    /// Attempts started so far (1 after the initial send).
+    attempts: u32,
+    /// First injection cycle — latency is measured end to end, across
+    /// retransmissions.
+    injected_at: u64,
+    /// Cycle by which the current attempt must deliver.
+    deadline: u64,
+    /// Link crossings of this worm's head in the current attempt.
+    hops: u64,
+    /// `Some(cycle)`: purged and waiting out the backoff until `cycle`.
+    retry_at: Option<u64>,
 }
 
 /// The router mesh.
@@ -62,6 +127,15 @@ pub struct NocNetwork {
     latencies: HashMap<WormId, u64>,
     next_worm: u64,
     stats: NetworkStats,
+    /// Fault schedule; empty and inert until a plan is attached.
+    plan: FaultPlan,
+    /// Whether the fault-tolerance layer is armed.
+    ft: bool,
+    /// Sender-side tracking of undelivered worms, in worm order so
+    /// timeout/retry processing is deterministic.
+    pending: BTreeMap<WormId, PendingWorm>,
+    /// Worms that exhausted their retransmission budget.
+    failed: Vec<(WormId, NocError)>,
 }
 
 impl NocNetwork {
@@ -81,6 +155,10 @@ impl NocNetwork {
             latencies: HashMap::new(),
             next_worm: 0,
             stats: NetworkStats::default(),
+            plan: FaultPlan::none(),
+            ft: false,
+            pending: BTreeMap::new(),
+            failed: Vec::new(),
         }
     }
 
@@ -97,6 +175,46 @@ impl NocNetwork {
     /// Mesh height.
     pub fn height(&self) -> u16 {
         self.height
+    }
+
+    /// Arms the fault-tolerance layer with a fault schedule (times are
+    /// interpreted as network cycles). Attach before injecting: worms
+    /// already in flight keep their fault-free bookkeeping. Attaching
+    /// even an empty plan enables checksums, timeouts, and
+    /// retransmission.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.ft = true;
+    }
+
+    /// The attached fault schedule, if the tolerance layer is armed.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.ft.then_some(&self.plan)
+    }
+
+    /// Worms declared undeliverable so far (clears the list). Each entry
+    /// is a typed [`NocError::Undeliverable`] — the graceful-degradation
+    /// signal callers react to.
+    pub fn take_failed(&mut self) -> Vec<(WormId, NocError)> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Worms injected but neither delivered nor declared undeliverable.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Per-attempt delivery budget: generous slack over the contention-
+    /// free latency so congestion alone rarely trips it.
+    fn delivery_budget(&self, src: Coord, dest: Coord, flits: usize) -> u64 {
+        let dist = u64::from(src.x.abs_diff(dest.x)) + u64::from(src.y.abs_diff(dest.y));
+        16 * (dist + flits as u64) + 256
+    }
+
+    /// Livelock bound: adaptive detours may wander, but never farther
+    /// than a few mesh perimeters.
+    fn hop_budget(&self) -> u64 {
+        4 * (u64::from(self.width) + u64::from(self.height)) + 64
     }
 
     /// Injects a packet at `src` toward `dest`. The flits wait in the
@@ -123,6 +241,23 @@ impl NocNetwork {
                 injected_at: self.stats.cycles,
             },
         );
+        if self.ft {
+            let deadline = self.stats.cycles + self.delivery_budget(src, dest, packet.flit_count());
+            self.pending.insert(
+                worm,
+                PendingWorm {
+                    src,
+                    dest,
+                    payload: packet.payload.clone(),
+                    checksum: payload_checksum(&packet.payload),
+                    attempts: 1,
+                    injected_at: self.stats.cycles,
+                    deadline,
+                    hops: 0,
+                    retry_at: None,
+                },
+            );
+        }
         for f in packet.flits() {
             self.injection[si].push_back(f);
         }
@@ -132,12 +267,26 @@ impl NocNetwork {
     /// Advances the network one cycle.
     pub fn tick(&mut self) {
         self.stats.cycles += 1;
+        let now = self.stats.cycles;
+        // Phase 0 (fault-tolerant mode): retransmit purged worms whose
+        // backoff has elapsed, in worm order.
+        if self.ft {
+            let due: Vec<WormId> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.retry_at.is_some_and(|at| at <= now))
+                .map(|(&w, _)| w)
+                .collect();
+            for worm in due {
+                self.retransmit(worm);
+            }
+        }
         // Phase 1: link traversal (fixed router order; each output register
         // moves at most one flit).
         for ri in 0..self.routers.len() {
             let coord = self.routers[ri].coord;
             for port in Port::ALL {
-                let Some(flit) = self.routers[ri].outputs[port.index()].reg else {
+                let Some(mut flit) = self.routers[ri].outputs[port.index()].reg else {
                     continue;
                 };
                 match port {
@@ -150,7 +299,11 @@ impl NocNetwork {
                         self.deliver(coord, flit);
                     }
                     _ => {
-                        let d = port.dir().expect("non-local port has a direction");
+                        let Some(d) = port.dir() else { continue };
+                        if self.ft && self.plan.link_blocked(now, coord, d) {
+                            // Link down: the flit waits in the register.
+                            continue;
+                        }
                         let Some(nc) = coord.step(d) else {
                             // Edge of the mesh: XY routing never does this.
                             debug_assert!(false, "flit routed off the mesh");
@@ -162,14 +315,32 @@ impl NocNetwork {
                             self.routers[ri].outputs[port.index()].reg = None;
                             continue;
                         };
-                        let in_port = Port::from_dir(d.opposite()).expect("planar dir");
-                        if self.routers[ni].can_accept(in_port) {
-                            self.routers[ni].accept(in_port, flit);
+                        let Some(in_port) = Port::from_dir(d.opposite()) else {
+                            continue;
+                        };
+                        if self.ft {
+                            if let Some(mask) = self.plan.corruption(now, coord, d) {
+                                // Faulty link: payload words flip in transit.
+                                match &mut flit {
+                                    Flit::Body { data, .. } | Flit::Tail { data, .. } => {
+                                        *data ^= mask;
+                                        self.stats.corrupted_crossings += 1;
+                                    }
+                                    Flit::Head { .. } => {}
+                                }
+                            }
+                        }
+                        if self.routers[ni].accept(in_port, flit).is_ok() {
                             self.routers[ri].outputs[port.index()].reg = None;
                             if flit.is_tail() {
                                 self.routers[ri].outputs[port.index()].held_by = None;
                             }
                             self.stats.link_crossings += 1;
+                            if self.ft && matches!(flit, Flit::Head { .. }) {
+                                if let Some(p) = self.pending.get_mut(&flit.worm()) {
+                                    p.hops += 1;
+                                }
+                            }
                         }
                     }
                 }
@@ -177,16 +348,209 @@ impl NocNetwork {
         }
         // Phase 2: feed injection queues into local input ports.
         for ri in 0..self.routers.len() {
-            while !self.injection[ri].is_empty() && self.routers[ri].can_accept(Port::Local) {
-                let f = self.injection[ri].pop_front().unwrap();
-                self.routers[ri].accept(Port::Local, f);
+            while let Some(&f) = self.injection[ri].front() {
+                if self.routers[ri].accept(Port::Local, f).is_err() {
+                    break; // backpressure: the flit stays in the source queue
+                }
+                self.injection[ri].pop_front();
             }
         }
         // Phase 3: allocation (one flit per input port).
         for ri in 0..self.routers.len() {
-            for port in Port::ALL {
-                let _ = self.routers[ri].allocate(port);
+            let coord = self.routers[ri].coord;
+            if self.ft && self.plan.router_stalled(now, coord) {
+                continue; // stalled router: queues do not drain this cycle
             }
+            for port in Port::ALL {
+                if self.ft {
+                    self.allocate_adaptive(ri, port);
+                } else {
+                    let _ = self.routers[ri].allocate(port);
+                }
+            }
+        }
+        // Phase 4 (fault-tolerant mode): enforce deadlines and the
+        // livelock bound.
+        if self.ft {
+            let hop_budget = self.hop_budget();
+            let expired: Vec<WormId> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.retry_at.is_none() && (p.deadline <= now || p.hops > hop_budget))
+                .map(|(&w, _)| w)
+                .collect();
+            for worm in expired {
+                self.stats.worm_timeouts += 1;
+                self.purge_and_backoff(worm);
+            }
+        }
+    }
+
+    /// Allocation with adaptive head steering: heads detour around
+    /// permanently dead links/routers; body and tail flits follow their
+    /// binding unchanged.
+    fn allocate_adaptive(&mut self, ri: usize, in_port: Port) {
+        let Some(&flit) = self.routers[ri].inputs[in_port.index()].front() else {
+            return;
+        };
+        let coord = self.routers[ri].coord;
+        let out = match flit {
+            Flit::Head { dest, .. } => {
+                let xy = self.routers[ri].route(dest);
+                let Some(chosen) = self.adaptive_route(coord, dest) else {
+                    return; // nowhere to go: wait for the timeout to purge
+                };
+                if chosen != xy {
+                    self.stats.misroutes += 1;
+                }
+                chosen
+            }
+            Flit::Body { .. } | Flit::Tail { .. } => {
+                let Some(bound) = self.routers[ri].bindings[in_port.index()] else {
+                    return;
+                };
+                bound
+            }
+        };
+        let _ = self.routers[ri].allocate_toward(in_port, out);
+    }
+
+    /// The output port a head for `dest` should take from `at`, avoiding
+    /// permanently dead links and routers. Preference order is fixed —
+    /// productive X, productive Y, then the remaining planar directions —
+    /// so routing stays deterministic.
+    fn adaptive_route(&self, at: Coord, dest: Coord) -> Option<Port> {
+        if dest.x == at.x && dest.y == at.y {
+            return Some(Port::Local);
+        }
+        let now = self.stats.cycles;
+        let px = if dest.x > at.x {
+            Some(Dir::East)
+        } else if dest.x < at.x {
+            Some(Dir::West)
+        } else {
+            None
+        };
+        let py = if dest.y > at.y {
+            Some(Dir::South)
+        } else if dest.y < at.y {
+            Some(Dir::North)
+        } else {
+            None
+        };
+        let mut prefs: Vec<Dir> = Vec::with_capacity(4);
+        prefs.extend(px);
+        prefs.extend(py);
+        // Perpendicular detours before backtracking: a sideways hop opens
+        // a fresh productive path, a backward hop just undoes one and
+        // invites ping-pong with the previous router.
+        for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+            if prefs.contains(&d)
+                || Some(d) == px.map(Dir::opposite)
+                || Some(d) == py.map(Dir::opposite)
+            {
+                continue;
+            }
+            prefs.push(d);
+        }
+        for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+            if !prefs.contains(&d) {
+                prefs.push(d);
+            }
+        }
+        for d in prefs {
+            let Some(nc) = at.step(d) else { continue };
+            if self.idx(nc).is_none() {
+                continue;
+            }
+            if self.plan.link_dead(now, at, d) || self.plan.router_dead(now, nc) {
+                continue;
+            }
+            return Port::from_dir(d);
+        }
+        None
+    }
+
+    /// Removes every trace of `worm` from the fabric (source queues,
+    /// input queues, bindings, output holds, partial reassembly), then
+    /// either schedules a retransmission after an exponential backoff or
+    /// declares the worm undeliverable.
+    fn purge_and_backoff(&mut self, worm: WormId) {
+        for ri in 0..self.routers.len() {
+            for in_port in Port::ALL {
+                // A binding belongs to `worm` iff its output is held by it.
+                if let Some(out) = self.routers[ri].bindings[in_port.index()] {
+                    if self.routers[ri].outputs[out.index()].held_by == Some(worm) {
+                        self.routers[ri].bindings[in_port.index()] = None;
+                    }
+                }
+                self.routers[ri].inputs[in_port.index()].retain(|f| f.worm() != worm);
+            }
+            for out in Port::ALL {
+                let o = &mut self.routers[ri].outputs[out.index()];
+                if o.reg.is_some_and(|f| f.worm() == worm) {
+                    o.reg = None;
+                }
+                if o.held_by == Some(worm) {
+                    o.held_by = None;
+                }
+            }
+            self.injection[ri].retain(|f| f.worm() != worm);
+        }
+        if let Some(r) = self.assembling.get_mut(&worm) {
+            r.payload.clear();
+        }
+        let now = self.stats.cycles;
+        let Some(p) = self.pending.get_mut(&worm) else {
+            return;
+        };
+        if p.attempts >= MAX_DELIVERY_ATTEMPTS {
+            self.pending.remove(&worm);
+            self.assembling.remove(&worm);
+            self.stats.undeliverable += 1;
+            self.failed.push((
+                worm,
+                NocError::Undeliverable {
+                    worm,
+                    attempts: MAX_DELIVERY_ATTEMPTS,
+                },
+            ));
+            return;
+        }
+        let backoff = (RETRY_BACKOFF_BASE << p.attempts.min(16)).min(RETRY_BACKOFF_CAP);
+        p.retry_at = Some(now + backoff);
+    }
+
+    /// Re-injects a purged worm's flits at its source.
+    fn retransmit(&mut self, worm: WormId) {
+        let Some(p) = self.pending.get_mut(&worm) else {
+            return;
+        };
+        p.attempts += 1;
+        p.hops = 0;
+        p.retry_at = None;
+        let (src, dest, payload, injected_at) = (p.src, p.dest, p.payload.clone(), p.injected_at);
+        let budget = self.delivery_budget(src, dest, payload.len().max(1) + 1);
+        if let Some(p) = self.pending.get_mut(&worm) {
+            p.deadline = self.stats.cycles + budget;
+        }
+        self.assembling.insert(
+            worm,
+            Reassembly {
+                payload: Vec::new(),
+                injected_at,
+            },
+        );
+        self.stats.retransmissions += 1;
+        let si = self.idx(src).expect("pending worm has an on-grid source");
+        for f in (Packet {
+            worm,
+            dest,
+            payload,
+        })
+        .flits()
+        {
+            self.injection[si].push_back(f);
         }
     }
 
@@ -199,29 +563,56 @@ impl NocNetwork {
                 Flit::Body { data, .. } | Flit::Tail { data, .. } => r.payload.push(data),
                 Flit::Head { .. } => {}
             }
-            if done {
-                let r = self.assembling.remove(&worm).expect("present");
-                let latency = self.stats.cycles - r.injected_at;
-                self.latencies.insert(worm, latency);
-                self.delivered.push((
-                    Packet {
-                        worm,
-                        dest: _at,
-                        payload: r.payload,
-                    },
-                    latency,
-                ));
-                self.stats.worms_delivered += 1;
+            if !done {
+                return;
             }
+            let Some(r) = self.assembling.remove(&worm) else {
+                return;
+            };
+            if self.ft {
+                if let Some(p) = self.pending.get(&worm) {
+                    if payload_checksum(&r.payload) != p.checksum {
+                        // Corrupted in transit: reject the reassembly and
+                        // retransmit end to end.
+                        self.stats.checksum_failures += 1;
+                        self.assembling.insert(
+                            worm,
+                            Reassembly {
+                                payload: Vec::new(),
+                                injected_at: r.injected_at,
+                            },
+                        );
+                        self.purge_and_backoff(worm);
+                        return;
+                    }
+                }
+                self.pending.remove(&worm);
+            }
+            let latency = self.stats.cycles - r.injected_at;
+            self.latencies.insert(worm, latency);
+            self.delivered.push((
+                Packet {
+                    worm,
+                    dest: _at,
+                    payload: r.payload,
+                },
+                latency,
+            ));
+            self.stats.worms_delivered += 1;
         }
     }
 
-    /// Whether any flit is in flight anywhere.
+    /// Whether any flit is in flight anywhere (in fault-tolerant mode,
+    /// also: no worm awaiting retransmission or a verdict).
     pub fn is_idle(&self) -> bool {
-        self.injection.iter().all(|q| q.is_empty()) && self.routers.iter().all(|r| r.is_idle())
+        self.injection.iter().all(|q| q.is_empty())
+            && self.routers.iter().all(|r| r.is_idle())
+            && self.pending.is_empty()
     }
 
-    /// Ticks until idle, up to `max_cycles`.
+    /// Ticks until idle, up to `max_cycles`. In fault-tolerant mode a
+    /// drained network means every worm was delivered-and-verified or
+    /// reported undeliverable — inspect [`take_failed`](Self::take_failed).
     pub fn run_until_drained(&mut self, max_cycles: u64) -> Result<(), NocError> {
         for _ in 0..max_cycles {
             if self.is_idle() {
@@ -257,6 +648,7 @@ impl NocNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vlsi_faults::{Fault, FaultKind};
 
     #[test]
     fn single_packet_delivery() {
@@ -377,5 +769,164 @@ mod tests {
         assert_eq!(s.flits_delivered, 3);
         // 3 flits x 3 links.
         assert_eq!(s.link_crossings, 9);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-tolerant mode.
+
+    #[test]
+    fn empty_plan_changes_nothing_observable() {
+        let run = |ft: bool| {
+            let mut net = NocNetwork::new(4, 4);
+            if ft {
+                net.attach_fault_plan(FaultPlan::none());
+            }
+            net.inject(Coord::new(0, 0), Coord::new(3, 3), vec![1, 2, 3])
+                .unwrap();
+            net.run_until_drained(10_000).unwrap();
+            (net.take_delivered(), net.stats().link_crossings)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retransmitted() {
+        let mut net = NocNetwork::new(4, 1);
+        // Corrupt the first crossing of the 0→1 link only: the first
+        // attempt fails its checksum, the retry sails through.
+        net.attach_fault_plan(FaultPlan::from_faults([Fault::transient(
+            FaultKind::LinkCorrupt {
+                at: Coord::new(0, 0),
+                dir: Dir::East,
+                mask: 0xDEAD_BEEF,
+            },
+            0,
+            8,
+        )]));
+        net.inject(Coord::new(0, 0), Coord::new(3, 0), vec![7, 8])
+            .unwrap();
+        net.run_until_drained(100_000).unwrap();
+        let d = net.take_delivered();
+        assert_eq!(d.len(), 1, "retransmission must repair the worm");
+        assert_eq!(d[0].0.payload, vec![7, 8], "payload verified end to end");
+        assert!(net.stats().checksum_failures >= 1);
+        assert!(net.stats().retransmissions >= 1);
+        assert!(net.take_failed().is_empty());
+    }
+
+    #[test]
+    fn transient_link_outage_heals_by_waiting_or_retry() {
+        let mut net = NocNetwork::new(4, 1);
+        net.attach_fault_plan(FaultPlan::from_faults([Fault::transient(
+            FaultKind::LinkDown {
+                at: Coord::new(1, 0),
+                dir: Dir::East,
+            },
+            0,
+            40,
+        )]));
+        net.inject(Coord::new(0, 0), Coord::new(3, 0), vec![1, 2])
+            .unwrap();
+        net.run_until_drained(100_000).unwrap();
+        assert_eq!(net.take_delivered().len(), 1);
+        assert!(net.take_failed().is_empty());
+    }
+
+    #[test]
+    fn adaptive_routing_detours_around_a_dead_link() {
+        let mut net = NocNetwork::new(3, 2);
+        // The only XY path 0,0 → 2,0 uses East links on row 0; kill the
+        // middle one permanently. The worm must detour through row 1.
+        net.attach_fault_plan(FaultPlan::from_faults([Fault::permanent(
+            FaultKind::LinkDown {
+                at: Coord::new(1, 0),
+                dir: Dir::East,
+            },
+            0,
+        )]));
+        net.inject(Coord::new(0, 0), Coord::new(2, 0), vec![5])
+            .unwrap();
+        net.run_until_drained(100_000).unwrap();
+        let d = net.take_delivered();
+        assert_eq!(d.len(), 1, "detour must deliver");
+        assert_eq!(d[0].0.payload, vec![5]);
+        assert!(net.stats().misroutes >= 1, "the detour is a misroute");
+        assert!(net.take_failed().is_empty());
+    }
+
+    #[test]
+    fn unreachable_destination_fails_typed_not_hung() {
+        let mut net = NocNetwork::new(2, 1);
+        // Sever the only link into 1,0 permanently.
+        net.attach_fault_plan(FaultPlan::from_faults([Fault::permanent(
+            FaultKind::LinkDown {
+                at: Coord::new(0, 0),
+                dir: Dir::East,
+            },
+            0,
+        )]));
+        let worm = net
+            .inject(Coord::new(0, 0), Coord::new(1, 0), vec![1])
+            .unwrap();
+        net.run_until_drained(100_000).unwrap();
+        assert!(net.take_delivered().is_empty());
+        let failed = net.take_failed();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0].1,
+            NocError::Undeliverable {
+                worm,
+                attempts: MAX_DELIVERY_ATTEMPTS
+            }
+        );
+        assert!(net.is_idle(), "failed worm leaves no residue");
+    }
+
+    #[test]
+    fn permanently_stalled_router_times_out_typed() {
+        let mut net = NocNetwork::new(3, 1);
+        // 1,0 never allocates, and on a 1-row mesh there is no detour.
+        net.attach_fault_plan(FaultPlan::from_faults([Fault::permanent(
+            FaultKind::RouterStall {
+                at: Coord::new(1, 0),
+            },
+            0,
+        )]));
+        net.inject(Coord::new(0, 0), Coord::new(2, 0), vec![9])
+            .unwrap();
+        net.run_until_drained(200_000).unwrap();
+        assert!(net.take_delivered().is_empty());
+        assert_eq!(net.take_failed().len(), 1);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_identically() {
+        let run = || {
+            let mut net = NocNetwork::new(4, 4);
+            net.attach_fault_plan(
+                vlsi_faults::FaultPlanBuilder::new(77)
+                    .grid(4, 4)
+                    .horizon(2_000)
+                    .link_down_rate(0.1)
+                    .link_corrupt_rate(0.1)
+                    .router_stall_rate(0.05)
+                    .build(),
+            );
+            for y in 0..4u16 {
+                for x in 0..4u16 {
+                    net.inject(Coord::new(x, y), Coord::new(3 - x, 3 - y), vec![7])
+                        .unwrap();
+                }
+            }
+            net.run_until_drained(500_000).unwrap();
+            let delivered: Vec<(WormId, u64)> = net
+                .take_delivered()
+                .into_iter()
+                .map(|(p, l)| (p.worm, l))
+                .collect();
+            (delivered, net.take_failed(), net.stats().clone())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -6,6 +6,7 @@
 //! head flit acquires the output, every following flit of the same worm
 //! rides the binding, and the tail flit releases it.
 
+use crate::error::NocError;
 use crate::flit::{Flit, WormId};
 use std::collections::VecDeque;
 use vlsi_topology::{Coord, Dir};
@@ -131,42 +132,58 @@ impl Router {
         self.inputs[port.index()].len() < INPUT_QUEUE_DEPTH
     }
 
-    /// Enqueues a flit at an input port. Caller must have checked
-    /// [`can_accept`](Self::can_accept).
-    pub fn accept(&mut self, port: Port, flit: Flit) {
-        debug_assert!(self.can_accept(port));
+    /// Enqueues a flit at an input port. A full queue refuses the flit
+    /// with [`NocError::QueueFull`] — backpressure, never a drop: the
+    /// flit stays with the caller (sender register or source queue).
+    pub fn accept(&mut self, port: Port, flit: Flit) -> Result<(), NocError> {
+        if !self.can_accept(port) {
+            return Err(NocError::QueueFull { at: self.coord });
+        }
         self.inputs[port.index()].push_back(flit);
+        Ok(())
     }
 
     /// Allocation stage: tries to move the head-of-queue flit of `in_port`
-    /// to its output register. Returns the output port used, if the flit
-    /// moved.
+    /// to its output register. Heads take the deterministic XY route;
+    /// returns the output port used, if the flit moved.
     pub fn allocate(&mut self, in_port: Port) -> Option<Port> {
         let flit = *self.inputs[in_port.index()].front()?;
         let out_port = match flit {
-            Flit::Head { dest, .. } => {
-                let p = self.route(dest);
-                let out = &mut self.outputs[p.index()];
+            Flit::Head { dest, .. } => self.route(dest),
+            Flit::Body { .. } | Flit::Tail { .. } => self.bindings[in_port.index()]?,
+        };
+        self.allocate_toward(in_port, out_port)
+    }
+
+    /// Allocation stage with the output port chosen by the caller — the
+    /// fault-tolerant network uses this to steer heads *around* dead
+    /// links instead of through the XY route. Body/tail flits still
+    /// follow their worm's binding; `out_port` must match it.
+    pub fn allocate_toward(&mut self, in_port: Port, out_port: Port) -> Option<Port> {
+        let flit = *self.inputs[in_port.index()].front()?;
+        match flit {
+            Flit::Head { .. } => {
+                let out = &mut self.outputs[out_port.index()];
                 // The head needs the output free of other worms and the
                 // register empty.
                 if out.held_by.is_some() || out.reg.is_some() {
                     return None;
                 }
                 out.held_by = Some(flit.worm());
-                self.bindings[in_port.index()] = Some(p);
-                p
+                self.bindings[in_port.index()] = Some(out_port);
             }
             Flit::Body { .. } | Flit::Tail { .. } => {
                 // Follow the binding created by this worm's head.
-                let p = self.bindings[in_port.index()]?;
-                let out = &mut self.outputs[p.index()];
+                if self.bindings[in_port.index()] != Some(out_port) {
+                    return None;
+                }
+                let out = &mut self.outputs[out_port.index()];
                 if out.held_by != Some(flit.worm()) || out.reg.is_some() {
                     return None;
                 }
-                p
             }
-        };
-        let flit = self.inputs[in_port.index()].pop_front().expect("checked");
+        }
+        let flit = self.inputs[in_port.index()].pop_front()?;
         self.outputs[out_port.index()].reg = Some(flit);
         self.flits_routed += 1;
         if flit.is_tail() {
@@ -212,7 +229,7 @@ mod tests {
     #[test]
     fn head_acquires_output() {
         let mut r = Router::new(Coord::new(0, 0));
-        r.accept(Port::Local, head(1, Coord::new(2, 0)));
+        r.accept(Port::Local, head(1, Coord::new(2, 0))).unwrap();
         assert_eq!(r.allocate(Port::Local), Some(Port::East));
         assert_eq!(r.outputs[Port::East.index()].held_by, Some(WormId(1)));
         assert!(r.outputs[Port::East.index()].reg.is_some());
@@ -221,17 +238,17 @@ mod tests {
     #[test]
     fn competing_head_blocked_until_release() {
         let mut r = Router::new(Coord::new(0, 0));
-        r.accept(Port::Local, head(1, Coord::new(2, 0)));
+        r.accept(Port::Local, head(1, Coord::new(2, 0))).unwrap();
         r.allocate(Port::Local).unwrap();
         // Another worm wants the same output from the West port.
-        r.accept(Port::West, head(2, Coord::new(2, 0)));
+        r.accept(Port::West, head(2, Coord::new(2, 0))).unwrap();
         assert_eq!(r.allocate(Port::West), None, "output held by worm 1");
     }
 
     #[test]
     fn body_follows_binding_and_tail_unbinds() {
         let mut r = Router::new(Coord::new(0, 0));
-        r.accept(Port::Local, head(1, Coord::new(1, 0)));
+        r.accept(Port::Local, head(1, Coord::new(1, 0))).unwrap();
         r.allocate(Port::Local).unwrap();
         r.outputs[Port::East.index()].reg = None; // link took the head
         r.accept(
@@ -240,7 +257,8 @@ mod tests {
                 worm: WormId(1),
                 data: 9,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(r.allocate(Port::Local), Some(Port::East));
         assert_eq!(r.bindings[Port::Local.index()], None, "tail unbinds input");
     }
@@ -256,9 +274,41 @@ mod tests {
                     worm: WormId(1),
                     data: i as u64,
                 },
-            );
+            )
+            .unwrap();
         }
         assert!(!r.can_accept(Port::North));
+    }
+
+    #[test]
+    fn full_queue_backpressures_instead_of_dropping() {
+        let mut r = Router::new(Coord::new(3, 1));
+        for i in 0..INPUT_QUEUE_DEPTH {
+            r.accept(
+                Port::North,
+                Flit::Body {
+                    worm: WormId(1),
+                    data: i as u64,
+                },
+            )
+            .unwrap();
+        }
+        // The refused flit is an error, not a silent drop, and the queue
+        // keeps exactly what it held before the offer.
+        let refused = Flit::Body {
+            worm: WormId(2),
+            data: 99,
+        };
+        assert_eq!(
+            r.accept(Port::North, refused),
+            Err(NocError::QueueFull {
+                at: Coord::new(3, 1)
+            })
+        );
+        assert_eq!(r.inputs[Port::North.index()].len(), INPUT_QUEUE_DEPTH);
+        assert!(r.inputs[Port::North.index()]
+            .iter()
+            .all(|f| f.worm() == WormId(1)));
     }
 
     #[test]
@@ -270,7 +320,40 @@ mod tests {
                 worm: WormId(5),
                 data: 1,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(r.allocate(Port::North), None);
+    }
+
+    #[test]
+    fn allocate_toward_steers_heads_off_the_xy_route() {
+        let mut r = Router::new(Coord::new(0, 0));
+        r.accept(Port::Local, head(1, Coord::new(2, 0))).unwrap();
+        // XY would say East; the network detours the head South.
+        assert_eq!(
+            r.allocate_toward(Port::Local, Port::South),
+            Some(Port::South)
+        );
+        assert_eq!(r.outputs[Port::South.index()].held_by, Some(WormId(1)));
+        assert_eq!(r.bindings[Port::Local.index()], Some(Port::South));
+    }
+
+    #[test]
+    fn allocate_toward_rejects_mismatched_binding_for_bodies() {
+        let mut r = Router::new(Coord::new(0, 0));
+        r.accept(Port::Local, head(1, Coord::new(1, 0))).unwrap();
+        r.allocate(Port::Local).unwrap();
+        r.outputs[Port::East.index()].reg = None;
+        r.accept(
+            Port::Local,
+            Flit::Body {
+                worm: WormId(1),
+                data: 5,
+            },
+        )
+        .unwrap();
+        // Bodies ride the worm's binding; steering them elsewhere fails.
+        assert_eq!(r.allocate_toward(Port::Local, Port::South), None);
+        assert_eq!(r.allocate_toward(Port::Local, Port::East), Some(Port::East));
     }
 }

@@ -340,6 +340,7 @@ impl VcNetwork {
             worms_delivered: self.latencies.len() as u64,
             flits_delivered: self.flits_delivered,
             link_crossings: self.link_crossings,
+            ..Default::default()
         }
     }
 }

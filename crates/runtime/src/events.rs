@@ -78,6 +78,19 @@ pub enum EventKind {
         /// Short reason label (`"deadline"`, `"retries"`, `"workload"`).
         reason: &'static str,
     },
+    /// A lower layer reported a hardware fault mapping to a cluster —
+    /// a stuck S-topology switch or a dead NoC link/router. The runtime
+    /// responds by marking the cluster defective (the paired
+    /// [`DefectInjected`] event follows immediately), so the full chain
+    /// *report → defect → recovery* is visible in the log.
+    ///
+    /// [`DefectInjected`]: EventKind::DefectInjected
+    FaultReported {
+        /// The cluster the fault maps to.
+        coord: Coord,
+        /// The reporting layer (`"s-topology"` or `"noc"`).
+        layer: &'static str,
+    },
     /// A cluster was marked defective (fault injection).
     DefectInjected {
         /// The cluster.
@@ -141,6 +154,7 @@ impl RuntimeEvent {
             | EventKind::Requeued { job, .. }
             | EventKind::PoolWoken { job, .. } => Some(*job),
             EventKind::Compacted { .. }
+            | EventKind::FaultReported { .. }
             | EventKind::DefectInjected { .. }
             | EventKind::Pooled { .. }
             | EventKind::PoolReclaimed { .. } => None,

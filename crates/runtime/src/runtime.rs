@@ -3,11 +3,12 @@
 //!
 //! One [`Runtime`] owns one chip. Tenants [`submit`] jobs; every call to
 //! [`tick`] advances one unit of simulated time and performs, in a fixed
-//! order: sleep-timer expiry (warm-pool reclaim), scheduled defect
-//! injection and recovery, job completion, queued-deadline expiry, and
-//! admission. Because the order is fixed and every container is iterated
-//! deterministically, the same submissions on the same seed produce the
-//! exact same [`RuntimeEvent`] log.
+//! order: sleep-timer expiry (warm-pool reclaim), scheduled fault
+//! reports (stuck switches, dead NoC links) and defect recovery, job
+//! completion, queued-deadline expiry, and admission. Because the order
+//! is fixed and every container is iterated deterministically, the same
+//! submissions on the same seed produce the exact same [`RuntimeEvent`]
+//! log.
 //!
 //! [`submit`]: Runtime::submit
 //! [`tick`]: Runtime::tick
@@ -15,6 +16,7 @@
 use std::collections::BTreeMap;
 
 use vlsi_core::{BlockExecutor, CoreError, ProcState, ProcessorId, VlsiChip};
+use vlsi_faults::{Fault, FaultKind, FaultPlan};
 use vlsi_object::Word;
 use vlsi_topology::Coord;
 use vlsi_workloads::StreamKernel;
@@ -75,6 +77,8 @@ pub struct RuntimeStats {
     pub failed_gathers: u64,
     /// Fragmentation-triggered compactions.
     pub compactions: u64,
+    /// Lower-layer fault reports consumed (each paired with a defect).
+    pub faults_reported: u64,
     /// Defect-triggered relocations that kept a job alive.
     pub relocations: u64,
     /// Defect recoveries that had to re-queue the job instead.
@@ -133,7 +137,7 @@ pub struct Runtime {
     queue: Vec<JobId>,
     running: Vec<JobId>,
     pool: Vec<PoolEntry>,
-    defect_plan: BTreeMap<u64, Vec<Coord>>,
+    fault_plan: FaultPlan,
     events: Vec<RuntimeEvent>,
     stats: RuntimeStats,
 }
@@ -151,7 +155,7 @@ impl Runtime {
             queue: Vec::new(),
             running: Vec::new(),
             pool: Vec::new(),
-            defect_plan: BTreeMap::new(),
+            fault_plan: FaultPlan::none(),
             events: Vec::new(),
             stats: RuntimeStats::default(),
         }
@@ -213,9 +217,47 @@ impl Runtime {
 
     /// Schedules a cluster to become defective at the start of `tick`
     /// (fault injection; past ticks apply on the next tick).
+    ///
+    /// Modeled as a permanent stuck-switch fault in the attached
+    /// [`FaultPlan`]: when it lands, the runtime hears about it as a
+    /// lower-layer fault *report* rather than flipping an oracle flag.
     pub fn inject_defect_at(&mut self, tick: u64, coord: Coord) {
         let tick = tick.max(self.now + 1);
-        self.defect_plan.entry(tick).or_default().push(coord);
+        self.fault_plan
+            .push(Fault::permanent(FaultKind::SwitchStuck { at: coord }, tick));
+    }
+
+    /// Attaches (merges) a fault plan whose times are runtime ticks.
+    /// Switch-stuck and permanent NoC faults land during [`tick`] as
+    /// lower-layer reports and drive defect recovery; faults scheduled
+    /// for the past apply on the next tick.
+    ///
+    /// [`tick`]: Runtime::tick
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        let shift = self.now + 1;
+        for f in plan.faults() {
+            let mut f = *f;
+            f.start = f.start.max(shift);
+            self.fault_plan.push(f);
+        }
+    }
+
+    /// The merged fault plan driving scheduled fault reports.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// An S-topology switch was detected stuck *now* (an unscheduled,
+    /// externally detected fault): mark the cluster defective and
+    /// recover its tenant immediately.
+    pub fn report_switch_fault(&mut self, coord: Coord) -> Result<(), RuntimeError> {
+        self.apply_reported_fault(coord, "s-topology")
+    }
+
+    /// A NoC link or router serving `coord` was detected dead *now*:
+    /// mark the cluster defective and recover its tenant immediately.
+    pub fn report_noc_fault(&mut self, coord: Coord) -> Result<(), RuntimeError> {
+        self.apply_reported_fault(coord, "noc")
     }
 
     // --- the clock -----------------------------------------------------------
@@ -238,11 +280,16 @@ impl Runtime {
             }
         }
 
-        // 2. Scheduled defects land, and their victims are recovered.
-        if let Some(coords) = self.defect_plan.remove(&now) {
-            for c in coords {
-                self.apply_defect(c)?;
-            }
+        // 2. Scheduled faults land as lower-layer reports, and their
+        //    victims are recovered: stuck switches first, then dead NoC
+        //    links/routers, each in plan order.
+        let stuck: Vec<Coord> = self.fault_plan.switches_sticking_at(now).collect();
+        for c in stuck {
+            self.apply_reported_fault(c, "s-topology")?;
+        }
+        let noc_dead: Vec<Coord> = self.fault_plan.noc_failures_at(now).collect();
+        for c in noc_dead {
+            self.apply_reported_fault(c, "noc")?;
         }
 
         // 3. Completions, in (finish tick, job id) order.
@@ -347,9 +394,23 @@ impl Runtime {
 
     // --- defects -------------------------------------------------------------
 
-    fn apply_defect(&mut self, c: Coord) -> Result<(), RuntimeError> {
+    /// The single funnel every fault report goes through: log the
+    /// report, mark the cluster defective (stuck switches also wedge the
+    /// S-topology fabric), then recover whoever owned it. Off-grid and
+    /// already-defective coordinates are ignored — a fault plan built
+    /// for a larger mesh must not corrupt the area accounting.
+    fn apply_reported_fault(&mut self, c: Coord, layer: &'static str) -> Result<(), RuntimeError> {
+        if !self.chip.grid().contains(c) || self.chip.is_defective(c) {
+            return Ok(());
+        }
+        self.push_event(EventKind::FaultReported { coord: c, layer });
+        self.stats.faults_reported += 1;
         let victim = self.chip.processor_at(c);
-        self.chip.mark_defective(c);
+        if layer == "s-topology" {
+            self.chip.mark_switch_stuck(c);
+        } else {
+            self.chip.mark_defective(c);
+        }
         self.push_event(EventKind::DefectInjected { coord: c, victim });
         let Some(pid) = victim else { return Ok(()) };
 
@@ -1174,5 +1235,139 @@ mod tests {
             Some(RuntimeError::RetriesExhausted { attempts: 3, .. })
         ));
         assert_eq!(rt.chip().free_clusters(), 63, "nothing leaked");
+    }
+
+    // The acceptance chain for the fault-injection tentpole: a scheduled
+    // switch fault is *reported* by the topology layer, the runtime turns
+    // the report into a defect, and the victim tenant is relocated — all
+    // three links visible, in order, in one event log.
+    #[test]
+    fn switch_fault_report_relocates_the_victim_end_to_end() {
+        let mut rt = rt(None);
+        let job = rt.submit(idle(4, 30));
+        rt.tick().unwrap(); // admitted; the first gather starts at the origin
+        let hit = Coord::new(0, 0);
+        assert!(rt.chip().processor_at(hit).is_some(), "tenant owns (0,0)");
+
+        let mut plan = FaultPlan::none();
+        plan.push(Fault::permanent(FaultKind::SwitchStuck { at: hit }, 3));
+        rt.attach_fault_plan(plan);
+        rt.run_until_idle(1_000).unwrap();
+
+        assert!(
+            rt.chip().is_switch_stuck(hit),
+            "fabric knows the switch died"
+        );
+        assert!(rt.chip().is_defective(hit), "the cluster is defective");
+        assert_eq!(rt.job(job).unwrap().state, JobState::Completed);
+        assert_eq!(rt.stats().faults_reported, 1);
+
+        let pos = |pred: fn(&EventKind) -> bool| {
+            rt.events()
+                .iter()
+                .position(|e| pred(&e.kind))
+                .expect("event present")
+        };
+        let reported = pos(|k| {
+            matches!(
+                k,
+                EventKind::FaultReported {
+                    layer: "s-topology",
+                    ..
+                }
+            )
+        });
+        let defected = pos(|k| {
+            matches!(
+                k,
+                EventKind::DefectInjected {
+                    victim: Some(_),
+                    ..
+                }
+            )
+        });
+        let recovered = pos(|k| {
+            matches!(
+                k,
+                EventKind::DefectRecovered { .. } | EventKind::Requeued { .. }
+            )
+        });
+        assert!(reported < defected, "report precedes the defect");
+        assert!(defected < recovered, "defect precedes the recovery");
+        // The tenant moved off the dead cluster and finished elsewhere.
+        assert_eq!(rt.chip().processor_at(hit), None);
+    }
+
+    #[test]
+    fn noc_fault_reports_mark_clusters_defective() {
+        let mut rt = rt(None);
+        let mut plan = FaultPlan::none();
+        plan.push(Fault::permanent(
+            FaultKind::LinkDown {
+                at: Coord::new(2, 2),
+                dir: vlsi_topology::Dir::East,
+            },
+            2,
+        ));
+        rt.attach_fault_plan(plan);
+        for _ in 0..3 {
+            rt.tick().unwrap();
+        }
+        assert!(rt.chip().is_defective(Coord::new(2, 2)));
+        assert!(!rt.chip().is_switch_stuck(Coord::new(2, 2)));
+        assert!(rt
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FaultReported { layer: "noc", .. })));
+    }
+
+    #[test]
+    fn off_grid_and_duplicate_fault_reports_are_ignored() {
+        let mut rt = rt(None);
+        let mut plan = FaultPlan::none();
+        plan.push(Fault::permanent(
+            FaultKind::SwitchStuck {
+                at: Coord::new(40, 40),
+            },
+            2,
+        ));
+        plan.push(Fault::permanent(
+            FaultKind::SwitchStuck {
+                at: Coord::new(1, 1),
+            },
+            2,
+        ));
+        plan.push(Fault::permanent(
+            FaultKind::SwitchStuck {
+                at: Coord::new(1, 1),
+            },
+            3,
+        ));
+        rt.attach_fault_plan(plan);
+        for _ in 0..4 {
+            rt.tick().unwrap();
+        }
+        assert_eq!(rt.stats().faults_reported, 1, "one real, distinct fault");
+        assert_eq!(rt.chip().defective_count(), 1);
+        assert_eq!(rt.chip().usable_clusters(), 63, "area accounting intact");
+    }
+
+    #[test]
+    fn fault_plan_runs_replay_bit_identically() {
+        let run = || {
+            let mut rt = rt(Some(16));
+            let plan = vlsi_faults::FaultPlanBuilder::new(901)
+                .grid(8, 8)
+                .horizon(64)
+                .switch_stuck_rate(0.02)
+                .build();
+            rt.attach_fault_plan(plan);
+            for i in 0..6 {
+                rt.submit(idle(4, 8 + i));
+            }
+            rt.run_until_idle(10_000).unwrap();
+            rt.events().to_vec()
+        };
+        assert_eq!(run(), run(), "same plan seed, same event log");
     }
 }

@@ -24,6 +24,14 @@ pub enum TopologyError {
     },
     /// Chain/unchain requested between non-adjacent clusters.
     NotAdjacent(Coord, Coord),
+    /// A switch needed by the operation is stuck: its programming
+    /// registers no longer accept stores, so the cluster cannot join a
+    /// region. Detected health-wise, reported typed — never silently
+    /// mis-programmed.
+    SwitchStuck {
+        /// The stuck switch.
+        at: Coord,
+    },
     /// The region/grid was too large for the path-search budget.
     SearchBudgetExceeded,
 }
@@ -41,6 +49,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::NotAdjacent(a, b) => {
                 write!(f, "clusters {a} and {b} are not adjacent")
+            }
+            TopologyError::SwitchStuck { at } => {
+                write!(f, "switch at {at} is stuck and rejects programming")
             }
             TopologyError::SearchBudgetExceeded => write!(f, "path search budget exceeded"),
         }

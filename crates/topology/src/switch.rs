@@ -21,7 +21,7 @@
 
 use crate::coord::{Coord, Dir};
 use crate::error::TopologyError;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Identity of the region (scaled processor) owning a switch.
@@ -58,6 +58,12 @@ impl SwitchState {
 #[derive(Clone, Debug, Default)]
 pub struct SwitchFabric {
     switches: HashMap<Coord, SwitchState>,
+    /// Switch-health tracking: coordinates whose programming registers
+    /// are stuck. A stuck switch rejects every further store (reserve,
+    /// chain, program) with [`TopologyError::SwitchStuck`]; releases
+    /// still work, since clearing a region must never wedge on the fault
+    /// that killed it.
+    stuck: BTreeSet<Coord>,
     programming_stores: u64,
 }
 
@@ -78,10 +84,36 @@ impl SwitchFabric {
         self.state(c).reserved_by
     }
 
+    /// Marks the switch at `c` stuck (a permanent stuck-at fault in its
+    /// programming registers). From now on every programming store at
+    /// `c` fails typed; existing state is frozen as-is.
+    pub fn mark_stuck(&mut self, c: Coord) {
+        self.stuck.insert(c);
+    }
+
+    /// Whether the switch at `c` is marked stuck.
+    pub fn is_stuck(&self, c: Coord) -> bool {
+        self.stuck.contains(&c)
+    }
+
+    /// Stuck switches, in coordinate order.
+    pub fn stuck_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.stuck.iter().copied()
+    }
+
+    fn check_healthy(&self, c: Coord) -> Result<(), TopologyError> {
+        if self.is_stuck(c) {
+            Err(TopologyError::SwitchStuck { at: c })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Stores the reservation flag at `c` for `owner` — the per-switch
     /// effect of a configuration worm passing through. Fails if another
     /// region holds the switch.
     pub fn reserve(&mut self, c: Coord, owner: RegionTag) -> Result<(), TopologyError> {
+        self.check_healthy(c)?;
         let s = self.switches.entry(c).or_default();
         match s.reserved_by {
             Some(o) if o != owner => Err(TopologyError::SwitchConflict { at: c }),
@@ -98,6 +130,7 @@ impl SwitchFabric {
     pub fn chain(&mut self, a: Coord, b: Coord, owner: RegionTag) -> Result<(), TopologyError> {
         let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
         for (c, dir) in [(a, d), (b, d.opposite())] {
+            self.check_healthy(c)?;
             if self.owner(c) != Some(owner) {
                 return Err(TopologyError::SwitchConflict { at: c });
             }
@@ -111,6 +144,7 @@ impl SwitchFabric {
     pub fn unchain(&mut self, a: Coord, b: Coord) -> Result<(), TopologyError> {
         let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
         for (c, dir) in [(a, d), (b, d.opposite())] {
+            self.check_healthy(c)?;
             self.switches.entry(c).or_default().chained[dir.index()] = false;
             self.programming_stores += 1;
         }
@@ -137,6 +171,8 @@ impl SwitchFabric {
         for w in path.windows(2) {
             let (a, b) = (w[0], w[1]);
             let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
+            self.check_healthy(a)?;
+            self.check_healthy(b)?;
             if self.owner(a) != Some(owner) {
                 return Err(TopologyError::SwitchConflict { at: a });
             }
@@ -153,6 +189,8 @@ impl SwitchFabric {
             let d = last
                 .dir_to(first)
                 .ok_or(TopologyError::NotAdjacent(last, first))?;
+            self.check_healthy(last)?;
+            self.check_healthy(first)?;
             self.switches.entry(last).or_default().shift_out = Some(d);
             self.switches.entry(first).or_default().shift_in = Some(d.opposite());
             self.programming_stores += 2;
@@ -171,6 +209,7 @@ impl SwitchFabric {
         owner: RegionTag,
         program: SwitchState,
     ) -> Result<(), TopologyError> {
+        self.check_healthy(c)?;
         if self.owner(c) != Some(owner) {
             return Err(TopologyError::SwitchConflict { at: c });
         }
@@ -334,6 +373,44 @@ mod tests {
         assert_eq!(f.owner(c(0, 0)), None);
         // Another region can take the clusters now.
         f.reserve(c(0, 0), RegionTag(2)).unwrap();
+    }
+
+    #[test]
+    fn stuck_switch_rejects_programming_typed() {
+        let mut f = SwitchFabric::new();
+        f.mark_stuck(c(1, 0));
+        assert!(f.is_stuck(c(1, 0)));
+        assert_eq!(
+            f.reserve(c(1, 0), RegionTag(1)),
+            Err(TopologyError::SwitchStuck { at: c(1, 0) })
+        );
+        // A path through the stuck switch fails typed, never silently
+        // mis-programs.
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        assert_eq!(
+            f.program_path(&[c(0, 0), c(1, 0)], RegionTag(1), false),
+            Err(TopologyError::SwitchStuck { at: c(1, 0) })
+        );
+        // Healthy switches are unaffected.
+        f.reserve(c(0, 1), RegionTag(1)).unwrap();
+        f.program_path(&[c(0, 0), c(0, 1)], RegionTag(1), false)
+            .unwrap();
+    }
+
+    #[test]
+    fn release_still_works_on_a_stuck_switch() {
+        let mut f = SwitchFabric::new();
+        f.reserve(c(0, 0), RegionTag(1)).unwrap();
+        f.reserve(c(1, 0), RegionTag(1)).unwrap();
+        f.chain(c(0, 0), c(1, 0), RegionTag(1)).unwrap();
+        // The switch gets stuck mid-life; tearing the region down must
+        // not wedge on it.
+        f.mark_stuck(c(1, 0));
+        assert_eq!(f.release_owner(RegionTag(1)), 2);
+        assert_eq!(f.owner(c(1, 0)), None);
+        // But it stays unusable for the next region.
+        assert!(f.reserve(c(1, 0), RegionTag(2)).is_err());
+        assert_eq!(f.stuck_coords().collect::<Vec<_>>(), vec![c(1, 0)]);
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub use vlsi_ap as ap;
 pub use vlsi_core as core;
 pub use vlsi_cost as cost;
 pub use vlsi_csd as csd;
+pub use vlsi_faults as faults;
 pub use vlsi_noc as noc;
 pub use vlsi_object as object;
 pub use vlsi_prng as prng;

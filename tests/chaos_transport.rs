@@ -1,0 +1,287 @@
+//! Chaos harness: seed-driven fault sweeps across every transport layer.
+//!
+//! The fixed seed × fault-rate matrix below is the CI chaos suite
+//! (`ci.sh` runs this file as a dedicated step). The contract under
+//! chaos is always the same three clauses:
+//!
+//! 1. **never panic or hang** — every run terminates inside its budget;
+//! 2. **never silently wrong** — every operation either succeeds with
+//!    verified data or surfaces a *typed* error;
+//! 3. **bit-identical per seed** — the same seed replays the exact same
+//!    outcome, faults included.
+
+use vlsi_processor::core::VlsiChip;
+use vlsi_processor::csd::DynamicCsd;
+use vlsi_processor::faults::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
+use vlsi_processor::noc::{NocError, NocNetwork};
+use vlsi_processor::prng::Prng;
+use vlsi_processor::runtime::mix::mixed_jobs;
+use vlsi_processor::runtime::{EventKind, Fifo, JobState, Runtime, RuntimeConfig};
+use vlsi_processor::topology::{Cluster, Coord};
+
+/// The CI seed matrix: three seeds, three transient-fault rates.
+const SEEDS: [u64; 3] = [11, 4242, 987_654_321];
+const RATES: [f64; 3] = [0.005, 0.02, 0.08];
+
+// --- NoC ---------------------------------------------------------------------
+
+/// One deterministic NoC chaos run: 24 seed-driven worms on a 6×6 mesh
+/// under a seed-driven fault plan. Returns a comparable digest.
+#[allow(clippy::type_complexity)]
+fn noc_chaos_run(
+    seed: u64,
+    rate: f64,
+) -> (
+    Vec<(vlsi_processor::noc::WormId, Coord, Vec<u64>)>,
+    Vec<(vlsi_processor::noc::WormId, NocError)>,
+    vlsi_processor::noc::NetworkStats,
+) {
+    let (w, h) = (6u16, 6u16);
+    let mut net = NocNetwork::new(w, h);
+    // The horizon covers the batch's drain window (plus retransmission
+    // backoff), so fault windows overlap live traffic.
+    let plan = FaultPlanBuilder::new(seed)
+        .grid(w, h)
+        .horizon(512)
+        .link_down_rate(rate)
+        .link_corrupt_rate(rate)
+        .router_stall_rate(rate / 2.0)
+        .build();
+    net.attach_fault_plan(plan);
+
+    let mut rng = Prng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let mut expected = std::collections::BTreeMap::new();
+    for _ in 0..24 {
+        let src = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let dest = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let len = rng.gen_range(0..8usize);
+        let payload: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let worm = net.inject(src, dest, payload.clone()).unwrap();
+        expected.insert(worm, (dest, payload));
+    }
+    // Clause 1: the drain budget bounds the hang.
+    net.run_until_drained(2_000_000)
+        .expect("chaos run must terminate");
+    assert!(net.is_idle());
+
+    // Clause 2: full accounting — delivered ∪ failed == injected, and
+    // every delivered payload is exact (the checksum caught the rest).
+    let mut delivered: Vec<_> = net
+        .take_delivered()
+        .into_iter()
+        .map(|(p, _)| (p.worm, p.dest, p.payload))
+        .collect();
+    delivered.sort_by_key(|(w, ..)| *w);
+    let failed = net.take_failed();
+    assert_eq!(delivered.len() + failed.len(), expected.len());
+    for (worm, dest, payload) in &delivered {
+        let (exp_dest, exp_payload) = &expected[worm];
+        assert_eq!(dest, exp_dest, "misdelivered worm");
+        assert_eq!(payload, exp_payload, "silent corruption slipped through");
+    }
+    for (worm, err) in &failed {
+        assert!(expected.contains_key(worm));
+        assert!(
+            matches!(err, NocError::Undeliverable { .. }),
+            "failure must be typed: {err}"
+        );
+    }
+    (delivered, failed, net.stats().clone())
+}
+
+#[test]
+fn noc_chaos_sweep_never_hangs_or_lies() {
+    for seed in SEEDS {
+        for rate in RATES {
+            noc_chaos_run(seed, rate);
+        }
+    }
+}
+
+#[test]
+fn noc_chaos_replays_bit_identically_per_seed() {
+    for seed in SEEDS {
+        for rate in RATES {
+            let a = noc_chaos_run(seed, rate);
+            let b = noc_chaos_run(seed, rate);
+            assert_eq!(a.0, b.0, "deliveries diverged (seed {seed}, rate {rate})");
+            assert_eq!(a.1, b.1, "failures diverged (seed {seed}, rate {rate})");
+            assert_eq!(a.2, b.2, "stats diverged (seed {seed}, rate {rate})");
+        }
+    }
+}
+
+// --- CSD ---------------------------------------------------------------------
+
+/// Seed-driven CSD chaos: random connect/disconnect traffic while the
+/// fault plan kills segments mid-run. Invariants hold after every step;
+/// every outcome is typed.
+fn csd_chaos_run(seed: u64, rate: f64) -> (u64, u64, u64, u64) {
+    let positions = 24;
+    let channels = 6;
+    let mut csd = DynamicCsd::new(positions, channels);
+    let plan = FaultPlanBuilder::new(seed)
+        .csd(channels, positions - 1)
+        .csd_segment_rate(rate)
+        .horizon(200)
+        .build();
+
+    let mut rng = Prng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let mut live: Vec<vlsi_processor::csd::RouteId> = Vec::new();
+    for t in 0..200u64 {
+        let due: Vec<(usize, usize)> = plan.csd_segments_activating_at(t).collect();
+        for (ch, seg) in due {
+            let outcome = csd
+                .fail_segment(ch, seg)
+                .expect("in-range segment fault is typed, not a panic");
+            if let Some(vlsi_processor::csd::SegmentFaultOutcome::Unroutable { route }) = outcome {
+                live.retain(|id| *id != route.id);
+            }
+        }
+        // Traffic: mostly connects, some disconnects.
+        if rng.gen_bool(0.7) {
+            let a = rng.gen_range(0..positions);
+            let b = rng.gen_range(0..positions);
+            if a != b {
+                if let Ok(id) = csd.connect(a.min(b), a.max(b)) {
+                    live.push(id);
+                }
+            }
+        } else if !live.is_empty() {
+            let i = rng.gen_range(0..live.len());
+            let id = live.swap_remove(i);
+            csd.disconnect(id).expect("live route disconnects cleanly");
+        }
+        csd.check_invariants()
+            .unwrap_or_else(|e| panic!("invariant broke at t={t}: {e}"));
+    }
+    for id in live.drain(..) {
+        csd.disconnect(id).unwrap();
+    }
+    csd.check_invariants().unwrap();
+    assert_eq!(csd.live_routes(), 0);
+    (
+        csd.grant_count(),
+        csd.rejection_count(),
+        csd.segment_fault_count(),
+        csd.rechain_count(),
+    )
+}
+
+#[test]
+fn csd_chaos_sweep_keeps_invariants() {
+    for seed in SEEDS {
+        for rate in RATES {
+            let counters = csd_chaos_run(seed, rate);
+            let replay = csd_chaos_run(seed, rate);
+            assert_eq!(counters, replay, "seed {seed} rate {rate} diverged");
+        }
+    }
+}
+
+// --- Runtime / S-topology ----------------------------------------------------
+
+/// One deterministic runtime chaos run: a mixed tenant batch while
+/// seed-driven switch faults land mid-run.
+fn runtime_chaos_run(seed: u64, rate: f64) -> Runtime {
+    let chip = VlsiChip::new(8, 8, Cluster::default());
+    let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+    let plan = FaultPlanBuilder::new(seed)
+        .grid(8, 8)
+        .horizon(120)
+        .switch_stuck_rate(rate / 8.0) // per-switch; keep enough die alive
+        .build();
+    rt.attach_fault_plan(plan);
+    for spec in mixed_jobs(seed, 18) {
+        rt.submit(spec);
+    }
+    rt.run_until_idle(500_000)
+        .expect("chaos batch must drain — no hang");
+    rt
+}
+
+#[test]
+fn runtime_chaos_resolves_every_job_and_replays_identically() {
+    for seed in SEEDS {
+        for rate in RATES {
+            let rt = runtime_chaos_run(seed, rate);
+            // Clause 2: nothing in limbo — every job completed or
+            // carries a typed failure.
+            for rec in rt.jobs() {
+                match rec.state {
+                    JobState::Completed => assert!(rec.failure.is_none()),
+                    JobState::Failed => assert!(rec.failure.is_some(), "{} untyped", rec.id),
+                    other => panic!("job {} left {other:?}", rec.id),
+                }
+            }
+            // Every consumed fault report maps to a defect on the die.
+            assert_eq!(
+                rt.stats().faults_reported as usize,
+                rt.chip().defective_count(),
+            );
+            // Clause 3: the whole event log replays bit-identically.
+            let replay = runtime_chaos_run(seed, rate);
+            assert_eq!(rt.events(), replay.events(), "seed {seed} rate {rate}");
+        }
+    }
+}
+
+/// The acceptance chain, end to end through the public API: a scheduled
+/// switch fault is reported by the topology layer, the runtime marks the
+/// cluster defective, and the victim tenant is relocated or re-queued —
+/// all visible, in order, in the event log.
+#[test]
+fn switch_fault_chain_is_visible_end_to_end() {
+    let chip = VlsiChip::new(8, 8, Cluster::default());
+    let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+    let job = rt.submit(vlsi_processor::runtime::JobSpec::new(
+        "victim",
+        4,
+        vlsi_processor::runtime::Workload::Idle { ticks: 30 },
+    ));
+    rt.tick().unwrap(); // admitted; the first gather starts at the origin
+    let hit = Coord::new(0, 0);
+    assert!(rt.chip().processor_at(hit).is_some());
+
+    let mut plan = FaultPlan::none();
+    plan.push(Fault::permanent(FaultKind::SwitchStuck { at: hit }, 3));
+    rt.attach_fault_plan(plan);
+    rt.run_until_idle(1_000).unwrap();
+
+    assert!(rt.chip().is_switch_stuck(hit));
+    assert!(rt.chip().is_defective(hit));
+    assert_eq!(rt.job(job).unwrap().state, JobState::Completed);
+
+    let pos = |pred: fn(&EventKind) -> bool| {
+        rt.events()
+            .iter()
+            .position(|e| pred(&e.kind))
+            .expect("chain link missing from the event log")
+    };
+    let reported = pos(|k| {
+        matches!(
+            k,
+            EventKind::FaultReported {
+                layer: "s-topology",
+                ..
+            }
+        )
+    });
+    let defected = pos(|k| {
+        matches!(
+            k,
+            EventKind::DefectInjected {
+                victim: Some(_),
+                ..
+            }
+        )
+    });
+    let recovered = pos(|k| {
+        matches!(
+            k,
+            EventKind::DefectRecovered { .. } | EventKind::Requeued { .. }
+        )
+    });
+    assert!(reported < defected && defected < recovered);
+    assert_eq!(rt.chip().processor_at(hit), None, "tenant moved off");
+}
