@@ -16,4 +16,13 @@ cargo test -q --offline --test chaos_transport
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
+echo "== telemetry determinism (same seed => byte-identical exports)"
+cargo test -q --offline --test telemetry
+cargo run -q --offline --example telemetry_trace >/dev/null
+cp target/trace.json target/trace.first.json
+cp target/telemetry.json target/telemetry.first.json
+cargo run -q --offline --example telemetry_trace >/dev/null
+cmp target/trace.first.json target/trace.json
+cmp target/telemetry.first.json target/telemetry.json
+
 echo "CI green."

@@ -21,7 +21,7 @@
 use crate::datapath::{Datapath, ExecutionReport, NodeSpec};
 use crate::error::ApError;
 use crate::metrics::ApMetrics;
-use crate::pipeline::{ConfigureOutcome, Pipeline, CFB_COUNT};
+use crate::pipeline::{ConfigureOutcome, Pipeline, TraceEvent, CFB_COUNT, STAGES};
 use crate::stack::{ObjectStack, ReferenceOutcome};
 use crate::wsrf::{WorkingSetRegisterFile, WSRF_ENTRIES};
 use std::collections::HashMap;
@@ -30,6 +30,7 @@ use vlsi_object::{
     BoundObject, GlobalConfigStream, LogicalObject, MemoryBlock, ObjectId, ObjectKind,
     ObjectLibrary, Operation, Word,
 };
+use vlsi_telemetry::TelemetryHandle;
 
 /// Structural parameters of one adaptive processor.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,6 +110,8 @@ pub struct AdaptiveProcessor {
     /// manner", §1). Each entry keeps its stream, its executable graph,
     /// and the CSD routes chaining it.
     datapaths: Vec<ResidentDatapath>,
+    /// Observability sink; the default handle is a no-op.
+    telemetry: TelemetryHandle,
 }
 
 #[derive(Clone, Debug)]
@@ -125,14 +128,24 @@ impl Default for AdaptiveProcessor {
 }
 
 impl AdaptiveProcessor {
-    /// Builds a processor with the given structure.
+    /// Builds a processor with the given structure (telemetry disabled).
     pub fn new(cfg: ApConfig) -> AdaptiveProcessor {
+        AdaptiveProcessor::with_telemetry(cfg, TelemetryHandle::disabled())
+    }
+
+    /// Builds a processor recording into `telemetry`: per-stage pipeline
+    /// occupancy (`ap.stage[i]` lanes, Figure 1 stage order), the
+    /// `ap.miss_stall` histogram (stall cycles per miss batch), and
+    /// hit/miss/eviction counters. The handle is also threaded into this
+    /// processor's CSD network, so `csd.*` instruments land in the same
+    /// registry.
+    pub fn with_telemetry(cfg: ApConfig, telemetry: TelemetryHandle) -> AdaptiveProcessor {
         AdaptiveProcessor {
             cfg,
             stack: ObjectStack::new(cfg.compute_objects),
             wsrf: WorkingSetRegisterFile::with_capacity(cfg.wsrf_entries),
             library: ObjectLibrary::new(),
-            csd: DynamicCsd::new(cfg.positions(), cfg.channels),
+            csd: DynamicCsd::with_telemetry(cfg.positions(), cfg.channels, telemetry.clone()),
             memory: (0..cfg.memory_objects)
                 .map(|_| MemoryBlock::new())
                 .collect(),
@@ -143,6 +156,7 @@ impl AdaptiveProcessor {
             },
             metrics: ApMetrics::default(),
             datapaths: Vec::new(),
+            telemetry,
         }
     }
 
@@ -259,14 +273,27 @@ impl AdaptiveProcessor {
         stream: &GlobalConfigStream,
         memory_ids: &[ObjectId],
     ) -> Result<ConfigureOutcome, ApError> {
-        let outcome = self.pipeline.configure(
-            stream,
-            &mut self.stack,
-            &mut self.wsrf,
-            &mut self.library,
-            &mut self.csd,
-            memory_ids,
-        )?;
+        let outcome = if self.telemetry.is_enabled() {
+            let (outcome, events) = self.pipeline.configure_traced(
+                stream,
+                &mut self.stack,
+                &mut self.wsrf,
+                &mut self.library,
+                &mut self.csd,
+                memory_ids,
+            )?;
+            self.record_trace(&events);
+            outcome
+        } else {
+            self.pipeline.configure(
+                stream,
+                &mut self.stack,
+                &mut self.wsrf,
+                &mut self.library,
+                &mut self.csd,
+                memory_ids,
+            )?
+        };
         self.metrics.config_cycles += outcome.cycles;
         self.metrics.object_hits += outcome.hits;
         self.metrics.object_misses += outcome.misses;
@@ -274,6 +301,41 @@ impl AdaptiveProcessor {
         self.metrics.chains += outcome.routes;
         self.metrics.stack_shifts = self.stack.shift_count();
         Ok(outcome)
+    }
+
+    /// Folds a Figure 1 configuration trace into the instrument registry:
+    /// each event tallies occupancy of the pipeline stage that produced
+    /// it (`ap.stage[i]`, [`STAGES`] order), miss-batch stalls land in
+    /// the `ap.miss_stall` histogram.
+    fn record_trace(&self, events: &[TraceEvent]) {
+        let stage = |i: usize| i.min(STAGES.len() - 1) as u64;
+        for e in events {
+            match e {
+                TraceEvent::Fetched { .. } => {
+                    // Stages 1-3 advance in lockstep, one element each.
+                    self.telemetry.count_at("ap.stage", stage(0), 1);
+                    self.telemetry.count_at("ap.stage", stage(1), 1);
+                    self.telemetry.count_at("ap.stage", stage(2), 1);
+                }
+                TraceEvent::Hit { .. } => {
+                    self.telemetry.count_at("ap.stage", stage(3), 1);
+                    self.telemetry.count("ap.hits", 1);
+                }
+                TraceEvent::Miss { .. } => {
+                    self.telemetry.count_at("ap.stage", stage(3), 1);
+                    self.telemetry.count("ap.misses", 1);
+                }
+                TraceEvent::Loaded { stall, .. } => {
+                    self.telemetry.record("ap.miss_stall", *stall);
+                }
+                TraceEvent::Evicted { .. } => {
+                    self.telemetry.count("ap.evictions", 1);
+                }
+                TraceEvent::Chained { .. } => {
+                    self.telemetry.count_at("ap.stage", stage(4), 1);
+                }
+            }
+        }
     }
 
     /// Builds the executable graph from the now-resident objects.

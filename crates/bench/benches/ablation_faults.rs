@@ -16,6 +16,7 @@ use vlsi_noc::NocNetwork;
 use vlsi_prng::Prng;
 use vlsi_runtime::mix::mixed_jobs;
 use vlsi_runtime::{Fifo, Runtime, RuntimeConfig, RuntimeSummary};
+use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::{Cluster, Coord};
 
 const SEED: u64 = 2012;
@@ -34,7 +35,9 @@ struct NocPoint {
 /// A fixed 60-worm batch on an 8×8 mesh under transient link faults.
 fn run_noc(rate: f64) -> NocPoint {
     let (w, h) = (8u16, 8u16);
-    let mut net = NocNetwork::new(w, h);
+    // Retransmission/misroute bookkeeping lives in the telemetry
+    // registry now, so the batch runs against an enabled handle.
+    let mut net = NocNetwork::with_telemetry(w, h, TelemetryHandle::active());
     // The horizon matches the batch's drain window, so fault windows
     // overlap live traffic instead of landing on an empty mesh.
     let plan = FaultPlanBuilder::new(SEED)
@@ -57,14 +60,14 @@ fn run_noc(rate: f64) -> NocPoint {
     let delivered = net.take_delivered();
     let failed = net.take_failed();
     assert_eq!(delivered.len() + failed.len(), WORMS, "full accounting");
-    let stats = net.stats();
+    let snap = net.telemetry().snapshot();
     NocPoint {
         mean_latency: delivered.iter().map(|(_, l)| *l as f64).sum::<f64>()
             / delivered.len().max(1) as f64,
         delivered: delivered.len(),
         undeliverable: failed.len(),
-        retransmissions: stats.retransmissions,
-        misroutes: stats.misroutes,
+        retransmissions: snap.counter("noc.retransmissions"),
+        misroutes: snap.counter("noc.misroutes"),
     }
 }
 

@@ -1,0 +1,131 @@
+//! Ablation III: telemetry overhead — instrumented vs no-op vs
+//! compiled-out.
+//!
+//! The observability layer must be free when it is off. This ablation
+//! replays the PR-1 55-job scheduler mix three ways: with a live
+//! registry (every `noc.*`/`core.*`/`ap.*`/`runtime.*` instrument
+//! recording), with the default no-op handle (one branch per site), and
+//! — via a separate invocation with `--features compile-out` — with the
+//! sites compiled down to nothing. The no-op and compiled-out rows must
+//! be indistinguishable from an uninstrumented simulator; the
+//! instrumented row buys a full cross-layer snapshot and Chrome trace.
+//!
+//! Telemetry must also never perturb the simulation itself: all three
+//! modes produce the identical makespan and event log, and two
+//! instrumented runs export byte-identical snapshots.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vlsi_core::VlsiChip;
+use vlsi_runtime::mix::mixed_jobs;
+use vlsi_runtime::{Fifo, Runtime, RuntimeConfig};
+use vlsi_telemetry::{report, TelemetryHandle};
+use vlsi_topology::Cluster;
+
+const SEED: u64 = 2012;
+const JOBS: usize = 55;
+/// Timing reps for the printed table (criterion's own loop runs after).
+const REPS: usize = 15;
+
+/// Runs the scheduler mix against `telemetry`, returning the finished
+/// runtime for inspection.
+fn run_mix(telemetry: TelemetryHandle) -> Runtime {
+    let chip = VlsiChip::with_telemetry(8, 8, Cluster::default(), telemetry);
+    let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+    for spec in mixed_jobs(SEED, JOBS) {
+        rt.submit(spec);
+    }
+    rt.run_until_idle(500_000).expect("mix must drain");
+    rt
+}
+
+/// One timed run, in microseconds.
+fn time_one(make_handle: fn() -> TelemetryHandle) -> u128 {
+    let t0 = Instant::now();
+    let rt = run_mix(make_handle());
+    let span = t0.elapsed().as_micros();
+    assert!(rt.stats().completed > 0);
+    span
+}
+
+/// Median wall times of `REPS` *interleaved* no-op/instrumented runs —
+/// interleaving cancels machine drift that back-to-back batches would
+/// book against whichever mode ran second.
+fn medians() -> (u128, u128) {
+    let mut noop = Vec::with_capacity(REPS);
+    let mut active = Vec::with_capacity(REPS);
+    // Warm-up pair, discarded.
+    time_one(TelemetryHandle::disabled);
+    time_one(TelemetryHandle::active);
+    for _ in 0..REPS {
+        noop.push(time_one(TelemetryHandle::disabled));
+        active.push(time_one(TelemetryHandle::active));
+    }
+    noop.sort_unstable();
+    active.sort_unstable();
+    (noop[REPS / 2], active[REPS / 2])
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mode = if cfg!(feature = "compile-out") {
+        "compile-out (sites erased at build time)"
+    } else {
+        "default build (sites live behind a branch)"
+    };
+    println!("\nAblation III — telemetry overhead on the {JOBS}-job scheduler mix [{mode}]:");
+
+    let (noop, active) = medians();
+    let overhead = if noop > 0 {
+        (active as f64 - noop as f64) / noop as f64 * 100.0
+    } else {
+        0.0
+    };
+    println!("{:>14} {:>12}", "handle", "median");
+    println!("{:>14} {:>10}us", "no-op", noop);
+    println!(
+        "{:>14} {:>10}us  ({overhead:+.1}% vs no-op)",
+        "instrumented", active
+    );
+
+    // Telemetry observes; it must not perturb. Same seed, same schedule,
+    // whatever the handle.
+    let base = run_mix(TelemetryHandle::disabled());
+    let instr = run_mix(TelemetryHandle::active());
+    assert_eq!(
+        base.summary().makespan,
+        instr.summary().makespan,
+        "recording must not change the schedule"
+    );
+    assert_eq!(base.events(), instr.events(), "event logs must agree");
+
+    // Two instrumented runs export byte-identical snapshots and traces.
+    let again = run_mix(TelemetryHandle::active());
+    let (a, b) = (instr.telemetry().snapshot(), again.telemetry().snapshot());
+    assert_eq!(a.to_json(), b.to_json(), "snapshot must replay exactly");
+    assert_eq!(
+        instr.telemetry().trace_chrome_json(),
+        again.telemetry().trace_chrome_json(),
+        "trace must replay exactly"
+    );
+
+    if instr.telemetry().is_enabled() {
+        // Not built with compile-out: the registry saw the whole stack.
+        for key in ["noc.link_crossings", "core.gathers", "runtime.submissions"] {
+            assert!(a.counter(key) > 0, "{key} must record under load");
+        }
+        println!("\n{}", report::render(&a));
+    }
+
+    let mut group = c.benchmark_group("ablation-III");
+    group.bench_function("noop", |b| {
+        b.iter(|| run_mix(TelemetryHandle::disabled()).summary().makespan);
+    });
+    group.bench_function("instrumented", |b| {
+        b.iter(|| run_mix(TelemetryHandle::active()).summary().makespan);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, HashSet};
 use vlsi_ap::{AdaptiveProcessor, ConfigureOutcome, ExecutionReport};
 use vlsi_noc::NocNetwork;
 use vlsi_object::{GlobalConfigStream, LogicalObject, ObjectId, Word};
+use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::switch::RegionTag;
 use vlsi_topology::{Cluster, ClusterGrid, Coord, Dir, Region, SwitchFabric, SwitchState};
 
@@ -94,6 +95,10 @@ pub struct VlsiChip {
     supervisor: Coord,
     next_id: u32,
     strategy: ConfigStrategy,
+    /// Observability sink; the default handle is a no-op. Threaded into
+    /// the fabric, the NoC, and every gathered processor's AP, so one
+    /// registry sees the whole chip.
+    telemetry: TelemetryHandle,
 }
 
 // --- worm payload encoding -------------------------------------------------
@@ -136,18 +141,40 @@ fn decode_program(w: u64) -> SwitchState {
 
 impl VlsiChip {
     /// A planar chip of `width × height` clusters, supervised from the
-    /// corner router (0,0).
+    /// corner router (0,0), with telemetry disabled.
     pub fn new(width: u16, height: u16, cluster: Cluster) -> VlsiChip {
+        VlsiChip::with_telemetry(width, height, cluster, TelemetryHandle::disabled())
+    }
+
+    /// A chip recording into `telemetry`. The handle reaches every layer:
+    /// the switch fabric (`topology.*`), the NoC (`noc.*`), each gathered
+    /// processor's AP and CSD (`ap.*`, `csd.*`), plus the chip's own
+    /// `core.*` instruments — scaling-operation counters, the
+    /// `core.scaling_latency` histogram (configuration latency per gather,
+    /// in NoC cycles), and `gather` trace spans on the `core` track
+    /// stamped with the NoC clock.
+    pub fn with_telemetry(
+        width: u16,
+        height: u16,
+        cluster: Cluster,
+        telemetry: TelemetryHandle,
+    ) -> VlsiChip {
         VlsiChip {
             grid: ClusterGrid::new(width, height, cluster),
-            fabric: SwitchFabric::new(),
-            noc: NocNetwork::new(width, height),
+            fabric: SwitchFabric::with_telemetry(telemetry.clone()),
+            noc: NocNetwork::with_telemetry(width, height, telemetry.clone()),
             processors: BTreeMap::new(),
             defective: HashSet::new(),
             supervisor: Coord::new(0, 0),
             next_id: 1,
             strategy: ConfigStrategy::default(),
+            telemetry,
         }
+    }
+
+    /// The telemetry handle this chip records into.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// The chip floorplan.
@@ -291,14 +318,21 @@ impl VlsiChip {
     fn gather_inner(&mut self, region: Region, ring: bool) -> Result<GatherOutcome, CoreError> {
         let id = ProcessorId(self.next_id);
         self.next_id += 1;
+        self.telemetry
+            .span_begin("core", "gather", id.0 as u64, self.noc.stats().cycles);
         let (fold, outcome) = self.program_region(&region, ring, id)?;
+        self.telemetry
+            .span_end("core", "gather", id.0 as u64, self.noc.stats().cycles);
+        self.telemetry.count("core.gathers", 1);
+        self.telemetry
+            .record("core.scaling_latency", outcome.config_latency);
         let cfg = ScaledProcessor::ap_config(&region, &self.grid.cluster());
         let proc = ScaledProcessor {
             id,
             region,
             ring,
             state: ProcState::Inactive,
-            ap: AdaptiveProcessor::new(cfg),
+            ap: AdaptiveProcessor::with_telemetry(cfg, self.telemetry.clone()),
             config_latency: outcome.config_latency,
             sleep_timer: None,
             fold,
@@ -472,6 +506,9 @@ impl VlsiChip {
         let region = found.unwrap_or_else(|| old_region.clone());
         match self.program_region(&region, ring, id) {
             Ok((fold, outcome)) => {
+                self.telemetry.count("core.relocations", 1);
+                self.telemetry
+                    .record("core.scaling_latency", outcome.config_latency);
                 let p = self.processor_mut(id)?;
                 p.region = region;
                 p.fold = fold;
@@ -510,6 +547,7 @@ impl VlsiChip {
                 }
             }
         }
+        self.telemetry.count("core.compactions", 1);
         moved
     }
 
@@ -547,6 +585,7 @@ impl VlsiChip {
         }
         self.fabric.release_owner(RegionTag(id.0));
         self.processors.remove(&id);
+        self.telemetry.count("core.releases", 1);
         Ok(())
     }
 
@@ -632,8 +671,12 @@ impl VlsiChip {
     pub fn recycle_processor(&mut self, id: ProcessorId) -> Result<(), CoreError> {
         self.require_state(id, ProcState::Inactive)?;
         let cluster = self.grid.cluster();
+        let telemetry = self.telemetry.clone();
         let p = self.processor_mut(id)?;
-        p.ap = AdaptiveProcessor::new(ScaledProcessor::ap_config(&p.region, &cluster));
+        p.ap = AdaptiveProcessor::with_telemetry(
+            ScaledProcessor::ap_config(&p.region, &cluster),
+            telemetry,
+        );
         Ok(())
     }
 

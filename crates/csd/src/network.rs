@@ -20,6 +20,7 @@
 use crate::channel::{ChannelId, ChannelSegments, Position, RouteId};
 use crate::error::CsdError;
 use std::collections::HashMap;
+use vlsi_telemetry::TelemetryHandle;
 
 /// A live communication on the network.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -112,11 +113,27 @@ pub struct DynamicCsd {
     rejections: u64,
     segment_faults: u64,
     rechains: u64,
+    /// Observability sink; the default handle is a no-op.
+    telemetry: TelemetryHandle,
 }
 
 impl DynamicCsd {
-    /// A network for `n_positions` objects and `n_channels` channels.
+    /// A network for `n_positions` objects and `n_channels` channels
+    /// (telemetry disabled).
     pub fn new(n_positions: usize, n_channels: usize) -> DynamicCsd {
+        DynamicCsd::with_telemetry(n_positions, n_channels, TelemetryHandle::disabled())
+    }
+
+    /// A network recording into `telemetry`: `csd.*` counters (chains,
+    /// unchains, rejections, segment faults, re-chains), the
+    /// `csd.rechain_span` histogram (hop span re-granted per re-chain —
+    /// the allocation-level cost of a repair), and the `csd.occupancy`
+    /// gauge (segments currently claimed).
+    pub fn with_telemetry(
+        n_positions: usize,
+        n_channels: usize,
+        telemetry: TelemetryHandle,
+    ) -> DynamicCsd {
         DynamicCsd {
             n_positions,
             channels: (0..n_channels)
@@ -128,6 +145,14 @@ impl DynamicCsd {
             rejections: 0,
             segment_faults: 0,
             rechains: 0,
+            telemetry,
+        }
+    }
+
+    fn record_occupancy(&self) {
+        if self.telemetry.is_enabled() {
+            let occ: usize = self.channels.iter().map(|c| c.occupied()).sum();
+            self.telemetry.gauge_set("csd.occupancy", occ as i64);
         }
     }
 
@@ -174,6 +199,7 @@ impl DynamicCsd {
         // Priority encoder: lowest channel whose span is free wins.
         let Some(ch) = self.channels.iter().position(|c| c.span_free(lo, hi)) else {
             self.rejections += 1;
+            self.telemetry.count("csd.rejections", 1);
             return Err(CsdError::NoChannelAvailable { lo, hi });
         };
         let id = RouteId(self.next_route);
@@ -189,6 +215,8 @@ impl DynamicCsd {
             },
         );
         self.grants += 1;
+        self.telemetry.count("csd.chains", 1);
+        self.record_occupancy();
         Ok(id)
     }
 
@@ -197,6 +225,8 @@ impl DynamicCsd {
     pub fn disconnect(&mut self, id: RouteId) -> Result<Route, CsdError> {
         let route = self.routes.remove(&id).ok_or(CsdError::UnknownRoute(id))?;
         self.channels[route.channel.0 as usize].release(id);
+        self.telemetry.count("csd.unchains", 1);
+        self.record_occupancy();
         Ok(route)
     }
 
@@ -218,6 +248,7 @@ impl DynamicCsd {
             return Err(CsdError::BadSegment { channel, segment });
         }
         self.segment_faults += 1;
+        self.telemetry.count("csd.segment_faults", 1);
         let Some(victim) = self.channels[channel].fail_segment(segment) else {
             return Ok(None);
         };
@@ -249,6 +280,9 @@ impl DynamicCsd {
                 .expect("victim is live")
                 .channel = to;
             self.rechains += 1;
+            self.telemetry.count("csd.rechains", 1);
+            self.telemetry.record("csd.rechain_span", (hi - lo) as u64);
+            self.record_occupancy();
             SegmentFaultOutcome::Rechained {
                 route: victim,
                 from,
@@ -257,6 +291,8 @@ impl DynamicCsd {
         } else {
             let route = self.routes.remove(&victim).expect("victim is live");
             self.rejections += 1;
+            self.telemetry.count("csd.rejections", 1);
+            self.record_occupancy();
             SegmentFaultOutcome::Unroutable { route }
         }
     }

@@ -39,6 +39,7 @@ use crate::flit::{Flit, Packet, WormId};
 use crate::router::{Port, Router};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use vlsi_faults::{payload_checksum, FaultPlan};
+use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::{Coord, Dir};
 
 /// Delivery attempts per worm before it is declared undeliverable
@@ -67,10 +68,6 @@ pub struct NetworkStats {
     /// Worms purged after missing a delivery deadline or tripping the
     /// livelock bound.
     pub worm_timeouts: u64,
-    /// Retransmissions issued.
-    pub retransmissions: u64,
-    /// Heads steered off the XY route around a permanent fault.
-    pub misroutes: u64,
     /// Worms that exhausted their retransmission budget.
     pub undeliverable: u64,
 }
@@ -136,11 +133,23 @@ pub struct NocNetwork {
     pending: BTreeMap<WormId, PendingWorm>,
     /// Worms that exhausted their retransmission budget.
     failed: Vec<(WormId, NocError)>,
+    /// Observability sink; the default handle is a no-op.
+    telemetry: TelemetryHandle,
 }
 
 impl NocNetwork {
-    /// A `width × height` mesh with one router per cluster.
+    /// A `width × height` mesh with one router per cluster (telemetry
+    /// disabled).
     pub fn new(width: u16, height: u16) -> NocNetwork {
+        NocNetwork::with_telemetry(width, height, TelemetryHandle::disabled())
+    }
+
+    /// A `width × height` mesh recording into `telemetry`:
+    /// `noc.*` counters (link crossings, retransmissions, misroutes,
+    /// per-link utilization lanes), the `noc.queue_depth` and
+    /// `noc.latency` histograms, and per-worm trace spans on the `noc`
+    /// track, all stamped with the network's own cycle counter.
+    pub fn with_telemetry(width: u16, height: u16, telemetry: TelemetryHandle) -> NocNetwork {
         let routers = (0..height)
             .flat_map(|y| (0..width).map(move |x| Router::new(Coord::new(x, y))))
             .collect::<Vec<_>>();
@@ -159,7 +168,13 @@ impl NocNetwork {
             ft: false,
             pending: BTreeMap::new(),
             failed: Vec::new(),
+            telemetry,
         }
+    }
+
+    /// The telemetry handle this network records into.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     fn idx(&self, c: Coord) -> Option<usize> {
@@ -261,6 +276,8 @@ impl NocNetwork {
         for f in packet.flits() {
             self.injection[si].push_back(f);
         }
+        self.telemetry
+            .span_begin("noc", "worm", worm.0, self.stats.cycles);
         Ok(worm)
     }
 
@@ -268,6 +285,12 @@ impl NocNetwork {
     pub fn tick(&mut self) {
         self.stats.cycles += 1;
         let now = self.stats.cycles;
+        if self.telemetry.is_enabled() {
+            // Aggregate occupancy of the source queues this cycle — the
+            // backpressure signal congestion experiments sweep.
+            let queued: usize = self.injection.iter().map(VecDeque::len).sum();
+            self.telemetry.record("noc.queue_depth", queued as u64);
+        }
         // Phase 0 (fault-tolerant mode): retransmit purged worms whose
         // backoff has elapsed, in worm order.
         if self.ft {
@@ -336,6 +359,14 @@ impl NocNetwork {
                                 self.routers[ri].outputs[port.index()].held_by = None;
                             }
                             self.stats.link_crossings += 1;
+                            self.telemetry.count("noc.link_crossings", 1);
+                            // One utilization lane per directed link,
+                            // keyed router-major: router*5 + output port.
+                            self.telemetry.count_at(
+                                "noc.link_util",
+                                ri as u64 * 5 + port.index() as u64,
+                                1,
+                            );
                             if self.ft && matches!(flit, Flit::Head { .. }) {
                                 if let Some(p) = self.pending.get_mut(&flit.worm()) {
                                     p.hops += 1;
@@ -401,7 +432,7 @@ impl NocNetwork {
                     return; // nowhere to go: wait for the timeout to purge
                 };
                 if chosen != xy {
-                    self.stats.misroutes += 1;
+                    self.telemetry.count("noc.misroutes", 1);
                 }
                 chosen
             }
@@ -541,7 +572,9 @@ impl NocNetwork {
                 injected_at,
             },
         );
-        self.stats.retransmissions += 1;
+        self.telemetry.count("noc.retransmissions", 1);
+        self.telemetry
+            .instant("noc", "retransmit", worm.0, self.stats.cycles);
         let si = self.idx(src).expect("pending worm has an on-grid source");
         for f in (Packet {
             worm,
@@ -589,6 +622,9 @@ impl NocNetwork {
                 self.pending.remove(&worm);
             }
             let latency = self.stats.cycles - r.injected_at;
+            self.telemetry.record("noc.latency", latency);
+            self.telemetry
+                .span_end("noc", "worm", worm.0, self.stats.cycles);
             self.latencies.insert(worm, latency);
             self.delivered.push((
                 Packet {
@@ -791,7 +827,7 @@ mod tests {
 
     #[test]
     fn corruption_is_detected_and_retransmitted() {
-        let mut net = NocNetwork::new(4, 1);
+        let mut net = NocNetwork::with_telemetry(4, 1, TelemetryHandle::active());
         // Corrupt the first crossing of the 0→1 link only: the first
         // attempt fails its checksum, the retry sails through.
         net.attach_fault_plan(FaultPlan::from_faults([Fault::transient(
@@ -810,7 +846,7 @@ mod tests {
         assert_eq!(d.len(), 1, "retransmission must repair the worm");
         assert_eq!(d[0].0.payload, vec![7, 8], "payload verified end to end");
         assert!(net.stats().checksum_failures >= 1);
-        assert!(net.stats().retransmissions >= 1);
+        assert!(net.telemetry().snapshot().counter("noc.retransmissions") >= 1);
         assert!(net.take_failed().is_empty());
     }
 
@@ -834,7 +870,7 @@ mod tests {
 
     #[test]
     fn adaptive_routing_detours_around_a_dead_link() {
-        let mut net = NocNetwork::new(3, 2);
+        let mut net = NocNetwork::with_telemetry(3, 2, TelemetryHandle::active());
         // The only XY path 0,0 → 2,0 uses East links on row 0; kill the
         // middle one permanently. The worm must detour through row 1.
         net.attach_fault_plan(FaultPlan::from_faults([Fault::permanent(
@@ -850,7 +886,11 @@ mod tests {
         let d = net.take_delivered();
         assert_eq!(d.len(), 1, "detour must deliver");
         assert_eq!(d[0].0.payload, vec![5]);
-        assert!(net.stats().misroutes >= 1, "the detour is a misroute");
+        let snap = net.telemetry().snapshot();
+        assert!(
+            snap.counter("noc.misroutes") >= 1,
+            "the detour is a misroute"
+        );
         assert!(net.take_failed().is_empty());
     }
 
@@ -903,7 +943,7 @@ mod tests {
     #[test]
     fn faulty_runs_replay_bit_identically() {
         let run = || {
-            let mut net = NocNetwork::new(4, 4);
+            let mut net = NocNetwork::with_telemetry(4, 4, TelemetryHandle::active());
             net.attach_fault_plan(
                 vlsi_faults::FaultPlanBuilder::new(77)
                     .grid(4, 4)
@@ -925,7 +965,15 @@ mod tests {
                 .into_iter()
                 .map(|(p, l)| (p.worm, l))
                 .collect();
-            (delivered, net.take_failed(), net.stats().clone())
+            let snapshot = net.telemetry().snapshot().to_json();
+            let trace = net.telemetry().trace_chrome_json();
+            (
+                delivered,
+                net.take_failed(),
+                net.stats().clone(),
+                snapshot,
+                trace,
+            )
         };
         assert_eq!(run(), run());
     }

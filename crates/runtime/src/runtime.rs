@@ -13,11 +13,12 @@
 //! [`submit`]: Runtime::submit
 //! [`tick`]: Runtime::tick
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use vlsi_core::{BlockExecutor, CoreError, ProcState, ProcessorId, VlsiChip};
 use vlsi_faults::{Fault, FaultKind, FaultPlan};
 use vlsi_object::Word;
+use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::Coord;
 use vlsi_workloads::StreamKernel;
 
@@ -49,6 +50,12 @@ pub struct RuntimeConfig {
     pub cycles_per_tick: u64,
     /// Cycle budget handed to [`VlsiChip::execute`] per kernel run.
     pub max_exec_cycles: u64,
+    /// Upper bound on the retained event log. The log is a ring buffer:
+    /// once full, the *oldest* event is dropped per push and the
+    /// `runtime.events_dropped` telemetry counter (and
+    /// [`Runtime::dropped_events`]) ticks up. Long soak runs thus hold
+    /// memory constant without losing the recent history tests inspect.
+    pub event_log_cap: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +67,7 @@ impl Default for RuntimeConfig {
             pool_ttl: Some(32),
             cycles_per_tick: 64,
             max_exec_cycles: 1_000_000,
+            event_log_cap: 1 << 16,
         }
     }
 }
@@ -138,13 +146,22 @@ pub struct Runtime {
     running: Vec<JobId>,
     pool: Vec<PoolEntry>,
     fault_plan: FaultPlan,
-    events: Vec<RuntimeEvent>,
+    events: VecDeque<RuntimeEvent>,
+    dropped_events: u64,
     stats: RuntimeStats,
+    /// Shared with the chip: [`Runtime::new`] adopts the chip's handle,
+    /// so building the chip with [`VlsiChip::with_telemetry`] instruments
+    /// the scheduler too (`runtime.*` instruments, per-job spans on the
+    /// `runtime` track stamped in ticks).
+    telemetry: TelemetryHandle,
 }
 
 impl Runtime {
-    /// A runtime owning `chip`, scheduling with `policy`.
+    /// A runtime owning `chip`, scheduling with `policy`. The runtime
+    /// records into the chip's telemetry handle — pass a chip built with
+    /// [`VlsiChip::with_telemetry`] to observe the scheduler.
     pub fn new(chip: VlsiChip, policy: Box<dyn SchedPolicy>, config: RuntimeConfig) -> Runtime {
+        let telemetry = chip.telemetry().clone();
         Runtime {
             chip,
             policy,
@@ -156,8 +173,10 @@ impl Runtime {
             running: Vec::new(),
             pool: Vec::new(),
             fault_plan: FaultPlan::none(),
-            events: Vec::new(),
+            events: VecDeque::new(),
+            dropped_events: 0,
             stats: RuntimeStats::default(),
+            telemetry,
         }
     }
 
@@ -170,6 +189,8 @@ impl Runtime {
         let id = JobId(self.next_job);
         self.next_job += 1;
         self.stats.submitted += 1;
+        self.telemetry.count("runtime.submissions", 1);
+        self.telemetry.span_begin("runtime", "job", id.0, self.now);
         self.push_event(EventKind::Submitted {
             job: id,
             clusters: spec.clusters,
@@ -405,6 +426,9 @@ impl Runtime {
         }
         self.push_event(EventKind::FaultReported { coord: c, layer });
         self.stats.faults_reported += 1;
+        self.telemetry.count("runtime.faults_reported", 1);
+        self.telemetry
+            .instant("runtime", "fault", self.stats.faults_reported, self.now);
         let victim = self.chip.processor_at(c);
         if layer == "s-topology" {
             self.chip.mark_switch_stuck(c);
@@ -633,6 +657,10 @@ impl Runtime {
         rec.stats.turnaround = now - rec.stats.submitted_at;
         let (wait, turnaround) = (rec.stats.wait, rec.stats.turnaround);
         self.stats.completed += 1;
+        self.telemetry.record("runtime.wait", wait);
+        self.telemetry.record("runtime.run", turnaround - wait);
+        self.telemetry.record("runtime.turnaround", turnaround);
+        self.telemetry.span_end("runtime", "job", job_id.0, now);
         self.push_event(EventKind::Completed {
             job: job_id,
             wait,
@@ -671,6 +699,8 @@ impl Runtime {
         rec.stats.turnaround = now - rec.stats.submitted_at;
         rec.failure = Some(err);
         self.stats.failed += 1;
+        self.telemetry.count("runtime.failures", 1);
+        self.telemetry.span_end("runtime", "job", job_id.0, now);
         self.push_event(EventKind::Failed {
             job: job_id,
             reason,
@@ -1012,7 +1042,17 @@ impl Runtime {
     }
 
     fn push_event(&mut self, kind: EventKind) {
-        self.events.push(RuntimeEvent {
+        if self.config.event_log_cap == 0 {
+            self.dropped_events += 1;
+            self.telemetry.count("runtime.events_dropped", 1);
+            return;
+        }
+        while self.events.len() >= self.config.event_log_cap {
+            self.events.pop_front();
+            self.dropped_events += 1;
+            self.telemetry.count("runtime.events_dropped", 1);
+        }
+        self.events.push_back(RuntimeEvent {
             tick: self.now,
             kind,
         });
@@ -1025,9 +1065,21 @@ impl Runtime {
         &self.chip
     }
 
-    /// The full, ordered event log.
-    pub fn events(&self) -> &[RuntimeEvent] {
+    /// The ordered event log — the most recent
+    /// [`RuntimeConfig::event_log_cap`] events.
+    pub fn events(&self) -> &VecDeque<RuntimeEvent> {
         &self.events
+    }
+
+    /// Events evicted from the capped log (see
+    /// [`RuntimeConfig::event_log_cap`]).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// The telemetry handle this runtime (and its chip) records into.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// A job's record.
@@ -1122,6 +1174,53 @@ mod tests {
 
     fn idle(clusters: usize, ticks: u64) -> JobSpec {
         JobSpec::new("idle", clusters, Workload::Idle { ticks })
+    }
+
+    #[test]
+    fn event_log_cap_drops_oldest_and_counts() {
+        let chip = VlsiChip::with_telemetry(8, 8, Cluster::default(), TelemetryHandle::active());
+        let config = RuntimeConfig {
+            pool_ttl: None,
+            event_log_cap: 8,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(chip, Box::new(Fifo), config);
+        for _ in 0..6 {
+            rt.submit(idle(4, 2));
+        }
+        rt.run_until_idle(1_000).unwrap();
+        assert!(rt.events().len() <= 8, "log bounded by the cap");
+        assert!(rt.dropped_events() > 0, "older events were evicted");
+        // The ring keeps the *newest* events: the final completion is
+        // still present even though early submissions are gone.
+        assert!(rt
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Completed { .. })));
+        let total = rt.events().len() as u64 + rt.dropped_events();
+        assert!(total > 8, "more events were produced than retained");
+        if rt.telemetry().is_enabled() {
+            // built without compile-out
+            let snap = rt.telemetry().snapshot();
+            assert_eq!(snap.counter("runtime.events_dropped"), rt.dropped_events());
+            assert_eq!(snap.counter("runtime.submissions"), 6);
+        }
+    }
+
+    #[test]
+    fn zero_event_log_cap_retains_nothing() {
+        let chip = VlsiChip::new(8, 8, Cluster::default());
+        let config = RuntimeConfig {
+            pool_ttl: None,
+            event_log_cap: 0,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(chip, Box::new(Fifo), config);
+        rt.submit(idle(4, 2));
+        rt.run_until_idle(1_000).unwrap();
+        assert!(rt.events().is_empty());
+        assert!(rt.dropped_events() > 0);
+        assert_eq!(rt.stats().completed, 1, "scheduling is unaffected");
     }
 
     #[test]
@@ -1366,7 +1465,7 @@ mod tests {
                 rt.submit(idle(4, 8 + i));
             }
             rt.run_until_idle(10_000).unwrap();
-            rt.events().to_vec()
+            rt.events().iter().cloned().collect::<Vec<_>>()
         };
         assert_eq!(run(), run(), "same plan seed, same event log");
     }

@@ -1,0 +1,156 @@
+//! Log2-bucketed histograms with power-of-two boundaries.
+
+/// Bucket count: bucket 0 holds the value `0`; bucket `k` (1..=64) holds
+/// values in `[2^(k-1), 2^k)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Boundaries sit exactly at powers of two, so bucket membership is a
+/// leading-zeros computation — `O(1)`, branch-free, and allocation-free
+/// per sample. Count, sum, min, and max are tracked exactly; only the
+/// distribution is quantised.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in: `0` for the value zero,
+    /// otherwise `1 + floor(log2(value))`.
+    pub fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 64 - v.leading_zeros() as usize,
+        }
+    }
+
+    /// The inclusive lower boundary of bucket `i` (a power of two for
+    /// every bucket past the zero bucket).
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            k => 1u64 << (k - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean (0 when empty) — integer division keeps exports
+    /// float-free and byte-stable.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Occupancy of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(bucket floor, occupancy)` for every non-empty bucket, in
+    /// ascending boundary order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_floor(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for k in 1..=63usize {
+            let b = 1u64 << (k - 1);
+            assert_eq!(Histogram::bucket_of(b), k, "floor of bucket {k}");
+            assert_eq!(Histogram::bucket_of(b * 2 - 1), k, "ceiling of bucket {k}");
+            assert_eq!(Histogram::bucket_floor(k), b);
+        }
+    }
+
+    #[test]
+    fn summary_statistics_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 8, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.mean(), 4);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (2, 1), (4, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.mean()), (0, 0, 0, 0));
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

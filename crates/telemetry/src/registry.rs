@@ -1,0 +1,200 @@
+//! The instrument registry: typed instruments behind interned keys.
+
+use crate::histogram::Histogram;
+use crate::snapshot::{Snapshot, SnapshotValue};
+use crate::trace::{SpanEvent, Trace};
+use std::collections::HashMap;
+
+/// An instrument address: a static name plus an optional index, so a
+/// family like per-link utilization is one key with many lanes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct InstrKey {
+    name: &'static str,
+    index: Option<u64>,
+}
+
+impl InstrKey {
+    fn render(&self) -> String {
+        match self.index {
+            None => self.name.to_string(),
+            Some(i) => format!("{}[{}]", self.name, i),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(u64),
+    Gauge(i64),
+    // Boxed: a histogram is ~550 bytes against the scalars' 8, and most
+    // instruments are counters.
+    Histogram(Box<Histogram>),
+}
+
+/// The typed instrument registry of one telemetry domain.
+///
+/// Keys are `&'static str` (plus an optional integer index), interned on
+/// first use: the hot path is one hash lookup and one slot update —
+/// `O(1)`, and allocation-free after an instrument's first recording.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    slots: HashMap<InstrKey, usize>,
+    instruments: Vec<(InstrKey, Instrument)>,
+    trace: Trace,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn slot(&mut self, name: &'static str, index: Option<u64>, make: fn() -> Instrument) -> usize {
+        let key = InstrKey { name, index };
+        match self.slots.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.instruments.len();
+                self.instruments.push((key, make()));
+                self.slots.insert(key, i);
+                i
+            }
+        }
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        self.count_at_opt(name, None, n);
+    }
+
+    /// Adds `n` to lane `index` of the counter family `name`.
+    pub fn count_at(&mut self, name: &'static str, index: u64, n: u64) {
+        self.count_at_opt(name, Some(index), n);
+    }
+
+    fn count_at_opt(&mut self, name: &'static str, index: Option<u64>, n: u64) {
+        let i = self.slot(name, index, || Instrument::Counter(0));
+        if let Instrument::Counter(c) = &mut self.instruments[i].1 {
+            *c += n;
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        let i = self.slot(name, None, || Instrument::Gauge(0));
+        if let Instrument::Gauge(g) = &mut self.instruments[i].1 {
+            *g = value;
+        }
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge `name`.
+    pub fn gauge_add(&mut self, name: &'static str, delta: i64) {
+        let i = self.slot(name, None, || Instrument::Gauge(0));
+        if let Instrument::Gauge(g) = &mut self.instruments[i].1 {
+            *g += delta;
+        }
+    }
+
+    /// Records a sample into the histogram `name`.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        let i = self.slot(name, None, || Instrument::Histogram(Box::default()));
+        if let Instrument::Histogram(h) = &mut self.instruments[i].1 {
+            h.record(value);
+        }
+    }
+
+    /// Appends a span event to the trace buffer.
+    pub fn span(&mut self, e: SpanEvent) {
+        self.trace.push(e);
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Replaces the trace buffer's capacity (existing events kept up to
+    /// the new bound).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        let mut t = Trace::with_capacity(capacity);
+        for &e in self.trace.events().iter().take(capacity) {
+            t.push(e);
+        }
+        self.trace = t;
+    }
+
+    /// A sorted, integer-only view of every instrument. Sorting is by
+    /// rendered name (then index numerically within a family), so the
+    /// export is byte-deterministic regardless of recording order.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries: Vec<(String, SnapshotValue)> = self
+            .instruments
+            .iter()
+            .map(|(key, ins)| {
+                let v = match ins {
+                    Instrument::Counter(c) => SnapshotValue::Counter(*c),
+                    Instrument::Gauge(g) => SnapshotValue::Gauge(*g),
+                    Instrument::Histogram(h) => SnapshotValue::Histogram(h.clone()),
+                };
+                (key.render(), v)
+            })
+            .collect();
+        let key_of = |name: &str| -> (String, u64) {
+            match name.split_once('[') {
+                Some((base, rest)) => {
+                    let idx = rest
+                        .trim_end_matches(']')
+                        .parse::<u64>()
+                        .unwrap_or(u64::MAX);
+                    (base.to_string(), idx)
+                }
+                None => (name.to_string(), 0),
+            }
+        };
+        entries.sort_by_key(|(name, _)| key_of(name));
+        let dropped_spans = self.trace.dropped();
+        Snapshot::new(entries, dropped_spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_accumulate_by_key() {
+        let mut r = Registry::new();
+        r.count("a", 1);
+        r.count("a", 2);
+        r.count_at("links", 3, 5);
+        r.count_at("links", 3, 5);
+        r.count_at("links", 10, 1);
+        r.gauge_set("depth", 4);
+        r.gauge_add("depth", -1);
+        r.record("lat", 9);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.counter("links[3]"), 10);
+        assert_eq!(s.counter("links[10]"), 1);
+        assert_eq!(s.gauge("depth"), 3);
+        assert_eq!(s.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_order_is_independent_of_recording_order() {
+        let mut a = Registry::new();
+        a.count("z", 1);
+        a.count("a", 1);
+        a.count_at("links", 10, 1);
+        a.count_at("links", 2, 1);
+        let mut b = Registry::new();
+        b.count_at("links", 2, 1);
+        b.count("a", 1);
+        b.count_at("links", 10, 1);
+        b.count("z", 1);
+        assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+        // Indexed lanes sort numerically: links[2] before links[10].
+        let json = a.snapshot().to_json();
+        assert!(json.find("links[2]").unwrap() < json.find("links[10]").unwrap());
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable end-of-run summary tables.
+
+use crate::snapshot::{Snapshot, SnapshotValue};
+
+/// Renders a snapshot as an aligned plain-text table, one instrument per
+/// row, suitable for printing at the end of a run:
+///
+/// ```text
+/// instrument                kind        value  min  max  mean
+/// ------------------------  ---------  ------  ---  ---  ----
+/// noc.link_crossings        counter       312
+/// runtime.wait              histogram      55    0  410    96
+/// ```
+///
+/// Counters and gauges show their value; histograms show the sample
+/// count plus exact min/max and the integer mean.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut rows: Vec<[String; 6]> = vec![[
+        "instrument".to_string(),
+        "kind".to_string(),
+        "value".to_string(),
+        "min".to_string(),
+        "max".to_string(),
+        "mean".to_string(),
+    ]];
+    for (name, v) in snapshot.entries() {
+        let row = match v {
+            SnapshotValue::Counter(c) => [
+                name.clone(),
+                "counter".to_string(),
+                c.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
+            SnapshotValue::Gauge(g) => [
+                name.clone(),
+                "gauge".to_string(),
+                g.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
+            SnapshotValue::Histogram(h) => [
+                name.clone(),
+                "histogram".to_string(),
+                h.count().to_string(),
+                h.min().to_string(),
+                h.max().to_string(),
+                h.mean().to_string(),
+            ],
+        };
+        rows.push(row);
+    }
+    let mut widths = [0usize; 6];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (col, cell) in row.iter().enumerate() {
+            if col > 0 {
+                line.push_str("  ");
+            }
+            if col == 0 {
+                // Left-align names; right-align numbers.
+                line.push_str(&format!("{:<width$}", cell, width = widths[col]));
+            } else {
+                line.push_str(&format!("{:>width$}", cell, width = widths[col]));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if i == 0 {
+            let mut rule = String::new();
+            for (col, w) in widths.iter().enumerate() {
+                if col > 0 {
+                    rule.push_str("  ");
+                }
+                rule.push_str(&"-".repeat(*w));
+            }
+            out.push_str(rule.trim_end());
+            out.push('\n');
+        }
+    }
+    if snapshot.dropped_spans() > 0 {
+        out.push_str(&format!(
+            "({} span events dropped at trace capacity)\n",
+            snapshot.dropped_spans()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn table_lists_every_instrument() {
+        let mut r = Registry::new();
+        r.count("noc.link_crossings", 312);
+        r.gauge_set("csd.occupancy", 9);
+        r.record("runtime.wait", 17);
+        let table = render(&r.snapshot());
+        assert!(table.contains("instrument"));
+        assert!(table.contains("noc.link_crossings"));
+        assert!(table.contains("counter"));
+        assert!(table.contains("csd.occupancy"));
+        assert!(table.contains("gauge"));
+        assert!(table.contains("runtime.wait"));
+        assert!(table.contains("histogram"));
+        // Header + rule + 3 instrument rows.
+        assert_eq!(table.lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let table = render(&Snapshot::default());
+        assert_eq!(table.lines().count(), 2);
+    }
+}

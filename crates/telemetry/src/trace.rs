@@ -1,0 +1,183 @@
+//! Cycle-stamped trace spans and the Chrome `trace_event` exporter.
+
+use std::fmt::Write;
+
+/// Default span-event capacity of a trace buffer. Overflow drops the
+/// newest events (deterministically) and counts them, so a truncated
+/// trace is visible, never silently wrong.
+pub const TRACE_CAPACITY_DEFAULT: usize = 1 << 16;
+
+/// Which end of a span (or a point event) an entry marks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanPhase {
+    /// Span opens at this cycle.
+    Begin,
+    /// Span closes at this cycle.
+    End,
+    /// A zero-duration marker.
+    Instant,
+}
+
+impl SpanPhase {
+    fn chrome(self) -> char {
+        match self {
+            SpanPhase::Begin => 'B',
+            SpanPhase::End => 'E',
+            SpanPhase::Instant => 'i',
+        }
+    }
+}
+
+/// One trace entry, stamped with the recording layer's *simulated*
+/// clock (never wall time — replays are bit-identical per seed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanEvent {
+    /// The track (one per layer clock: `"noc"`, `"runtime"`, …).
+    /// Rendered as a Chrome trace process.
+    pub track: &'static str,
+    /// Span name (static, interned — recording never allocates).
+    pub name: &'static str,
+    /// Lane within the track (a worm ID, job ID, …). Rendered as the
+    /// Chrome trace thread, so concurrent spans get their own rows.
+    pub id: u64,
+    /// The simulated-clock stamp, in the track's own cycle domain.
+    pub cycle: u64,
+    /// Begin, end, or instant.
+    pub phase: SpanPhase,
+}
+
+/// An append-only, capacity-bounded buffer of [`SpanEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace bounded at [`TRACE_CAPACITY_DEFAULT`] events.
+    pub fn new() -> Trace {
+        Trace::with_capacity(TRACE_CAPACITY_DEFAULT)
+    }
+
+    /// An empty trace bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event; a full buffer drops it (counted, deterministic).
+    pub fn push(&mut self, e: SpanEvent) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.events.push(e);
+        }
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Events rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as Chrome `trace_event` JSON (the
+    /// `{"traceEvents": […]}` object format `chrome://tracing` and
+    /// Perfetto load). One simulated cycle maps to one microsecond.
+    /// Output is byte-deterministic: events in recording order, tracks
+    /// numbered in first-appearance order.
+    pub fn to_chrome_json(&self) -> String {
+        let mut tracks: Vec<&'static str> = Vec::new();
+        for e in &self.events {
+            if !tracks.contains(&e.track) {
+                tracks.push(e.track);
+            }
+        }
+        let pid_of = |t: &'static str| tracks.iter().position(|&x| x == t).unwrap_or(0);
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for (pid, track) in tracks.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{track}\"}}}}"
+            )
+            .expect("write to String");
+        }
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let extra = if e.phase == SpanPhase::Instant {
+                ",\"s\":\"t\""
+            } else {
+                ""
+            };
+            write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\
+                 \"pid\":{},\"tid\":{}{extra}}}",
+                e.name,
+                e.track,
+                e.phase.chrome(),
+                e.cycle,
+                pid_of(e.track),
+                e.id,
+            )
+            .expect("write to String");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, cycle: u64, phase: SpanPhase) -> SpanEvent {
+        SpanEvent {
+            track: "noc",
+            name,
+            id: 7,
+            cycle,
+            phase,
+        }
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(ev("worm", i, SpanPhase::Instant));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut t = Trace::new();
+        t.push(ev("worm", 3, SpanPhase::Begin));
+        t.push(ev("worm", 9, SpanPhase::End));
+        let j = t.to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\"ph\":\"B\""));
+        assert!(j.contains("\"ph\":\"E\""));
+        assert!(j.contains("\"ts\":3"));
+        assert!(j.contains("process_name"));
+        assert!(j.ends_with("]}"));
+    }
+}

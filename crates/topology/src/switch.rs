@@ -23,6 +23,7 @@ use crate::coord::{Coord, Dir};
 use crate::error::TopologyError;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use vlsi_telemetry::TelemetryHandle;
 
 /// Identity of the region (scaled processor) owning a switch.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -65,6 +66,8 @@ pub struct SwitchFabric {
     /// that killed it.
     stuck: BTreeSet<Coord>,
     programming_stores: u64,
+    /// Observability sink; the default handle is a no-op.
+    telemetry: TelemetryHandle,
 }
 
 impl SwitchFabric {
@@ -72,6 +75,20 @@ impl SwitchFabric {
     /// state. Switch state is created lazily per coordinate.
     pub fn new() -> SwitchFabric {
         SwitchFabric::default()
+    }
+
+    /// A fabric recording every programming-register store into
+    /// `telemetry` (the `topology.switch_stores` counter).
+    pub fn with_telemetry(telemetry: TelemetryHandle) -> SwitchFabric {
+        SwitchFabric {
+            telemetry,
+            ..SwitchFabric::default()
+        }
+    }
+
+    fn store(&mut self, n: u64) {
+        self.programming_stores += n;
+        self.telemetry.count("topology.switch_stores", n);
     }
 
     /// The switch state at `c` (default state if never touched).
@@ -119,7 +136,7 @@ impl SwitchFabric {
             Some(o) if o != owner => Err(TopologyError::SwitchConflict { at: c }),
             _ => {
                 s.reserved_by = Some(owner);
-                self.programming_stores += 1;
+                self.store(1);
                 Ok(())
             }
         }
@@ -135,7 +152,7 @@ impl SwitchFabric {
                 return Err(TopologyError::SwitchConflict { at: c });
             }
             self.switches.entry(c).or_default().chained[dir.index()] = true;
-            self.programming_stores += 1;
+            self.store(1);
         }
         Ok(())
     }
@@ -146,7 +163,7 @@ impl SwitchFabric {
         for (c, dir) in [(a, d), (b, d.opposite())] {
             self.check_healthy(c)?;
             self.switches.entry(c).or_default().chained[dir.index()] = false;
-            self.programming_stores += 1;
+            self.store(1);
         }
         Ok(())
     }
@@ -181,7 +198,7 @@ impl SwitchFabric {
             }
             self.switches.entry(a).or_default().shift_out = Some(d);
             self.switches.entry(b).or_default().shift_in = Some(d.opposite());
-            self.programming_stores += 2;
+            self.store(2);
             self.chain(a, b, owner)?;
         }
         if close_ring && path.len() >= 3 {
@@ -193,7 +210,7 @@ impl SwitchFabric {
             self.check_healthy(first)?;
             self.switches.entry(last).or_default().shift_out = Some(d);
             self.switches.entry(first).or_default().shift_in = Some(d.opposite());
-            self.programming_stores += 2;
+            self.store(2);
             self.chain(last, first, owner)?;
         }
         Ok(())
@@ -217,7 +234,7 @@ impl SwitchFabric {
         s.shift_in = program.shift_in;
         s.shift_out = program.shift_out;
         s.chained = program.chained;
-        self.programming_stores += 1;
+        self.store(1);
         Ok(())
     }
 
@@ -230,8 +247,10 @@ impl SwitchFabric {
             if s.reserved_by == Some(owner) {
                 *s = SwitchState::default();
                 released += 1;
-                self.programming_stores += 1;
             }
+        }
+        if released > 0 {
+            self.store(released as u64);
         }
         released
     }

@@ -13,5 +13,6 @@ pub use vlsi_noc as noc;
 pub use vlsi_object as object;
 pub use vlsi_prng as prng;
 pub use vlsi_runtime as runtime;
+pub use vlsi_telemetry as telemetry;
 pub use vlsi_topology as topology;
 pub use vlsi_workloads as workloads;

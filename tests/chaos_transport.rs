@@ -17,6 +17,7 @@ use vlsi_processor::noc::{NocError, NocNetwork};
 use vlsi_processor::prng::Prng;
 use vlsi_processor::runtime::mix::mixed_jobs;
 use vlsi_processor::runtime::{EventKind, Fifo, JobState, Runtime, RuntimeConfig};
+use vlsi_processor::telemetry::{report, TelemetryHandle};
 use vlsi_processor::topology::{Cluster, Coord};
 
 /// The CI seed matrix: three seeds, three transient-fault rates.
@@ -35,9 +36,12 @@ fn noc_chaos_run(
     Vec<(vlsi_processor::noc::WormId, Coord, Vec<u64>)>,
     Vec<(vlsi_processor::noc::WormId, NocError)>,
     vlsi_processor::noc::NetworkStats,
+    String,
 ) {
     let (w, h) = (6u16, 6u16);
-    let mut net = NocNetwork::new(w, h);
+    // Chaos runs with telemetry live: retransmission/misroute accounting
+    // now lives in the registry, and its exports join the replay digest.
+    let mut net = NocNetwork::with_telemetry(w, h, TelemetryHandle::active());
     // The horizon covers the batch's drain window (plus retransmission
     // backoff), so fault windows overlap live traffic.
     let plan = FaultPlanBuilder::new(seed)
@@ -86,7 +90,22 @@ fn noc_chaos_run(
             "failure must be typed: {err}"
         );
     }
-    (delivered, failed, net.stats().clone())
+    // The registry's view must agree with the harness's own accounting:
+    // the counters mirror the struct stats, and the latency histogram
+    // saw exactly the delivered worms.
+    let snap = net.telemetry().snapshot();
+    assert_eq!(
+        snap.counter("noc.link_crossings"),
+        net.stats().link_crossings
+    );
+    let latencies = snap.histogram("noc.latency").map_or(0, |h| h.count());
+    assert_eq!(latencies, net.stats().worms_delivered);
+    let digest = format!(
+        "{}\n{}",
+        snap.to_json(),
+        net.telemetry().trace_chrome_json()
+    );
+    (delivered, failed, net.stats().clone(), digest)
 }
 
 #[test]
@@ -107,6 +126,9 @@ fn noc_chaos_replays_bit_identically_per_seed() {
             assert_eq!(a.0, b.0, "deliveries diverged (seed {seed}, rate {rate})");
             assert_eq!(a.1, b.1, "failures diverged (seed {seed}, rate {rate})");
             assert_eq!(a.2, b.2, "stats diverged (seed {seed}, rate {rate})");
+            // Clause 3 extends to observability: snapshot and Chrome
+            // trace exports are byte-identical per seed.
+            assert_eq!(a.3, b.3, "telemetry diverged (seed {seed}, rate {rate})");
         }
     }
 }
@@ -184,7 +206,9 @@ fn csd_chaos_sweep_keeps_invariants() {
 /// One deterministic runtime chaos run: a mixed tenant batch while
 /// seed-driven switch faults land mid-run.
 fn runtime_chaos_run(seed: u64, rate: f64) -> Runtime {
-    let chip = VlsiChip::new(8, 8, Cluster::default());
+    // Telemetry stays live through every chaos run: recording must never
+    // perturb the schedule, and the end-of-run report must render.
+    let chip = VlsiChip::with_telemetry(8, 8, Cluster::default(), TelemetryHandle::active());
     let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
     let plan = FaultPlanBuilder::new(seed)
         .grid(8, 8)
@@ -219,9 +243,27 @@ fn runtime_chaos_resolves_every_job_and_replays_identically() {
                 rt.stats().faults_reported as usize,
                 rt.chip().defective_count(),
             );
-            // Clause 3: the whole event log replays bit-identically.
+            // The registry agrees with the runtime's own counters.
+            let snap = rt.telemetry().snapshot();
+            if rt.telemetry().is_enabled() {
+                assert_eq!(
+                    snap.counter("runtime.faults_reported"),
+                    rt.stats().faults_reported
+                );
+                assert_eq!(snap.counter("runtime.submissions"), rt.stats().submitted);
+            }
+            // Clause 3: the whole event log — and every telemetry
+            // export — replays bit-identically.
             let replay = runtime_chaos_run(seed, rate);
             assert_eq!(rt.events(), replay.events(), "seed {seed} rate {rate}");
+            assert_eq!(
+                snap.to_json(),
+                replay.telemetry().snapshot().to_json(),
+                "telemetry snapshot diverged (seed {seed}, rate {rate})"
+            );
+            // The end-of-run report renders from any chaos snapshot.
+            let table = report::render(&snap);
+            assert!(table.contains("instrument"), "report must render a table");
         }
     }
 }

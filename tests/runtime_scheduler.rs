@@ -12,6 +12,7 @@ use vlsi_processor::runtime::{
     EventKind, Fifo, JobSpec, JobState, Priority, Runtime, RuntimeConfig, RuntimeError,
     SchedPolicy, SmallestFitBackfill, Workload,
 };
+use vlsi_processor::telemetry::TelemetryHandle;
 use vlsi_processor::topology::{Cluster, Coord};
 
 const SEED: u64 = 2012;
@@ -28,7 +29,9 @@ fn policies() -> Vec<Box<dyn SchedPolicy>> {
 /// The acceptance run: the mixed batch, three mid-run defects, and one
 /// deadline-doomed straggler, on an 8×8 chip.
 fn acceptance_run(policy: Box<dyn SchedPolicy>) -> Runtime {
-    let chip = VlsiChip::new(8, 8, Cluster::default());
+    // The acceptance bar includes telemetry: the whole batch runs with a
+    // live registry, which must never perturb the schedule.
+    let chip = VlsiChip::with_telemetry(8, 8, Cluster::default(), TelemetryHandle::active());
     let mut rt = Runtime::new(chip, policy, RuntimeConfig::default());
     // Defects land while the chip is under load; coordinates in the
     // middle of the die are almost always owned by some tenant then.
@@ -108,6 +111,11 @@ fn event_log_is_identical_for_identical_seeds() {
             "{policy}: same seed must replay the exact same event log"
         );
         assert!(a.events().len() > 2 * JOBS, "{policy}: log too thin");
+        assert_eq!(
+            a.telemetry().snapshot().to_json(),
+            b.telemetry().snapshot().to_json(),
+            "{policy}: same seed must replay the exact same telemetry"
+        );
     }
 }
 
