@@ -16,6 +16,13 @@ cargo test -q --offline --test chaos_transport
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
+echo "== bench smoke (one iteration per workload, emitted JSON validates)"
+cargo build -q --release --offline -p vlsi-bench
+BENCH_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
+./target/release/bench --smoke --out "$BENCH_SMOKE_DIR"
+./target/release/bench --check "$BENCH_SMOKE_DIR"
+
 echo "== telemetry determinism (same seed => byte-identical exports)"
 cargo test -q --offline --test telemetry
 cargo run -q --offline --example telemetry_trace >/dev/null

@@ -32,7 +32,7 @@ fn bench_ablation(c: &mut Criterion) {
         let gops = comp.peak_gops_scaled(&p);
         println!(
             "{scale:>8} {aps:>8} {delay:>12.2} {gops:>12.1} {:>12.1}",
-            gops / f64::from(aps.max(1))
+            gops / aps.max(1) as f64
         );
         rows.push((scale, delay, gops));
     }

@@ -10,7 +10,7 @@ use vlsi_cost::scaling::{table4, ApComposition};
 
 fn verify_table4() {
     let rows = table4(&ApComposition::default());
-    let expected_aps = [12u32, 16, 21, 24, 34, 41];
+    let expected_aps = [12u64, 16, 21, 24, 34, 41];
     for (r, &aps) in rows.iter().zip(&expected_aps) {
         assert_eq!(r.available_aps, aps, "year {}", r.year);
     }

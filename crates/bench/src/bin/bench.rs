@@ -1,0 +1,170 @@
+//! `bench` — the BENCH-emitting runner.
+//!
+//! Executes the sched / faults / hotpath workload families and writes
+//! `BENCH_sched.json`, `BENCH_faults.json`, and `BENCH_hotpath.json`
+//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
+//! machine-readable at the repo root.
+//!
+//! ```text
+//! bench [--smoke] [--out DIR]   run workloads, write + validate JSONs
+//! bench --check DIR             validate existing BENCH_*.json in DIR
+//! ```
+//!
+//! `--smoke` runs a single iteration of each workload — CI uses it to
+//! prove the pipeline still runs and emits well-formed documents.
+
+use vlsi_bench::harness::{git_rev, measure, render_json, validate_json, BenchSample};
+use vlsi_bench::hotpath::{
+    chaos_mix, faults_noc, faults_sched, gather_release_churn, sched_acceptance, sched_mix, SEED,
+};
+
+const FILES: [&str; 3] = [
+    "BENCH_sched.json",
+    "BENCH_faults.json",
+    "BENCH_hotpath.json",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_dir = String::from(".");
+    let mut check_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).expect("--out needs a directory").clone();
+            }
+            "--check" => {
+                i += 1;
+                check_dir = Some(args.get(i).expect("--check needs a directory").clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: bench [--smoke] [--out DIR] | bench --check DIR");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(dir) = check_dir {
+        check(&dir);
+        return;
+    }
+
+    let iters = if smoke { 1 } else { 5 };
+    let rev = git_rev();
+    println!(
+        "bench: seed {SEED}, rev {rev}, {iters} iteration(s){}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    emit(&out_dir, "sched", SEED, &rev, sched_samples(iters));
+    emit(&out_dir, "faults", SEED, &rev, faults_samples(iters));
+    emit(&out_dir, "hotpath", SEED, &rev, hotpath_samples(iters));
+}
+
+fn sched_samples(iters: u64) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    for name in ["fifo", "priority", "backfill"] {
+        let (mut s, makespan) =
+            measure(&format!("mix48_{name}"), iters, || sched_mix(name).makespan);
+        s.extra.push(("makespan", makespan));
+        samples.push(s);
+    }
+    for name in ["fifo", "priority", "backfill"] {
+        let mut fnv = 0u64;
+        let (mut s, makespan) = measure(&format!("accept55_{name}"), iters, || {
+            let (summary, checksum) = sched_acceptance(name);
+            fnv = checksum;
+            summary.makespan
+        });
+        s.extra.push(("makespan", makespan));
+        s.extra.push(("event_log_fnv", fnv));
+        samples.push(s);
+    }
+    samples
+}
+
+fn faults_samples(iters: u64) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    for (tag, rate) in [("0pct", 0.0), ("1pct", 0.01), ("5pct", 0.05)] {
+        let mut retrans = 0u64;
+        let (mut s, delivered) = measure(&format!("noc_fault_{tag}"), iters, || {
+            let (delivered, r) = faults_noc(rate);
+            retrans = r;
+            delivered as u64
+        });
+        s.extra.push(("delivered", delivered));
+        s.extra.push(("retransmissions", retrans));
+        samples.push(s);
+    }
+    for (tag, rate) in [("0pct", 0.0), ("5pct", 0.05)] {
+        let (mut s, makespan) = measure(&format!("sched_fault_{tag}"), iters, || {
+            faults_sched(rate).makespan
+        });
+        s.extra.push(("makespan", makespan));
+        samples.push(s);
+    }
+    samples
+}
+
+fn hotpath_samples(iters: u64) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    let (mut s, checksum) = measure("gather_release_churn_32x32", iters, || {
+        gather_release_churn(120)
+    });
+    s.extra.push(("probe_checksum", checksum));
+    samples.push(s);
+    let mut fnv = 0u64;
+    let (mut s, makespan) = measure("chaos_mix_64x64", iters, || {
+        let (summary, checksum) = chaos_mix();
+        fnv = checksum;
+        summary.makespan
+    });
+    s.extra.push(("makespan", makespan));
+    s.extra.push(("event_log_fnv", fnv));
+    samples.push(s);
+    samples
+}
+
+fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
+    for s in &samples {
+        println!(
+            "  {:<28} median {:>12} ns/iter  {:>10.3} ops/s",
+            s.name, s.median_ns, s.ops_per_s
+        );
+    }
+    let doc = render_json(bench, seed, rev, &samples);
+    validate_json(&doc).unwrap_or_else(|e| panic!("BENCH_{bench}.json failed validation: {e}"));
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    let path = format!("{dir}/BENCH_{bench}.json");
+    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("  wrote {path}");
+}
+
+fn check(dir: &str) {
+    let mut failed = false;
+    for file in FILES {
+        let path = format!("{dir}/{file}");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match validate_json(&text) {
+                Ok(()) => println!("ok: {path}"),
+                Err(e) => {
+                    eprintln!("INVALID {path}: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("MISSING {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
         vlsi_cost::table::table4_text(&ApComposition::default())
     );
 
-    const PAPER4: [(u32, u32, f64, f64); 6] = [
+    const PAPER4: [(u32, u64, f64, f64); 6] = [
         (2010, 12, 1.08, 178.0),
         (2011, 16, 1.21, 211.0),
         (2012, 21, 1.21, 276.0),

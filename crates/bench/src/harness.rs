@@ -1,0 +1,236 @@
+//! The BENCH emitter: median-of-N timing and machine-readable JSON.
+//!
+//! The criterion shim reports a wall-clock *mean*, which is fine for the
+//! printed ablation tables but too noisy to track a perf trajectory
+//! across commits. The `bench` runner (`src/bin/bench.rs`) times each
+//! workload here instead — a fixed iteration count, per-iteration
+//! samples, and the *median* ns/iter — and writes `BENCH_*.json` files
+//! at the repo root so every PR's numbers are diffable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed workload inside a BENCH file.
+#[derive(Clone, Debug)]
+pub struct BenchSample {
+    /// Workload name (stable across commits; the trajectory key).
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Iterations per second implied by the median.
+    pub ops_per_s: f64,
+    /// Samples taken.
+    pub iters: u64,
+    /// Workload-specific integers worth pinning (e.g. a makespan or an
+    /// event-log checksum), emitted verbatim into the JSON.
+    pub extra: Vec<(&'static str, u64)>,
+}
+
+/// Times `routine` `iters` times and reports the median. The routine
+/// returns a `u64` sink value (kept out of the optimizer's reach); the
+/// sink of the *last* iteration is surfaced so callers can pin it.
+pub fn measure(name: &str, iters: u64, mut routine: impl FnMut() -> u64) -> (BenchSample, u64) {
+    assert!(iters > 0, "at least one iteration");
+    let mut samples = Vec::with_capacity(iters as usize);
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        sink = std::hint::black_box(routine());
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let median_ns = median_of_sorted(&samples);
+    let ops_per_s = if median_ns == 0 {
+        0.0
+    } else {
+        1e9 / median_ns as f64
+    };
+    (
+        BenchSample {
+            name: name.to_string(),
+            median_ns,
+            ops_per_s,
+            iters,
+            extra: Vec::new(),
+        },
+        sink,
+    )
+}
+
+fn median_of_sorted(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// The current git revision (short), or `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders one BENCH file. The format is deliberately flat: every key a
+/// trajectory tool needs sits at a fixed path.
+pub fn render_json(bench: &str, seed: u64, git_rev: &str, samples: &[BenchSample]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"git_rev\": \"{git_rev}\",");
+    out.push_str("  \"benches\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"name\": \"{}\", \"iters\": {}, \"median_ns_per_iter\": {}, \"ops_per_sec\": {:.6}",
+            s.name, s.iters, s.median_ns, s.ops_per_s
+        );
+        for (k, v) in &s.extra {
+            let _ = write!(out, ", \"{k}\": {v}");
+        }
+        out.push('}');
+        if i + 1 < samples.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a BENCH document: it must parse as the flat shape
+/// [`render_json`] emits and carry every required key. Used by the CI
+/// smoke step so the perf pipeline cannot silently rot.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    for key in ["\"bench\"", "\"seed\"", "\"git_rev\"", "\"benches\""] {
+        if !text.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let seed = field_u64(text, "\"seed\"").ok_or("\"seed\" is not an integer")?;
+    let _ = seed;
+    if !text.contains("\"git_rev\": \"") {
+        return Err("\"git_rev\" is not a string".into());
+    }
+    let entries = text.matches("\"name\"").count();
+    if entries == 0 {
+        return Err("\"benches\" array is empty".into());
+    }
+    for key in ["\"median_ns_per_iter\"", "\"ops_per_sec\"", "\"iters\""] {
+        if text.matches(key).count() != entries {
+            return Err(format!("every bench entry needs {key}"));
+        }
+    }
+    // Every median must parse as an integer.
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"median_ns_per_iter\":") {
+        rest = &rest[pos + "\"median_ns_per_iter\":".len()..];
+        let val: String = rest
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if val.is_empty() {
+            return Err("median_ns_per_iter is not an integer".into());
+        }
+    }
+    // Balanced braces/brackets — a truncated write must not validate.
+    let (mut braces, mut brackets) = (0i64, 0i64);
+    for c in text.chars() {
+        match c {
+            '{' => braces += 1,
+            '}' => braces -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+    }
+    if braces != 0 || brackets != 0 {
+        return Err("unbalanced JSON braces/brackets".into());
+    }
+    Ok(())
+}
+
+fn field_u64(text: &str, key: &str) -> Option<u64> {
+    let pos = text.find(key)?;
+    let rest = text[pos + key.len()..].trim_start().strip_prefix(':')?;
+    let val: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    val.parse().ok()
+}
+
+/// FNV-1a over a byte string — the checksum the sched bench uses to pin
+/// bit-identical event logs across the FabricIndex swap.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_median_and_sink() {
+        let mut calls = 0u64;
+        let (s, sink) = measure("spin", 5, || {
+            calls += 1;
+            calls * 10
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(sink, 50);
+        assert_eq!(s.iters, 5);
+        assert!(s.ops_per_s > 0.0);
+    }
+
+    #[test]
+    fn median_is_the_middle_sample() {
+        assert_eq!(median_of_sorted(&[1, 2, 9]), 2);
+        assert_eq!(median_of_sorted(&[1, 3, 5, 9]), 4);
+        assert_eq!(median_of_sorted(&[7]), 7);
+    }
+
+    #[test]
+    fn rendered_json_validates() {
+        let mut s = measure("w", 1, || 1).0;
+        s.extra.push(("makespan", 42));
+        let doc = render_json("sched", 2012, "abc123", &[s]);
+        validate_json(&doc).unwrap();
+        assert!(doc.contains("\"makespan\": 42"));
+        assert!(doc.contains("\"seed\": 2012"));
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"bench\": \"x\", \"seed\": 1}").is_err());
+        let good = render_json("x", 1, "r", &[measure("w", 1, || 0).0]);
+        // Truncation must not validate.
+        assert!(validate_json(&good[..good.len() - 4]).is_err());
+        assert!(validate_json(&good.replace("\"seed\": 1", "\"seed\": \"s\"")).is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Hot-path workloads shared by the `bench` runner and Ablation IV.
+//!
+//! Three workload families, one per `BENCH_*.json` file:
+//!
+//! * **sched** — the Ablation I 48-job policy mix plus the acceptance
+//!   suite's 55-job mix (54 mixed jobs, five mid-run defects, one
+//!   deadline-doomed straggler) with a live telemetry registry. The
+//!   55-job runs also report an FNV-1a checksum of the full event log,
+//!   which pins bit-identical scheduling across occupancy-index changes.
+//! * **faults** — the Ablation II degraded-mode batches: 60 worms under
+//!   transient link faults and the 32-job mix under permanent switch
+//!   faults.
+//! * **hotpath** — gather/release churn on a 32×32 die with admission
+//!   probes every round, and a 64×64 chaos mix (larger die, stuck
+//!   switches mid-run) that leans on the occupancy scans the scheduler
+//!   performs every tick.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::harness::fnv1a;
+use vlsi_core::{ProcessorId, VlsiChip};
+use vlsi_faults::FaultPlanBuilder;
+use vlsi_noc::NocNetwork;
+use vlsi_prng::Prng;
+use vlsi_runtime::mix::mixed_jobs;
+use vlsi_runtime::{
+    Fifo, JobSpec, Priority, Runtime, RuntimeConfig, RuntimeSummary, SchedPolicy,
+    SmallestFitBackfill, Workload,
+};
+use vlsi_telemetry::TelemetryHandle;
+use vlsi_topology::{Cluster, Coord};
+
+/// The workload seed every bench run replays (the paper's year).
+pub const SEED: u64 = 2012;
+
+/// Jobs in the Ablation I policy mix.
+pub const MIX_JOBS: usize = 48;
+
+/// Mixed jobs in the acceptance run (plus one doomed straggler = 55).
+pub const ACCEPT_JOBS: usize = 54;
+
+fn policy(name: &str) -> Box<dyn SchedPolicy> {
+    match name {
+        "fifo" => Box::new(Fifo),
+        "priority" => Box::new(Priority),
+        "backfill" => Box::new(SmallestFitBackfill),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// FNV-1a over the runtime's full debug-formatted event log.
+pub fn event_log_fnv(rt: &Runtime) -> u64 {
+    let mut text = String::new();
+    for e in rt.events() {
+        let _ = writeln!(text, "{e:?}");
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// The Ablation I mix: 48 jobs, 8×8 die, no faults.
+pub fn sched_mix(policy_name: &str) -> RuntimeSummary {
+    let chip = VlsiChip::new(8, 8, Cluster::default());
+    let mut rt = Runtime::new(chip, policy(policy_name), RuntimeConfig::default());
+    for spec in mixed_jobs(SEED, MIX_JOBS) {
+        rt.submit(spec);
+    }
+    rt.run_until_idle(500_000).expect("mix must drain")
+}
+
+/// The acceptance suite's 55-job mix: 54 mixed jobs plus a doomed
+/// 16-cluster straggler, five mid-run defects, live telemetry — the
+/// workload the tier-1 scheduler tests pin. Returns the summary and the
+/// event-log checksum.
+pub fn sched_acceptance(policy_name: &str) -> (RuntimeSummary, u64) {
+    let chip = VlsiChip::with_telemetry(8, 8, Cluster::default(), TelemetryHandle::active());
+    let mut rt = Runtime::new(chip, policy(policy_name), RuntimeConfig::default());
+    rt.inject_defect_at(4, Coord::new(1, 1));
+    rt.inject_defect_at(8, Coord::new(5, 4));
+    rt.inject_defect_at(12, Coord::new(3, 6));
+    rt.inject_defect_at(18, Coord::new(6, 2));
+    rt.inject_defect_at(26, Coord::new(2, 5));
+    for spec in mixed_jobs(SEED, ACCEPT_JOBS) {
+        rt.submit(spec);
+    }
+    rt.submit(JobSpec::new("doomed", 16, Workload::Idle { ticks: 10 }).with_deadline(1));
+    let summary = rt.run_until_idle(500_000).expect("the mix must drain");
+    let fnv = event_log_fnv(&rt);
+    (summary, fnv)
+}
+
+/// The Ablation II NoC batch: 60 worms on an 8×8 mesh under transient
+/// link faults at `rate`. Returns `(delivered, retransmissions)`.
+pub fn faults_noc(rate: f64) -> (usize, u64) {
+    let (w, h) = (8u16, 8u16);
+    let mut net = NocNetwork::with_telemetry(w, h, TelemetryHandle::active());
+    let plan = FaultPlanBuilder::new(SEED)
+        .grid(w, h)
+        .horizon(192)
+        .link_down_rate(rate)
+        .link_corrupt_rate(rate)
+        .permanent_fraction(0.0)
+        .build();
+    net.attach_fault_plan(plan);
+    let mut rng = Prng::seed_from_u64(SEED);
+    for _ in 0..60 {
+        let src = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let dest = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let payload: Vec<u64> = (0..rng.gen_range(1..8u64)).collect();
+        net.inject(src, dest, payload).unwrap();
+    }
+    net.run_until_drained(4_000_000).expect("must drain");
+    let delivered = net.take_delivered().len();
+    let retrans = net.telemetry().snapshot().counter("noc.retransmissions");
+    (delivered, retrans)
+}
+
+/// The Ablation II scheduler batch: the 32-job mix under permanent
+/// switch faults at `rate`.
+pub fn faults_sched(rate: f64) -> RuntimeSummary {
+    let chip = VlsiChip::new(8, 8, Cluster::default());
+    let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+    let plan = FaultPlanBuilder::new(SEED)
+        .grid(8, 8)
+        .horizon(100)
+        .switch_stuck_rate(rate)
+        .build();
+    rt.attach_fault_plan(plan);
+    for spec in mixed_jobs(SEED, 32) {
+        rt.submit(spec);
+    }
+    rt.run_until_idle(500_000).expect("mix must drain")
+}
+
+/// Gather/release churn on a 32×32 die: every round gathers a
+/// Fibonacci-sized region, retires the oldest tenant past a cap, and
+/// runs the two admission probes (`largest_gatherable`, `free_clusters`)
+/// the scheduler leans on. Returns a checksum over every probe answer,
+/// so the optimised index must reproduce the slow scans bit for bit.
+pub fn gather_release_churn(rounds: usize) -> u64 {
+    let mut chip = VlsiChip::new(32, 32, Cluster::default());
+    let sizes = [3usize, 5, 8, 13, 21, 34];
+    let mut live: VecDeque<ProcessorId> = VecDeque::new();
+    let mut acc = 0u64;
+    for round in 0..rounds {
+        let k = sizes[round % sizes.len()];
+        if let Ok(out) = chip.gather_any(k) {
+            live.push_back(out.id);
+        }
+        if live.len() > 24 {
+            let id = live.pop_front().unwrap();
+            chip.release_processor(id).expect("churn release");
+        }
+        acc = acc
+            .wrapping_mul(1_000_003)
+            .wrapping_add(chip.largest_gatherable() as u64);
+        acc = acc
+            .wrapping_mul(1_000_003)
+            .wrapping_add(chip.free_clusters() as u64);
+    }
+    for id in live {
+        chip.release_processor(id).expect("drain release");
+    }
+    acc.wrapping_add(chip.free_clusters() as u64)
+}
+
+/// The 64×64 chaos mix: a large die where every per-tick occupancy scan
+/// hurts, 40 mixed jobs, and ~8 switches sticking mid-run. Returns the
+/// summary and the event-log checksum.
+pub fn chaos_mix() -> (RuntimeSummary, u64) {
+    let chip = VlsiChip::new(64, 64, Cluster::default());
+    let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+    let plan = FaultPlanBuilder::new(SEED)
+        .grid(64, 64)
+        .horizon(120)
+        .switch_stuck_rate(0.002)
+        .build();
+    rt.attach_fault_plan(plan);
+    for spec in mixed_jobs(SEED, 40) {
+        rt.submit(spec);
+    }
+    let summary = rt.run_until_idle(500_000).expect("chaos mix must drain");
+    let fnv = event_log_fnv(&rt);
+    (summary, fnv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_is_deterministic_and_restores_the_die() {
+        assert_eq!(gather_release_churn(24), gather_release_churn(24));
+    }
+
+    #[test]
+    fn acceptance_checksum_replays() {
+        let (a_sum, a_fnv) = sched_acceptance("fifo");
+        let (b_sum, b_fnv) = sched_acceptance("fifo");
+        assert_eq!(a_fnv, b_fnv, "event log must replay bit-identically");
+        assert_eq!(a_sum.makespan, b_sum.makespan);
+        assert_eq!(a_sum.completed + a_sum.failed, (ACCEPT_JOBS + 1) as u64);
+    }
+
+    #[test]
+    fn chaos_mix_replays() {
+        let (a, a_fnv) = chaos_mix();
+        let (b, b_fnv) = chaos_mix();
+        assert_eq!(a_fnv, b_fnv);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.completed + a.failed, 40);
+    }
+}

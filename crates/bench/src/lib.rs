@@ -20,6 +20,9 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod harness;
+pub mod hotpath;
+
 use vlsi_csd::{ChannelUsage, CsdSimulator};
 
 /// The Figure 3 sweep: for each array size, measure mean used channels

@@ -12,13 +12,15 @@
 use crate::error::CoreError;
 use crate::scaled::{ProcessorId, ScaledProcessor};
 use crate::state::ProcState;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use vlsi_ap::{AdaptiveProcessor, ConfigureOutcome, ExecutionReport};
 use vlsi_noc::NocNetwork;
 use vlsi_object::{GlobalConfigStream, LogicalObject, ObjectId, Word};
 use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::switch::RegionTag;
-use vlsi_topology::{Cluster, ClusterGrid, Coord, Dir, Region, SwitchFabric, SwitchState};
+use vlsi_topology::{
+    Cluster, ClusterGrid, Coord, Dir, FabricIndex, Region, SwitchFabric, SwitchState,
+};
 
 /// How configuration data reaches the region's switches (§3.3 leaves the
 /// worm shape open; Figure 7(c) draws a path-shaped configuration).
@@ -91,7 +93,14 @@ pub struct VlsiChip {
     fabric: SwitchFabric,
     noc: NocNetwork,
     processors: BTreeMap<ProcessorId, ScaledProcessor>,
-    defective: HashSet<Coord>,
+    /// Flat occupancy mirror of the fabric's owner state plus the defect
+    /// set: O(1) free counts and point probes, O(region) fit scans. The
+    /// fabric remains the authority on switch state; the index is kept
+    /// in sync at the owner-mutation funnels ([`Self::apply_worm`],
+    /// [`Self::release_processor`], [`Self::relocate`]) and replaces the
+    /// hash-ordered `HashSet<Coord>` of defects with a deterministic
+    /// row-major slab.
+    index: FabricIndex,
     supervisor: Coord,
     next_id: u32,
     strategy: ConfigStrategy,
@@ -164,7 +173,7 @@ impl VlsiChip {
             fabric: SwitchFabric::with_telemetry(telemetry.clone()),
             noc: NocNetwork::with_telemetry(width, height, telemetry.clone()),
             processors: BTreeMap::new(),
-            defective: HashSet::new(),
+            index: FabricIndex::new(width, height),
             supervisor: Coord::new(0, 0),
             next_id: 1,
             strategy: ConfigStrategy::default(),
@@ -194,12 +203,12 @@ impl VlsiChip {
 
     /// Marks a cluster defective: no future gather may include it.
     pub fn mark_defective(&mut self, c: Coord) {
-        self.defective.insert(c);
+        self.index.mark_defective(c);
     }
 
     /// Whether a cluster is marked defective.
     pub fn is_defective(&self, c: Coord) -> bool {
-        self.defective.contains(&c)
+        self.index.is_defective(c)
     }
 
     /// Reports a stuck programmable switch at `c`: the fabric records
@@ -210,7 +219,7 @@ impl VlsiChip {
     /// runtime) then relocates whatever was running on the cluster.
     pub fn mark_switch_stuck(&mut self, c: Coord) {
         self.fabric.mark_stuck(c);
-        self.defective.insert(c);
+        self.index.mark_defective(c);
     }
 
     /// Whether the programmable switch at `c` is marked stuck.
@@ -241,12 +250,10 @@ impl VlsiChip {
         Ok(self.processor(id)?.state)
     }
 
-    /// Clusters not owned by any processor and not defective.
+    /// Clusters not owned by any processor and not defective — O(1), read
+    /// from the incrementally-maintained [`FabricIndex`].
     pub fn free_clusters(&self) -> usize {
-        self.grid
-            .coords()
-            .filter(|&c| self.fabric.owner(c).is_none() && !self.is_defective(c))
-            .count()
+        self.index.free_clusters()
     }
 
     /// Total clusters on the die (free, owned, and defective alike).
@@ -256,7 +263,13 @@ impl VlsiChip {
 
     /// Clusters currently marked defective.
     pub fn defective_count(&self) -> usize {
-        self.defective.len()
+        self.index.defect_count()
+    }
+
+    /// Defective coordinates in row-major order — deterministic, unlike
+    /// the hash-ordered set this view replaced.
+    pub fn defective_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.index.defect_coords()
     }
 
     /// Clusters usable for gathering in principle: the die minus its
@@ -266,9 +279,9 @@ impl VlsiChip {
         self.total_clusters() - self.defective_count()
     }
 
-    /// The processor owning cluster `c`, if any.
+    /// The processor owning cluster `c`, if any — one indexed load.
     pub fn processor_at(&self, c: Coord) -> Option<ProcessorId> {
-        self.fabric.owner(c).map(|tag| ProcessorId(tag.0))
+        self.index.owner(c).map(|tag| ProcessorId(tag.0))
     }
 
     /// The largest cluster count [`gather_any`](Self::gather_any) would
@@ -277,7 +290,7 @@ impl VlsiChip {
     /// monotone in the request size, so this is a binary search over
     /// [`find_region`](vlsi_topology::alloc::find_region).
     pub fn largest_gatherable(&self) -> usize {
-        let free = |c: Coord| self.fabric.owner(c).is_none() && !self.defective.contains(&c);
+        let free = |c: Coord| self.index.is_free(c);
         let (mut lo, mut hi) = (0usize, self.free_clusters());
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
@@ -468,8 +481,10 @@ impl VlsiChip {
         let program = decode_program(word);
         if let Err(e) = self.fabric.reserve(dest, tag) {
             self.fabric.release_owner(tag);
+            self.index.release_owner(tag);
             return Err(CoreError::Topology(e));
         }
+        self.index.set_owner(dest, tag);
         self.fabric
             .apply_program(dest, tag, program)
             .expect("just reserved");
@@ -500,9 +515,9 @@ impl VlsiChip {
         let tag = RegionTag(id.0);
         // Free the old switches so the allocator sees those clusters too.
         self.fabric.release_owner(tag);
-        let found = vlsi_topology::alloc::find_region(&self.grid, clusters, |c| {
-            self.fabric.owner(c).is_none() && !self.defective.contains(&c)
-        });
+        self.index.release_owner(tag);
+        let found =
+            vlsi_topology::alloc::find_region(&self.grid, clusters, |c| self.index.is_free(c));
         let region = found.unwrap_or_else(|| old_region.clone());
         match self.program_region(&region, ring, id) {
             Ok((fold, outcome)) => {
@@ -555,21 +570,18 @@ impl VlsiChip {
     /// requests the resources", §1): the allocator finds the squarest free
     /// serpentine-prefix region of `clusters` clusters and gathers it.
     pub fn gather_any(&mut self, clusters: usize) -> Result<GatherOutcome, CoreError> {
-        let region = vlsi_topology::alloc::find_region(&self.grid, clusters, |c| {
-            self.fabric.owner(c).is_none() && !self.defective.contains(&c)
-        })
-        .ok_or(CoreError::Topology(
-            vlsi_topology::TopologyError::NoLinearPath,
-        ))?;
+        let region =
+            vlsi_topology::alloc::find_region(&self.grid, clusters, |c| self.index.is_free(c))
+                .ok_or(CoreError::Topology(
+                    vlsi_topology::TopologyError::NoLinearPath,
+                ))?;
         self.gather(region)
     }
 
     /// Free-space fragmentation in `[0, 1]` (0 = one request can take all
     /// free clusters).
     pub fn fragmentation(&self) -> f64 {
-        vlsi_topology::alloc::fragmentation(&self.grid, |c| {
-            self.fabric.owner(c).is_none() && !self.defective.contains(&c)
-        })
+        vlsi_topology::alloc::fragmentation(&self.grid, |c| self.index.is_free(c))
     }
 
     /// Releases a processor (must be inactive): every switch it owns
@@ -584,6 +596,7 @@ impl VlsiChip {
             });
         }
         self.fabric.release_owner(RegionTag(id.0));
+        self.index.release_owner(RegionTag(id.0));
         self.processors.remove(&id);
         self.telemetry.count("core.releases", 1);
         Ok(())
@@ -823,10 +836,10 @@ impl VlsiChip {
         for y in 0..self.grid.height() {
             for x in 0..self.grid.width() {
                 let c = Coord::new(x, y);
-                let ch = if self.defective.contains(&c) {
+                let ch = if self.index.is_defective(c) {
                     '#'
                 } else {
-                    match self.fabric.owner(c) {
+                    match self.index.owner(c) {
                         None => '.',
                         Some(tag) => {
                             let i = (tag.0 as usize) % 52;
@@ -1331,6 +1344,58 @@ mod tests {
         c.mark_defective(Coord::new(0, 0));
         assert_eq!(c.defective_count(), 1);
         assert_eq!(c.usable_clusters(), 63);
+    }
+
+    #[test]
+    fn largest_gatherable_edge_cases_match_exhaustive_scan() {
+        // Oracle: try every candidate size from the free count down — no
+        // monotonicity assumption, unlike the binary-search probe.
+        fn exhaustive(c: &VlsiChip) -> usize {
+            let free = |k: Coord| c.processor_at(k).is_none() && !c.is_defective(k);
+            (1..=c.free_clusters())
+                .rev()
+                .find(|&n| vlsi_topology::alloc::find_region(c.grid(), n, free).is_some())
+                .unwrap_or(0)
+        }
+
+        // Fully-defective die: nothing gatherable at all.
+        let mut dead = chip();
+        for y in 0..8 {
+            for x in 0..8 {
+                dead.mark_defective(Coord::new(x, y));
+            }
+        }
+        assert_eq!(dead.largest_gatherable(), 0);
+        assert_eq!(exhaustive(&dead), 0);
+
+        // Zero free clusters: the whole die is owned, none defective.
+        let mut full = chip();
+        full.gather(Region::rect(Coord::new(0, 0), 8, 8)).unwrap();
+        assert_eq!(full.free_clusters(), 0);
+        assert_eq!(full.largest_gatherable(), 0);
+        assert_eq!(exhaustive(&full), 0);
+
+        // Exactly one cluster left healthy: the probe finds exactly it.
+        let mut one = chip();
+        for y in 0..8 {
+            for x in 0..8 {
+                if (x, y) != (5, 2) {
+                    one.mark_defective(Coord::new(x, y));
+                }
+            }
+        }
+        assert_eq!(one.largest_gatherable(), 1);
+        assert_eq!(exhaustive(&one), 1);
+
+        // A fragmented mid-state (pinned column + scattered defects)
+        // agrees with the oracle too.
+        let mut frag = chip();
+        frag.gather(Region::rect(Coord::new(3, 0), 2, 8)).unwrap();
+        frag.mark_defective(Coord::new(0, 0));
+        frag.mark_defective(Coord::new(7, 7));
+        frag.mark_defective(Coord::new(1, 4));
+        assert_eq!(frag.largest_gatherable(), exhaustive(&frag));
+        assert!(frag.largest_gatherable() > 0);
     }
 
     #[test]

@@ -47,9 +47,21 @@ impl ApComposition {
     }
 
     /// APs fitting on the die in a given year.
-    pub fn aps_per_die(&self, p: &YearParams) -> u32 {
+    ///
+    /// Counted in `u64`: at aggressive (or hypothetical, for ablation
+    /// sweeps) nodes the count overflows 32 bits, and the old `as u32`
+    /// cast saturated *silently*, capping every downstream GOPS figure.
+    /// A non-finite or negative count — degenerate parameters — panics
+    /// rather than wrapping into a plausible-looking number.
+    pub fn aps_per_die(&self, p: &YearParams) -> u64 {
         let ap_m2 = self.area_lambda2() * p.lambda_m() * p.lambda_m();
-        (DIE_AREA_M2 / ap_m2).floor() as u32
+        let n = (DIE_AREA_M2 / ap_m2).floor();
+        assert!(
+            n.is_finite() && (0.0..18_446_744_073_709_551_616.0).contains(&n),
+            "AP count for year {} out of u64 range: {n}",
+            p.year
+        );
+        n as u64
     }
 
     /// Peak GOPS (operations per second / 1e9), excluding load/store
@@ -57,7 +69,7 @@ impl ApComposition {
     /// global-wire delay.
     pub fn peak_gops(&self, p: &YearParams) -> f64 {
         let n = self.aps_per_die(p);
-        f64::from(n) * f64::from(self.compute_objects) / global_wire_delay_ns(p)
+        n as f64 * f64::from(self.compute_objects) / global_wire_delay_ns(p)
     }
 
     /// Peak GOPS with the wire delay scaled to *this* composition's
@@ -67,7 +79,7 @@ impl ApComposition {
     pub fn peak_gops_scaled(&self, p: &YearParams) -> f64 {
         let n = self.aps_per_die(p);
         let delay = crate::wire::wire_delay_ns_for(f64::from(self.compute_objects), p);
-        f64::from(n) * f64::from(self.compute_objects) / delay
+        n as f64 * f64::from(self.compute_objects) / delay
     }
 }
 
@@ -79,7 +91,7 @@ pub struct Table4Row {
     /// Process node, nm.
     pub process_nm: f64,
     /// Available APs on the 1 cm² die.
-    pub available_aps: u32,
+    pub available_aps: u64,
     /// Global wire delay, ns.
     pub wire_delay_ns: f64,
     /// Peak GOPS.
@@ -100,14 +112,13 @@ pub fn table4_with_layers(comp: &ApComposition, layers: u32) -> Vec<Table4Row> {
     ITRS_YEARS
         .iter()
         .map(|p| {
-            let aps = comp.aps_per_die(p) * layers;
+            let aps = comp.aps_per_die(p) * u64::from(layers);
             Table4Row {
                 year: p.year,
                 process_nm: p.node_nm,
                 available_aps: aps,
                 wire_delay_ns: global_wire_delay_ns(p),
-                peak_gops: f64::from(aps) * f64::from(comp.compute_objects)
-                    / global_wire_delay_ns(p),
+                peak_gops: aps as f64 * f64::from(comp.compute_objects) / global_wire_delay_ns(p),
             }
         })
         .collect()
@@ -119,7 +130,7 @@ mod tests {
     use crate::itrs::year;
 
     /// Table 4 as printed.
-    const PAPER: [(u32, f64, u32, f64, f64); 6] = [
+    const PAPER: [(u32, f64, u64, f64, f64); 6] = [
         (2010, 45.0, 12, 1.08, 178.0),
         (2011, 40.0, 16, 1.21, 211.0),
         (2012, 36.0, 21, 1.21, 276.0),
@@ -201,13 +212,10 @@ mod tests {
         let comp = ApComposition::default();
         let p = year(2012).unwrap();
         let n = comp.aps_per_die(&p);
-        let fpus_per_cm2 = n * comp.compute_objects;
+        let fpus_per_cm2 = n * u64::from(comp.compute_objects);
         let gpu_fpus_per_cm2 = fpus_per_cm2 / 3;
         assert!(fpus_per_cm2 >= 3 * gpu_fpus_per_cm2);
-        assert!(
-            n * comp.compute_objects >= 300,
-            "hundreds of 64b FPUs on die"
-        );
+        assert!(fpus_per_cm2 >= 300, "hundreds of 64b FPUs on die");
     }
 
     #[test]
@@ -220,6 +228,27 @@ mod tests {
             assert_eq!(s.wire_delay_ns, p.wire_delay_ns);
             assert!((s.peak_gops - 2.0 * p.peak_gops).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn extreme_nodes_exceed_u32_without_saturating() {
+        // A hypothetical sub-nanometre node: the die holds more APs than
+        // a u32 can count. The old `as u32` cast silently pinned this at
+        // u32::MAX; the u64 count reports the true number.
+        let tiny = YearParams {
+            year: 2199,
+            node_nm: 0.001,
+            gate_length_nm: 0.0005,
+            rc_ns_per_mm2: 0.1,
+        };
+        let n = ApComposition::default().aps_per_die(&tiny);
+        assert!(
+            n > u64::from(u32::MAX),
+            "expected > 2^32 APs at a 0.5 pm gate length, got {n}"
+        );
+        // And the count is exact, not a saturation artefact.
+        assert_ne!(n, u64::from(u32::MAX));
+        assert_ne!(n, u64::MAX);
     }
 
     #[test]

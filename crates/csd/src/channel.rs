@@ -34,8 +34,19 @@ impl fmt::Display for RouteId {
 }
 
 /// Occupancy state of the `N - 1` segments of one channel.
+///
+/// The backing vectors are *lazy*: they materialise (zero-filled) only up
+/// to the highest segment ever claimed or failed. A scaled processor's
+/// CSD provisions `O(positions)` channels of `O(positions)` segments each
+/// at gather time, and most channels never carry a route — eagerly
+/// zeroing the full `channels × segments` slab put the dominant memset on
+/// the gather path. Unmaterialised segments read as free and healthy,
+/// exactly as eagerly-zeroed ones would.
 #[derive(Clone, Debug)]
 pub struct ChannelSegments {
+    /// Number of segments (array length minus one) — the structural size;
+    /// the vectors below may be shorter.
+    segments: usize,
     /// `owner[i]` is the route holding segment `i` (between positions `i`
     /// and `i + 1`), or `None` when the segment is free (default: chained,
     /// carrying nothing).
@@ -50,34 +61,45 @@ pub struct ChannelSegments {
 impl ChannelSegments {
     /// Builds the segment array for an `n_positions`-long array.
     pub fn new(n_positions: usize) -> ChannelSegments {
-        let n = n_positions.saturating_sub(1);
         ChannelSegments {
-            owner: vec![None; n],
-            failed: vec![false; n],
+            segments: n_positions.saturating_sub(1),
+            owner: Vec::new(),
+            failed: Vec::new(),
         }
     }
 
     /// Number of segments (array length minus one).
     pub fn len(&self) -> usize {
-        self.owner.len()
+        self.segments
     }
 
     /// Whether the channel has no segments at all (degenerate 0/1-object array).
     pub fn is_empty(&self) -> bool {
-        self.owner.is_empty()
+        self.segments == 0
     }
 
     /// Whether every segment in `[lo, hi)` is free *and healthy*.
+    /// Unmaterialised segments are both.
     pub fn span_free(&self, lo: Position, hi: Position) -> bool {
-        self.owner[lo..hi].iter().all(|s| s.is_none()) && !self.failed[lo..hi].iter().any(|&f| f)
+        let oh = hi.min(self.owner.len());
+        let fh = hi.min(self.failed.len());
+        (lo >= oh || self.owner[lo..oh].iter().all(|s| s.is_none()))
+            && (lo >= fh || !self.failed[lo..fh].iter().any(|&f| f))
     }
 
     /// Claims `[lo, hi)` for `route`. Caller must have checked
     /// [`span_free`](Self::span_free); double-claims panic in debug builds.
     pub fn claim(&mut self, lo: Position, hi: Position, route: RouteId) {
-        for (s, &f) in self.owner[lo..hi].iter_mut().zip(&self.failed[lo..hi]) {
+        debug_assert!(hi <= self.segments, "claim beyond the channel");
+        if hi > self.owner.len() {
+            self.owner.resize(hi, None);
+        }
+        for (i, s) in self.owner[lo..hi].iter_mut().enumerate() {
             debug_assert!(s.is_none(), "claiming an occupied segment");
-            debug_assert!(!f, "claiming a failed segment");
+            debug_assert!(
+                self.failed.get(lo + i).copied() != Some(true),
+                "claiming a failed segment"
+            );
             *s = Some(route);
         }
     }
@@ -86,11 +108,14 @@ impl ChannelSegments {
     /// it, if any (the caller must re-chain or tear that route down).
     /// Out-of-range indices are ignored.
     pub fn fail_segment(&mut self, i: usize) -> Option<RouteId> {
-        if i >= self.failed.len() {
+        if i >= self.segments {
             return None;
         }
+        if i >= self.failed.len() {
+            self.failed.resize(i + 1, false);
+        }
         self.failed[i] = true;
-        self.owner[i]
+        self.owner.get(i).copied().flatten()
     }
 
     /// Repairs segment `i` (a transient fault healing).
@@ -148,11 +173,19 @@ impl ChannelSegments {
     /// route can land on a failed segment; callers detect that with
     /// [`is_failed`](Self::is_failed) and re-chain or tear down.
     pub fn shift_down(&mut self) -> Option<RouteId> {
-        if self.owner.is_empty() {
+        if self.segments == 0 {
             return None;
         }
-        let fell_off = self.owner.pop().flatten();
-        self.owner.insert(0, None);
+        // Only the materialised prefix can own anything; the bottom
+        // segment fell off only if it was materialised.
+        let fell_off = if self.owner.len() == self.segments {
+            self.owner.pop().flatten()
+        } else {
+            None
+        };
+        if !self.owner.is_empty() {
+            self.owner.insert(0, None);
+        }
         fell_off
     }
 }

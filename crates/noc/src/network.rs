@@ -133,6 +133,28 @@ pub struct NocNetwork {
     pending: BTreeMap<WormId, PendingWorm>,
     /// Worms that exhausted their retransmission budget.
     failed: Vec<(WormId, NocError)>,
+    /// Flits resident anywhere in the fabric (source queues, input
+    /// queues, output registers), maintained incrementally so the
+    /// steady-state tick and [`Self::is_idle`] never rescan the mesh.
+    resident: usize,
+    /// Flits waiting in the source queues — the `noc.queue_depth`
+    /// sample, maintained incrementally instead of summed per cycle.
+    queued: usize,
+    /// Per-router flit load (that router's source queue, input queues,
+    /// and output registers). A zero-load router is a no-op in every
+    /// per-router phase, so [`Self::tick`] skips it — on a large mesh
+    /// with a handful of worms in flight, almost all of them.
+    load: Vec<u32>,
+    /// Scratch for the per-cycle loaded-router list (reused every tick so
+    /// the steady path allocates nothing).
+    active_scratch: Vec<u32>,
+    /// Scratch for routers phase 1 wakes for phase 3.
+    woken_scratch: Vec<u32>,
+    /// Scratch for phase 0's due-retry collection (reused every tick so
+    /// the steady path allocates nothing).
+    due_scratch: Vec<WormId>,
+    /// Scratch for phase 4's expired-worm collection.
+    expired_scratch: Vec<WormId>,
     /// Observability sink; the default handle is a no-op.
     telemetry: TelemetryHandle,
 }
@@ -168,6 +190,13 @@ impl NocNetwork {
             ft: false,
             pending: BTreeMap::new(),
             failed: Vec::new(),
+            resident: 0,
+            queued: 0,
+            load: vec![0; n],
+            active_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
+            due_scratch: Vec::new(),
+            expired_scratch: Vec::new(),
             telemetry,
         }
     }
@@ -275,6 +304,9 @@ impl NocNetwork {
         }
         for f in packet.flits() {
             self.injection[si].push_back(f);
+            self.resident += 1;
+            self.queued += 1;
+            self.load[si] += 1;
         }
         self.telemetry
             .span_begin("noc", "worm", worm.0, self.stats.cycles);
@@ -282,31 +314,84 @@ impl NocNetwork {
     }
 
     /// Advances the network one cycle.
+    ///
+    /// The steady path is allocation-free: the due/expired collections of
+    /// phases 0/4 reuse persistent scratch buffers, the queue-depth
+    /// sample reads an incrementally-maintained counter instead of
+    /// summing every source queue, and the per-router phases are skipped
+    /// outright when no flit is resident anywhere (only the cycle
+    /// counter and the fault-timeout machinery can matter then).
     pub fn tick(&mut self) {
         self.stats.cycles += 1;
         let now = self.stats.cycles;
         if self.telemetry.is_enabled() {
             // Aggregate occupancy of the source queues this cycle — the
             // backpressure signal congestion experiments sweep.
-            let queued: usize = self.injection.iter().map(VecDeque::len).sum();
-            self.telemetry.record("noc.queue_depth", queued as u64);
+            self.telemetry.record("noc.queue_depth", self.queued as u64);
         }
         // Phase 0 (fault-tolerant mode): retransmit purged worms whose
         // backoff has elapsed, in worm order.
-        if self.ft {
-            let due: Vec<WormId> = self
-                .pending
-                .iter()
-                .filter(|(_, p)| p.retry_at.is_some_and(|at| at <= now))
-                .map(|(&w, _)| w)
-                .collect();
-            for worm in due {
+        if self.ft && !self.pending.is_empty() {
+            let mut due = std::mem::take(&mut self.due_scratch);
+            due.clear();
+            due.extend(
+                self.pending
+                    .iter()
+                    .filter(|(_, p)| p.retry_at.is_some_and(|at| at <= now))
+                    .map(|(&w, _)| w),
+            );
+            for &worm in &due {
                 self.retransmit(worm);
             }
+            self.due_scratch = due;
         }
+        if self.resident > 0 {
+            self.move_flits(now);
+        }
+        // Phase 4 (fault-tolerant mode): enforce deadlines and the
+        // livelock bound.
+        if self.ft && !self.pending.is_empty() {
+            let hop_budget = self.hop_budget();
+            let mut expired = std::mem::take(&mut self.expired_scratch);
+            expired.clear();
+            expired.extend(
+                self.pending
+                    .iter()
+                    .filter(|(_, p)| {
+                        p.retry_at.is_none() && (p.deadline <= now || p.hops > hop_budget)
+                    })
+                    .map(|(&w, _)| w),
+            );
+            for &worm in &expired {
+                self.stats.worm_timeouts += 1;
+                self.purge_and_backoff(worm);
+            }
+            self.expired_scratch = expired;
+        }
+    }
+
+    /// Phases 1–3 of [`Self::tick`]: link traversal, injection, and
+    /// allocation. Only called while at least one flit is resident.
+    ///
+    /// Each phase visits only the *loaded* routers, in ascending index
+    /// order — observably identical to scanning the whole mesh, because a
+    /// zero-load router is a no-op in every phase. The list is built once
+    /// per cycle: phase 1 moves flits out of output registers only (which
+    /// fill in phase 3), and phase 2 drains source queues only (which
+    /// fill outside the tick), so the cycle-start snapshot covers both.
+    /// Phase 1 can *wake* a previously-empty neighbour by moving a flit
+    /// into its input queue; those routers are collected and merged (in
+    /// order) for phase 3, which is where input queues are read.
+    fn move_flits(&mut self, now: u64) {
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        active.extend((0..self.routers.len() as u32).filter(|&ri| self.load[ri as usize] > 0));
+        let mut woken = std::mem::take(&mut self.woken_scratch);
+        woken.clear();
         // Phase 1: link traversal (fixed router order; each output register
         // moves at most one flit).
-        for ri in 0..self.routers.len() {
+        for &ri32 in &active {
+            let ri = ri32 as usize;
             let coord = self.routers[ri].coord;
             for port in Port::ALL {
                 let Some(mut flit) = self.routers[ri].outputs[port.index()].reg else {
@@ -319,6 +404,7 @@ impl NocNetwork {
                         if flit.is_tail() {
                             self.routers[ri].outputs[port.index()].held_by = None;
                         }
+                        self.load[ri] -= 1;
                         self.deliver(coord, flit);
                     }
                     _ => {
@@ -331,11 +417,15 @@ impl NocNetwork {
                             // Edge of the mesh: XY routing never does this.
                             debug_assert!(false, "flit routed off the mesh");
                             self.routers[ri].outputs[port.index()].reg = None;
+                            self.resident = self.resident.saturating_sub(1);
+                            self.load[ri] = self.load[ri].saturating_sub(1);
                             continue;
                         };
                         let Some(ni) = self.idx(nc) else {
                             debug_assert!(false, "flit routed off the mesh");
                             self.routers[ri].outputs[port.index()].reg = None;
+                            self.resident = self.resident.saturating_sub(1);
+                            self.load[ri] = self.load[ri].saturating_sub(1);
                             continue;
                         };
                         let Some(in_port) = Port::from_dir(d.opposite()) else {
@@ -358,6 +448,11 @@ impl NocNetwork {
                             if flit.is_tail() {
                                 self.routers[ri].outputs[port.index()].held_by = None;
                             }
+                            self.load[ri] -= 1;
+                            if self.load[ni] == 0 {
+                                woken.push(ni as u32);
+                            }
+                            self.load[ni] += 1;
                             self.stats.link_crossings += 1;
                             self.telemetry.count("noc.link_crossings", 1);
                             // One utilization lane per directed link,
@@ -378,16 +473,46 @@ impl NocNetwork {
             }
         }
         // Phase 2: feed injection queues into local input ports.
-        for ri in 0..self.routers.len() {
+        for &ri32 in &active {
+            let ri = ri32 as usize;
             while let Some(&f) = self.injection[ri].front() {
                 if self.routers[ri].accept(Port::Local, f).is_err() {
                     break; // backpressure: the flit stays in the source queue
                 }
                 self.injection[ri].pop_front();
+                self.queued -= 1;
             }
         }
-        // Phase 3: allocation (one flit per input port).
-        for ri in 0..self.routers.len() {
+        // Phase 3: allocation (one flit per input port), over the
+        // cycle-start snapshot merged with the routers phase 1 woke —
+        // still ascending, still each router at most once (a woken router
+        // had zero load and so is never also in the snapshot).
+        woken.sort_unstable();
+        let mut wi = 0;
+        let mut ai = 0;
+        loop {
+            let ri = match (active.get(ai), woken.get(wi)) {
+                (Some(&a), Some(&w)) if a < w => {
+                    ai += 1;
+                    a as usize
+                }
+                (Some(_), Some(&w)) => {
+                    wi += 1;
+                    w as usize
+                }
+                (Some(&a), None) => {
+                    ai += 1;
+                    a as usize
+                }
+                (None, Some(&w)) => {
+                    wi += 1;
+                    w as usize
+                }
+                (None, None) => break,
+            };
+            if self.load[ri] == 0 {
+                continue;
+            }
             let coord = self.routers[ri].coord;
             if self.ft && self.plan.router_stalled(now, coord) {
                 continue; // stalled router: queues do not drain this cycle
@@ -400,21 +525,8 @@ impl NocNetwork {
                 }
             }
         }
-        // Phase 4 (fault-tolerant mode): enforce deadlines and the
-        // livelock bound.
-        if self.ft {
-            let hop_budget = self.hop_budget();
-            let expired: Vec<WormId> = self
-                .pending
-                .iter()
-                .filter(|(_, p)| p.retry_at.is_none() && (p.deadline <= now || p.hops > hop_budget))
-                .map(|(&w, _)| w)
-                .collect();
-            for worm in expired {
-                self.stats.worm_timeouts += 1;
-                self.purge_and_backoff(worm);
-            }
-        }
+        self.active_scratch = active;
+        self.woken_scratch = woken;
     }
 
     /// Allocation with adaptive head steering: heads detour around
@@ -469,27 +581,38 @@ impl NocNetwork {
         } else {
             None
         };
-        let mut prefs: Vec<Dir> = Vec::with_capacity(4);
-        prefs.extend(px);
-        prefs.extend(py);
+        // Preference list on the stack — this runs per head flit per
+        // cycle, so it must not allocate.
+        let mut prefs = [Dir::East; 4];
+        let mut n = 0usize;
+        if let Some(d) = px {
+            prefs[n] = d;
+            n += 1;
+        }
+        if let Some(d) = py {
+            prefs[n] = d;
+            n += 1;
+        }
         // Perpendicular detours before backtracking: a sideways hop opens
         // a fresh productive path, a backward hop just undoes one and
         // invites ping-pong with the previous router.
         for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
-            if prefs.contains(&d)
+            if prefs[..n].contains(&d)
                 || Some(d) == px.map(Dir::opposite)
                 || Some(d) == py.map(Dir::opposite)
             {
                 continue;
             }
-            prefs.push(d);
+            prefs[n] = d;
+            n += 1;
         }
         for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
-            if !prefs.contains(&d) {
-                prefs.push(d);
+            if !prefs[..n].contains(&d) {
+                prefs[n] = d;
+                n += 1;
             }
         }
-        for d in prefs {
+        for d in prefs.into_iter().take(n) {
             let Some(nc) = at.step(d) else { continue };
             if self.idx(nc).is_none() {
                 continue;
@@ -515,18 +638,30 @@ impl NocNetwork {
                         self.routers[ri].bindings[in_port.index()] = None;
                     }
                 }
-                self.routers[ri].inputs[in_port.index()].retain(|f| f.worm() != worm);
+                let q = &mut self.routers[ri].inputs[in_port.index()];
+                let before = q.len();
+                q.retain(|f| f.worm() != worm);
+                let removed = before - q.len();
+                self.resident -= removed;
+                self.load[ri] -= removed as u32;
             }
             for out in Port::ALL {
                 let o = &mut self.routers[ri].outputs[out.index()];
                 if o.reg.is_some_and(|f| f.worm() == worm) {
                     o.reg = None;
+                    self.resident -= 1;
+                    self.load[ri] -= 1;
                 }
                 if o.held_by == Some(worm) {
                     o.held_by = None;
                 }
             }
+            let before = self.injection[ri].len();
             self.injection[ri].retain(|f| f.worm() != worm);
+            let removed = before - self.injection[ri].len();
+            self.resident -= removed;
+            self.queued -= removed;
+            self.load[ri] -= removed as u32;
         }
         if let Some(r) = self.assembling.get_mut(&worm) {
             r.payload.clear();
@@ -584,11 +719,15 @@ impl NocNetwork {
         .flits()
         {
             self.injection[si].push_back(f);
+            self.resident += 1;
+            self.queued += 1;
+            self.load[si] += 1;
         }
     }
 
     fn deliver(&mut self, _at: Coord, flit: Flit) {
         self.stats.flits_delivered += 1;
+        self.resident = self.resident.saturating_sub(1);
         let worm = flit.worm();
         let done = flit.is_tail();
         if let Some(r) = self.assembling.get_mut(&worm) {
@@ -641,9 +780,12 @@ impl NocNetwork {
     /// Whether any flit is in flight anywhere (in fault-tolerant mode,
     /// also: no worm awaiting retransmission or a verdict).
     pub fn is_idle(&self) -> bool {
-        self.injection.iter().all(|q| q.is_empty())
-            && self.routers.iter().all(|r| r.is_idle())
-            && self.pending.is_empty()
+        debug_assert_eq!(
+            self.resident == 0,
+            self.injection.iter().all(|q| q.is_empty()) && self.routers.iter().all(|r| r.is_idle()),
+            "resident counter must mirror the mesh scan"
+        );
+        self.resident == 0 && self.pending.is_empty()
     }
 
     /// Ticks until idle, up to `max_cycles`. In fault-tolerant mode a

@@ -19,7 +19,15 @@ use crate::value::Word;
 pub const MEMORY_WORDS: usize = 64 * 1024 / 8;
 
 /// A 64 KiB on-chip SRAM block.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// The backing store is *lazy*: a fresh block owns no heap words, and the
+/// vector grows (zero-filled) only up to the highest address ever stored.
+/// A scaled processor instantiates one block per memory object at gather
+/// time, so an eager 64 KiB memset per block would put megabytes of page
+/// traffic on the gather path — the cost §3.4 argues must stay low enough
+/// to pay at run time. Loads beyond the touched prefix (but inside the
+/// block) read as zero, exactly as an eagerly-zeroed block would.
+#[derive(Clone, Debug)]
 pub struct MemoryBlock {
     words: Vec<Word>,
     reads: u64,
@@ -32,11 +40,27 @@ impl Default for MemoryBlock {
     }
 }
 
+impl PartialEq for MemoryBlock {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical contents: the untouched tail is all zeros, so two blocks
+        // with different touched prefixes can still be equal.
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        self.reads == other.reads
+            && self.writes == other.writes
+            && long[..short.len()] == short[..]
+            && long[short.len()..].iter().all(|w| *w == Word::ZERO)
+    }
+}
+
 impl MemoryBlock {
     /// A zero-initialised block.
     pub fn new() -> MemoryBlock {
         MemoryBlock {
-            words: vec![Word::ZERO; MEMORY_WORDS],
+            words: Vec::new(),
             reads: 0,
             writes: 0,
         }
@@ -44,47 +68,48 @@ impl MemoryBlock {
 
     /// Capacity in words.
     pub fn capacity(&self) -> usize {
-        self.words.len()
+        MEMORY_WORDS
     }
 
     /// Reads the word at `addr` (word address).
     pub fn load(&mut self, addr: u64) -> Result<Word, ObjectError> {
-        let w = self
-            .words
-            .get(addr as usize)
-            .copied()
-            .ok_or(ObjectError::AddressOutOfRange {
+        if addr as usize >= MEMORY_WORDS {
+            return Err(ObjectError::AddressOutOfRange {
                 addr,
                 capacity: MEMORY_WORDS,
-            })?;
+            });
+        }
+        let w = self.words.get(addr as usize).copied().unwrap_or(Word::ZERO);
         self.reads += 1;
         Ok(w)
     }
 
     /// Writes `value` at `addr` (word address).
     pub fn store(&mut self, addr: u64, value: Word) -> Result<(), ObjectError> {
-        let cap = self.words.len();
-        let slot = self
-            .words
-            .get_mut(addr as usize)
-            .ok_or(ObjectError::AddressOutOfRange {
+        let i = addr as usize;
+        if i >= MEMORY_WORDS {
+            return Err(ObjectError::AddressOutOfRange {
                 addr,
-                capacity: cap,
-            })?;
-        *slot = value;
+                capacity: MEMORY_WORDS,
+            });
+        }
+        if i >= self.words.len() {
+            self.words.resize(i + 1, Word::ZERO);
+        }
+        self.words[i] = value;
         self.writes += 1;
         Ok(())
     }
 
     /// Reads without counting (for test/assertion plumbing).
     pub fn peek(&self, addr: u64) -> Result<Word, ObjectError> {
-        self.words
-            .get(addr as usize)
-            .copied()
-            .ok_or(ObjectError::AddressOutOfRange {
+        if addr as usize >= MEMORY_WORDS {
+            return Err(ObjectError::AddressOutOfRange {
                 addr,
                 capacity: MEMORY_WORDS,
-            })
+            });
+        }
+        Ok(self.words.get(addr as usize).copied().unwrap_or(Word::ZERO))
     }
 
     /// Bulk-writes a slice starting at `addr`.
@@ -149,6 +174,23 @@ mod tests {
         assert!(m
             .store_slice(MEMORY_WORDS as u64 - 1, &[Word(1), Word(2)])
             .is_err());
+    }
+
+    #[test]
+    fn lazy_backing_is_observably_zeroed() {
+        let mut m = MemoryBlock::new();
+        // Untouched words read as zero everywhere inside the block.
+        assert_eq!(m.load(MEMORY_WORDS as u64 - 1).unwrap(), Word::ZERO);
+        assert_eq!(m.peek(4096).unwrap(), Word::ZERO);
+        // Equality is logical content, not allocated length.
+        let mut a = MemoryBlock::new();
+        let mut b = MemoryBlock::new();
+        a.store(5, Word::ZERO).unwrap();
+        b.store(100, Word::ZERO).unwrap();
+        assert_eq!(a, b);
+        b.store(100, Word(1)).unwrap();
+        a.store(5, Word::ZERO).unwrap();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub struct Histogram {
     buckets: [u64; HISTOGRAM_BUCKETS],
     count: u64,
     sum: u64,
+    saturated: u64,
     min: u64,
     max: u64,
 }
@@ -32,6 +33,7 @@ impl Histogram {
             buckets: [0; HISTOGRAM_BUCKETS],
             count: 0,
             sum: 0,
+            saturated: 0,
             min: u64::MAX,
             max: 0,
         }
@@ -55,13 +57,28 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
+    /// Records one sample. Returns `true` when adding the sample
+    /// saturated the running sum — the sum pins at `u64::MAX` instead of
+    /// wrapping, but from that point on `sum` and `mean` understate the
+    /// data, so saturation must be *counted*, not swallowed: a silently
+    /// pinned sum is indistinguishable from a legitimately huge one.
+    pub fn record(&mut self, value: u64) -> bool {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        let sat = match self.sum.checked_add(value) {
+            Some(s) => {
+                self.sum = s;
+                false
+            }
+            None => {
+                self.sum = u64::MAX;
+                self.saturated += 1;
+                true
+            }
+        };
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        sat
     }
 
     /// Samples recorded.
@@ -69,9 +86,16 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all samples (saturating).
+    /// Sum of all samples (saturating — see [`saturated`](Self::saturated)).
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// How many recorded samples saturated the running sum. Non-zero
+    /// means [`sum`](Self::sum) (and therefore [`mean`](Self::mean)) is a
+    /// lower bound, not an exact total.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
     }
 
     /// Smallest sample (0 when empty).
@@ -145,6 +169,27 @@ mod tests {
         assert_eq!(h.max(), 8);
         assert_eq!(h.mean(), 4);
         assert_eq!(h.nonzero_buckets(), vec![(0, 1), (2, 1), (4, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn sum_saturation_is_counted_not_swallowed() {
+        let mut h = Histogram::new();
+        // First huge sample fits exactly: 0 + MAX = MAX, no overflow.
+        assert!(!h.record(u64::MAX));
+        assert_eq!(h.saturated(), 0);
+        assert_eq!(h.sum(), u64::MAX);
+        // Any further non-zero sample saturates.
+        assert!(h.record(1));
+        assert!(h.record(u64::MAX));
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum pins at MAX rather than wrapping");
+        // Zero never saturates, even against a pinned sum.
+        assert!(!h.record(0));
+        assert_eq!(h.saturated(), 2);
+        // count/min/max stay exact through saturation.
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
     }
 
     #[test]

@@ -95,11 +95,19 @@ impl Registry {
         }
     }
 
+    /// Name of the counter tracking histogram-sum saturations across the
+    /// whole registry. It materialises (and shows up in snapshots and the
+    /// report table) only once a saturation actually happens, so
+    /// saturation-free runs export byte-identical telemetry.
+    pub const SATURATED_COUNTER: &'static str = "telemetry.saturated";
+
     /// Records a sample into the histogram `name`.
     pub fn record(&mut self, name: &'static str, value: u64) {
         let i = self.slot(name, None, || Instrument::Histogram(Box::default()));
         if let Instrument::Histogram(h) = &mut self.instruments[i].1 {
-            h.record(value);
+            if h.record(value) {
+                self.count(Self::SATURATED_COUNTER, 1);
+            }
         }
     }
 
@@ -178,6 +186,31 @@ mod tests {
         assert_eq!(s.counter("links[10]"), 1);
         assert_eq!(s.gauge("depth"), 3);
         assert_eq!(s.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn sum_saturation_surfaces_as_a_counter() {
+        let mut r = Registry::new();
+        r.record("lat", 9);
+        // No saturation yet: the counter must not exist, so exports from
+        // healthy runs are unchanged.
+        assert!(r
+            .snapshot()
+            .entries()
+            .iter()
+            .all(|(name, _)| name != Registry::SATURATED_COUNTER));
+        // Two MAX samples: the second one overflows the running sum.
+        r.record("big", u64::MAX);
+        r.record("big", u64::MAX);
+        let s = r.snapshot();
+        assert_eq!(s.counter(Registry::SATURATED_COUNTER), 1);
+        assert_eq!(s.histogram("big").unwrap().saturated(), 1);
+        assert_eq!(s.histogram("big").unwrap().sum(), u64::MAX);
+        // Saturations across different histograms accumulate in the one
+        // registry-wide counter.
+        r.record("other", u64::MAX);
+        r.record("other", u64::MAX);
+        assert_eq!(r.snapshot().counter(Registry::SATURATED_COUNTER), 2);
     }
 
     #[test]

@@ -119,6 +119,20 @@ mod tests {
     }
 
     #[test]
+    fn saturation_counter_appears_in_the_table() {
+        let mut r = Registry::new();
+        r.record("lat", u64::MAX);
+        r.record("lat", u64::MAX);
+        let table = render(&r.snapshot());
+        let line = table
+            .lines()
+            .find(|l| l.starts_with(Registry::SATURATED_COUNTER))
+            .expect("telemetry.saturated row in report table");
+        assert!(line.contains("counter"));
+        assert!(line.trim_end().ends_with('1'));
+    }
+
+    #[test]
     fn empty_snapshot_renders_header_only() {
         let table = render(&Snapshot::default());
         assert_eq!(table.lines().count(), 2);

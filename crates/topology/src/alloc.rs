@@ -33,6 +33,29 @@ pub fn find_region(
     }
     let gw = grid.width();
     let gh = grid.height();
+    let (gw_us, gh_us) = (usize::from(gw), usize::from(gh));
+    // Evaluate the predicate exactly once per cell into per-row prefix
+    // sums; every anchor probe below is then O(region height) instead of
+    // O(region cells) predicate calls. `pre[y * (gw+1) + x]` counts the
+    // free cells of row `y` in columns `[0, x)`.
+    let mut free_total = 0usize;
+    let mut pre = vec![0u32; (gw_us + 1) * gh_us];
+    for y in 0..gh_us {
+        let base = y * (gw_us + 1);
+        for x in 0..gw_us {
+            let f = is_free(Coord::new(x as u16, y as u16));
+            free_total += usize::from(f);
+            pre[base + x + 1] = pre[base + x] + u32::from(f);
+        }
+    }
+    if free_total < clusters {
+        return None;
+    }
+    // Free cells of row `y` in columns `[x0, x1)`.
+    let row_free = |y: usize, x0: usize, x1: usize| -> usize {
+        let base = y * (gw_us + 1);
+        (pre[base + x1] - pre[base + x0]) as usize
+    };
     // Candidate widths, squarest first.
     let ideal = (clusters as f64).sqrt();
     let mut widths: Vec<u16> = (1..=gw.min(clusters as u16)).collect();
@@ -48,18 +71,33 @@ pub fn find_region(
         if h > gh {
             continue;
         }
-        // Cells of the serpentine prefix within a w×h box.
+        // Cells of the serpentine prefix within a w×h box, and their
+        // per-row column spans `[min_x, max_x+1)` — contiguous by the
+        // serpentine's construction (each row is traversed monotonically).
         let prefix: Vec<Coord> = serpentine(w, h)
             .path()
             .iter()
             .take(clusters)
             .copied()
             .collect();
+        let mut spans: Vec<(usize, usize)> = vec![(usize::MAX, 0); usize::from(h)];
+        for c in &prefix {
+            let s = &mut spans[usize::from(c.y)];
+            s.0 = s.0.min(usize::from(c.x));
+            s.1 = s.1.max(usize::from(c.x) + 1);
+        }
+        debug_assert_eq!(
+            spans.iter().map(|s| s.1 - s.0).sum::<usize>(),
+            clusters,
+            "serpentine prefix rows must be contiguous"
+        );
         for y0 in 0..=(gh - h) {
             'anchor: for x0 in 0..=(gw - w) {
-                for c in &prefix {
-                    let p = Coord::new(x0 + c.x, y0 + c.y);
-                    if !is_free(p) {
+                for (dy, &(sx0, sx1)) in spans.iter().enumerate() {
+                    let y = usize::from(y0) + dy;
+                    let a = usize::from(x0) + sx0;
+                    let b = usize::from(x0) + sx1;
+                    if row_free(y, a, b) != b - a {
                         continue 'anchor;
                     }
                 }
@@ -76,24 +114,38 @@ pub fn find_region(
 /// square region covers all free clusters, approaching 1 when free
 /// clusters exist but only tiny requests can be placed.
 pub fn fragmentation(grid: &ClusterGrid, mut is_free: impl FnMut(Coord) -> bool) -> f64 {
-    let free: Vec<Coord> = grid.coords().filter(|&c| is_free(c)).collect();
-    if free.is_empty() {
+    // Evaluate the predicate once per cell; the binary search below then
+    // probes a flat bitmap instead of re-running caller lookups.
+    let gw = usize::from(grid.width());
+    let mut free = vec![false; grid.cluster_count()];
+    let mut free_count = 0usize;
+    for c in grid.coords() {
+        if is_free(c) {
+            free[usize::from(c.y) * gw + usize::from(c.x)] = true;
+            free_count += 1;
+        }
+    }
+    if free_count == 0 {
         return 0.0;
     }
     // Largest k such that a k-cluster request still fits.
     let mut best = 0usize;
     let mut lo = 1usize;
-    let mut hi = free.len();
+    let mut hi = free_count;
     while lo <= hi {
         let mid = (lo + hi) / 2;
-        if find_region(grid, mid, |c| free.contains(&c)).is_some() {
+        let fits = find_region(grid, mid, |c| {
+            free[usize::from(c.y) * gw + usize::from(c.x)]
+        })
+        .is_some();
+        if fits {
             best = mid;
             lo = mid + 1;
         } else {
             hi = mid - 1;
         }
     }
-    1.0 - best as f64 / free.len() as f64
+    1.0 - best as f64 / free_count as f64
 }
 
 #[cfg(test)]

@@ -1,0 +1,238 @@
+//! The flat fabric occupancy index.
+//!
+//! §3.3–3.4 argue gather/release are cheap enough to run *at run time* —
+//! which the simulator must not contradict. The switch fabric itself is
+//! a lazily-populated map (correct for sparse programming state, wrong
+//! for occupancy probes), so admission control used to rescan the whole
+//! die through `HashMap`/`HashSet` lookups on every scheduler tick.
+//! [`FabricIndex`] is the flat mirror those probes read instead: owner
+//! tags and the defect set live in `Vec` slabs addressed `y * width +
+//! x`, and the free-cluster count is maintained incrementally, so
+//! `free_clusters` is O(1), point probes are one indexed load, and
+//! region scans touch exactly the cells of the region.
+//!
+//! The index is a *mirror*, not the source of truth: the chip updates it
+//! at the same funnels that mutate the switch fabric (reserve, release,
+//! defect marking). The defect slab also replaces the chip's old
+//! `HashSet<Coord>` — iteration ([`FabricIndex::defect_coords`]) is
+//! row-major and therefore deterministic, where hash order was not.
+
+use crate::coord::Coord;
+use crate::switch::RegionTag;
+
+/// Sentinel for "no owner" in the owner slab (tags are processor ids,
+/// which never reach `u32::MAX`).
+const NO_OWNER: u32 = u32::MAX;
+
+/// A flat per-cluster occupancy index for a `width × height` die.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FabricIndex {
+    width: u16,
+    height: u16,
+    /// Owner tag per cell, `NO_OWNER` when unowned.
+    owner: Vec<u32>,
+    /// Defect flag per cell.
+    defect: Vec<bool>,
+    /// Cells that are unowned and non-defective, maintained incrementally.
+    free: usize,
+    /// Defective cells, maintained incrementally.
+    defects: usize,
+}
+
+impl FabricIndex {
+    /// A fully-free index for a `width × height` grid.
+    pub fn new(width: u16, height: u16) -> FabricIndex {
+        let n = usize::from(width) * usize::from(height);
+        FabricIndex {
+            width,
+            height,
+            owner: vec![NO_OWNER; n],
+            defect: vec![false; n],
+            free: n,
+            defects: 0,
+        }
+    }
+
+    /// Grid width in clusters.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in clusters.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    fn idx(&self, c: Coord) -> Option<usize> {
+        if c.x < self.width && c.y < self.height {
+            Some(usize::from(c.y) * usize::from(self.width) + usize::from(c.x))
+        } else {
+            None
+        }
+    }
+
+    fn coord_of(&self, i: usize) -> Coord {
+        let w = usize::from(self.width);
+        Coord::new((i % w) as u16, (i / w) as u16)
+    }
+
+    fn is_free_at(&self, i: usize) -> bool {
+        self.owner[i] == NO_OWNER && !self.defect[i]
+    }
+
+    /// The owner tag of `c`, if any. Out-of-bounds cells have no owner.
+    pub fn owner(&self, c: Coord) -> Option<RegionTag> {
+        let i = self.idx(c)?;
+        match self.owner[i] {
+            NO_OWNER => None,
+            tag => Some(RegionTag(tag)),
+        }
+    }
+
+    /// Whether `c` is allocatable: on the die, unowned, non-defective.
+    pub fn is_free(&self, c: Coord) -> bool {
+        self.idx(c).is_some_and(|i| self.is_free_at(i))
+    }
+
+    /// Unowned, non-defective clusters — O(1).
+    pub fn free_clusters(&self) -> usize {
+        self.free
+    }
+
+    /// Assigns `c` to `tag`. Out-of-bounds coordinates are ignored (the
+    /// fabric's own bounds checks are the authority on errors).
+    pub fn set_owner(&mut self, c: Coord, tag: RegionTag) {
+        if let Some(i) = self.idx(c) {
+            if self.is_free_at(i) {
+                self.free -= 1;
+            }
+            self.owner[i] = tag.0;
+        }
+    }
+
+    /// Clears the owner of `c`, whoever held it.
+    pub fn clear_owner(&mut self, c: Coord) {
+        if let Some(i) = self.idx(c) {
+            if self.owner[i] != NO_OWNER {
+                self.owner[i] = NO_OWNER;
+                if !self.defect[i] {
+                    self.free += 1;
+                }
+            }
+        }
+    }
+
+    /// Releases every cell owned by `tag`; returns how many were held.
+    /// One linear pass over the slab — no per-cell map lookups.
+    pub fn release_owner(&mut self, tag: RegionTag) -> usize {
+        let mut released = 0;
+        for i in 0..self.owner.len() {
+            if self.owner[i] == tag.0 {
+                self.owner[i] = NO_OWNER;
+                if !self.defect[i] {
+                    self.free += 1;
+                }
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Whether `c` is marked defective.
+    pub fn is_defective(&self, c: Coord) -> bool {
+        self.idx(c).is_some_and(|i| self.defect[i])
+    }
+
+    /// Marks `c` defective (idempotent).
+    pub fn mark_defective(&mut self, c: Coord) {
+        if let Some(i) = self.idx(c) {
+            if !self.defect[i] {
+                if self.is_free_at(i) {
+                    self.free -= 1;
+                }
+                self.defect[i] = true;
+                self.defects += 1;
+            }
+        }
+    }
+
+    /// Defective clusters on the die — O(1).
+    pub fn defect_count(&self) -> usize {
+        self.defects
+    }
+
+    /// Defective coordinates in row-major order — a deterministic view,
+    /// unlike the hash-ordered set this slab replaced.
+    pub fn defect_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.defect
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| self.coord_of(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_count_tracks_owners_and_defects() {
+        let mut ix = FabricIndex::new(4, 3);
+        assert_eq!(ix.free_clusters(), 12);
+        ix.set_owner(Coord::new(1, 1), RegionTag(7));
+        ix.set_owner(Coord::new(2, 1), RegionTag(7));
+        assert_eq!(ix.free_clusters(), 10);
+        assert_eq!(ix.owner(Coord::new(1, 1)), Some(RegionTag(7)));
+        assert!(!ix.is_free(Coord::new(1, 1)));
+        // Re-tagging an owned cell does not double-count.
+        ix.set_owner(Coord::new(1, 1), RegionTag(9));
+        assert_eq!(ix.free_clusters(), 10);
+        ix.clear_owner(Coord::new(1, 1));
+        assert_eq!(ix.free_clusters(), 11);
+        assert_eq!(ix.release_owner(RegionTag(7)), 1);
+        assert_eq!(ix.free_clusters(), 12);
+    }
+
+    #[test]
+    fn defects_interact_with_ownership() {
+        let mut ix = FabricIndex::new(2, 2);
+        ix.mark_defective(Coord::new(0, 0));
+        ix.mark_defective(Coord::new(0, 0)); // idempotent
+        assert_eq!(ix.free_clusters(), 3);
+        assert_eq!(ix.defect_count(), 1);
+        // An owned cell going defective must not re-enter the free pool
+        // when released.
+        ix.set_owner(Coord::new(1, 1), RegionTag(3));
+        ix.mark_defective(Coord::new(1, 1));
+        assert_eq!(ix.release_owner(RegionTag(3)), 1);
+        assert_eq!(ix.free_clusters(), 2);
+        assert!(!ix.is_free(Coord::new(1, 1)));
+    }
+
+    #[test]
+    fn defect_coords_are_row_major() {
+        let mut ix = FabricIndex::new(3, 3);
+        for c in [Coord::new(2, 2), Coord::new(0, 1), Coord::new(1, 0)] {
+            ix.mark_defective(c);
+        }
+        let got: Vec<Coord> = ix.defect_coords().collect();
+        assert_eq!(
+            got,
+            vec![Coord::new(1, 0), Coord::new(0, 1), Coord::new(2, 2)]
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_probes_are_inert() {
+        let mut ix = FabricIndex::new(2, 2);
+        let outside = Coord::new(5, 5);
+        ix.set_owner(outside, RegionTag(1));
+        ix.mark_defective(outside);
+        ix.clear_owner(outside);
+        assert_eq!(ix.owner(outside), None);
+        assert!(!ix.is_free(outside));
+        assert!(!ix.is_defective(outside));
+        assert_eq!(ix.free_clusters(), 4);
+    }
+}

@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod coord;
 pub mod error;
 pub mod fold;
+pub mod index;
 pub mod region;
 pub mod switch;
 
@@ -37,5 +38,6 @@ pub use cluster::{Cluster, ClusterGrid, ClusterId};
 pub use coord::{Coord, Dir};
 pub use error::TopologyError;
 pub use fold::FoldMap;
+pub use index::FabricIndex;
 pub use region::Region;
 pub use switch::{SwitchFabric, SwitchState};

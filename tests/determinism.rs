@@ -4,6 +4,9 @@
 use std::collections::HashMap;
 use vlsi_processor::core::{BlockExecutor, VlsiChip};
 use vlsi_processor::csd::CsdSimulator;
+use vlsi_processor::faults::FaultPlanBuilder;
+use vlsi_processor::runtime::mix::mixed_jobs;
+use vlsi_processor::runtime::{EventKind, Fifo, Runtime, RuntimeConfig};
 use vlsi_processor::topology::{Cluster, Coord, Region};
 use vlsi_processor::workloads::{figure7, RandomDatapath, StreamKernel};
 
@@ -72,4 +75,56 @@ fn scalar_metrics_are_deterministic() {
         ap.metrics()
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn defect_event_sequences_are_byte_identical_across_same_seed_runs() {
+    // Defects live in the flat FabricIndex bitmap, not a hash-ordered
+    // set, so everything derived from them — the runtime's defect events
+    // and the chip's defect view — must replay byte-for-byte from the
+    // same seed.
+    let run = || {
+        let chip = VlsiChip::new(16, 16, Cluster::default());
+        let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+        let plan = FaultPlanBuilder::new(77)
+            .grid(16, 16)
+            .horizon(60)
+            .switch_stuck_rate(0.01)
+            .build();
+        rt.attach_fault_plan(plan);
+        for spec in mixed_jobs(77, 12) {
+            rt.submit(spec);
+        }
+        rt.run_until_idle(200_000).expect("faulted mix must drain");
+        let defect_bytes: Vec<u8> = rt
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::DefectInjected { .. }
+                        | EventKind::DefectRecovered { .. }
+                        | EventKind::FaultReported { .. }
+                )
+            })
+            .flat_map(|e| format!("{e:?}\n").into_bytes())
+            .collect();
+        let coords: Vec<Coord> = rt.chip().defective_coords().collect();
+        (defect_bytes, coords)
+    };
+    let (bytes_a, coords_a) = run();
+    let (bytes_b, coords_b) = run();
+    assert!(
+        !coords_a.is_empty(),
+        "the plan must actually inject defects"
+    );
+    assert_eq!(
+        bytes_a, bytes_b,
+        "defect event sequence must be byte-identical"
+    );
+    assert_eq!(coords_a, coords_b);
+    // The defect view is row-major, not hash-ordered.
+    let mut sorted = coords_a.clone();
+    sorted.sort_by_key(|c| (c.layer, c.y, c.x));
+    assert_eq!(coords_a, sorted);
 }
