@@ -16,12 +16,26 @@ cargo test -q --offline --test chaos_transport
 echo "== cargo test -q"
 cargo test -q --workspace --offline
 
+echo "== cargo build --release (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build -q --release --offline --workspace
+
 echo "== bench smoke (one iteration per workload, emitted JSON validates)"
-cargo build -q --release --offline -p vlsi-bench
 BENCH_SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
 ./target/release/bench --smoke --out "$BENCH_SMOKE_DIR"
-./target/release/bench --check "$BENCH_SMOKE_DIR"
+# --check validates the fresh JSONs and (non-fatally) warns when a
+# median regressed >25% vs the committed BENCH_*.json at the repo root.
+./target/release/bench --check "$BENCH_SMOKE_DIR" --baseline .
+
+echo "== thread-matrix determinism (bench --digest at 1 vs 8 threads, double-run)"
+./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1" --threads 1 >/dev/null
+./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1b" --threads 1 >/dev/null
+./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t8" --threads 8 >/dev/null
+./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t8b" --threads 8 >/dev/null
+cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t1b"
+cmp "$BENCH_SMOKE_DIR/digest.t8" "$BENCH_SMOKE_DIR/digest.t8b"
+cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t8"
+cargo test -q --offline --test parallel_determinism
 
 echo "== telemetry determinism (same seed => byte-identical exports)"
 cargo test -q --offline --test telemetry

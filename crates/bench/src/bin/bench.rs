@@ -1,70 +1,112 @@
 //! `bench` — the BENCH-emitting runner.
 //!
-//! Executes the sched / faults / hotpath workload families and writes
-//! `BENCH_sched.json`, `BENCH_faults.json`, and `BENCH_hotpath.json`
-//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
-//! machine-readable at the repo root.
+//! Executes the sched / faults / hotpath / fleet workload families and
+//! writes `BENCH_sched.json`, `BENCH_faults.json`, `BENCH_hotpath.json`,
+//! and `BENCH_fleet.json` (median ns/iter, ops/s, seed, git rev) so the
+//! perf trajectory is machine-readable at the repo root.
 //!
 //! ```text
-//! bench [--smoke] [--out DIR]   run workloads, write + validate JSONs
-//! bench --check DIR             validate existing BENCH_*.json in DIR
+//! bench [--smoke] [--threads N] [--out DIR]   run workloads, write + validate JSONs
+//! bench --check DIR [--baseline DIR]          validate BENCH_*.json in DIR and
+//!                                             warn (non-fatally) on >25% median
+//!                                             regressions vs the baseline copies
+//! bench --digest FILE [--threads N]           write deterministic run checksums
+//!                                             (no timings) — the thread-matrix
+//!                                             CI gate compares these files
 //! ```
 //!
 //! `--smoke` runs a single iteration of each workload — CI uses it to
 //! prove the pipeline still runs and emits well-formed documents.
+//! `--threads` sizes the worker pool the fleet and sharded-NoC workloads
+//! run on; every workload is bit-identical at every thread count, which
+//! `--digest` exists to prove.
 
-use vlsi_bench::harness::{git_rev, measure, render_json, validate_json, BenchSample};
+use vlsi_bench::harness::{
+    git_rev, measure, parse_medians, parse_seed, render_json, validate_json, BenchSample,
+};
 use vlsi_bench::hotpath::{
-    chaos_mix, faults_noc, faults_sched, gather_release_churn, sched_acceptance, sched_mix, SEED,
+    chaos_mix, faults_noc, faults_sched, fleet_mix, gather_release_churn, noc_storm,
+    sched_acceptance, sched_mix, SEED,
 };
 
-const FILES: [&str; 3] = [
+const FILES: [&str; 4] = [
     "BENCH_sched.json",
     "BENCH_faults.json",
     "BENCH_hotpath.json",
+    "BENCH_fleet.json",
 ];
+
+/// Median regressions beyond this fraction draw a (non-fatal) warning.
+const REGRESSION_WARN: f64 = 0.25;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut threads = 1usize;
     let mut out_dir = String::from(".");
+    let mut baseline_dir = String::from(".");
     let mut check_dir: Option<String> = None;
+    let mut digest_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
             "--out" => {
                 i += 1;
                 out_dir = args.get(i).expect("--out needs a directory").clone();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_dir = args.get(i).expect("--baseline needs a directory").clone();
             }
             "--check" => {
                 i += 1;
                 check_dir = Some(args.get(i).expect("--check needs a directory").clone());
             }
+            "--digest" => {
+                i += 1;
+                digest_file = Some(args.get(i).expect("--digest needs a file").clone());
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: bench [--smoke] [--out DIR] | bench --check DIR");
+                eprintln!(
+                    "usage: bench [--smoke] [--threads N] [--out DIR] \
+                     | bench --check DIR [--baseline DIR] \
+                     | bench --digest FILE [--threads N]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
 
+    if let Some(file) = digest_file {
+        digest(&file, threads);
+        return;
+    }
     if let Some(dir) = check_dir {
-        check(&dir);
+        check(&dir, &baseline_dir);
         return;
     }
 
     let iters = if smoke { 1 } else { 5 };
     let rev = git_rev();
     println!(
-        "bench: seed {SEED}, rev {rev}, {iters} iteration(s){}",
+        "bench: seed {SEED}, rev {rev}, {iters} iteration(s), {threads} thread(s){}",
         if smoke { " [smoke]" } else { "" }
     );
 
     emit(&out_dir, "sched", SEED, &rev, sched_samples(iters));
     emit(&out_dir, "faults", SEED, &rev, faults_samples(iters));
     emit(&out_dir, "hotpath", SEED, &rev, hotpath_samples(iters));
+    emit(&out_dir, "fleet", SEED, &rev, fleet_samples(iters, threads));
 }
 
 fn sched_samples(iters: u64) -> Vec<BenchSample> {
@@ -131,6 +173,26 @@ fn hotpath_samples(iters: u64) -> Vec<BenchSample> {
     samples
 }
 
+fn fleet_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    let mut checksums = (0u64, 0u64);
+    let (mut s, completed) = measure("fleet_64x64x4", iters, || {
+        let (completed, events_fnv, telemetry_fnv) = fleet_mix(threads, 4);
+        checksums = (events_fnv, telemetry_fnv);
+        completed
+    });
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("completed", completed));
+    s.extra.push(("events_fnv", checksums.0));
+    s.extra.push(("telemetry_fnv", checksums.1));
+    samples.push(s);
+    let (mut s, digest) = measure("noc_storm_32x32_sharded", iters, || noc_storm(threads));
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("digest_fnv", digest));
+    samples.push(s);
+    samples
+}
+
 fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
     for s in &samples {
         println!(
@@ -146,13 +208,39 @@ fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>)
     println!("  wrote {path}");
 }
 
-fn check(dir: &str) {
+/// Writes the deterministic run checksums — no timings, no thread count,
+/// no git rev — so two `--digest` runs at different `--threads` values
+/// must produce byte-identical files. The CI thread-matrix gate `cmp`s
+/// them.
+fn digest(file: &str, threads: usize) {
+    let (completed, events_fnv, telemetry_fnv) = fleet_mix(threads, 4);
+    let storm = noc_storm(threads);
+    let (_, accept_fnv) = sched_acceptance("fifo");
+    let (_, chaos_fnv) = chaos_mix();
+    let text = format!(
+        "seed {SEED}\n\
+         fleet_64x64x4 completed {completed}\n\
+         fleet_64x64x4 events_fnv {events_fnv:#018x}\n\
+         fleet_64x64x4 telemetry_fnv {telemetry_fnv:#018x}\n\
+         noc_storm_32x32_sharded digest_fnv {storm:#018x}\n\
+         accept55_fifo event_log_fnv {accept_fnv:#018x}\n\
+         chaos_mix_64x64 event_log_fnv {chaos_fnv:#018x}\n"
+    );
+    print!("{text}");
+    std::fs::write(file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));
+    println!("wrote {file} ({threads} thread(s))");
+}
+
+fn check(dir: &str, baseline_dir: &str) {
     let mut failed = false;
     for file in FILES {
         let path = format!("{dir}/{file}");
         match std::fs::read_to_string(&path) {
             Ok(text) => match validate_json(&text) {
-                Ok(()) => println!("ok: {path}"),
+                Ok(()) => {
+                    println!("ok: {path}");
+                    diff_against_baseline(&text, &format!("{baseline_dir}/{file}"));
+                }
                 Err(e) => {
                     eprintln!("INVALID {path}: {e}");
                     failed = true;
@@ -166,5 +254,38 @@ fn check(dir: &str) {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Compares a freshly written BENCH document against the committed copy
+/// at `baseline_path` and warns on medians more than [`REGRESSION_WARN`]
+/// slower. Non-fatal by design: medians on shared CI hardware are noisy,
+/// so this surfaces a trajectory signal without flaking the build. Skips
+/// silently when the baseline is missing or was taken under a different
+/// seed (the numbers would not be comparable).
+fn diff_against_baseline(fresh: &str, baseline_path: &str) {
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        return;
+    };
+    if parse_seed(&baseline) != parse_seed(fresh) {
+        return;
+    }
+    let old: std::collections::BTreeMap<String, u64> =
+        parse_medians(&baseline).into_iter().collect();
+    for (name, new_ns) in parse_medians(fresh) {
+        let Some(&old_ns) = old.get(&name) else {
+            continue;
+        };
+        if old_ns == 0 {
+            continue;
+        }
+        let ratio = new_ns as f64 / old_ns as f64;
+        if ratio > 1.0 + REGRESSION_WARN {
+            println!(
+                "  WARN {name}: median {new_ns} ns/iter is {:.0}% slower than \
+                 the committed {old_ns} ns/iter ({baseline_path})",
+                (ratio - 1.0) * 100.0
+            );
+        }
     }
 }

@@ -161,6 +161,28 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts `(name, median_ns_per_iter)` pairs from a BENCH document,
+/// in file order. Used by the `--check` regression diff.
+pub fn parse_medians(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        rest = &rest[pos + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        rest = &rest[end..];
+        if let Some(median) = field_u64(rest, "\"median_ns_per_iter\"") {
+            out.push((name, median));
+        }
+    }
+    out
+}
+
+/// The document's top-level seed, if it parses.
+pub fn parse_seed(text: &str) -> Option<u64> {
+    field_u64(text, "\"seed\"")
+}
+
 fn field_u64(text: &str, key: &str) -> Option<u64> {
     let pos = text.find(key)?;
     let rest = text[pos + key.len()..].trim_start().strip_prefix(':')?;
@@ -225,6 +247,32 @@ mod tests {
         // Truncation must not validate.
         assert!(validate_json(&good[..good.len() - 4]).is_err());
         assert!(validate_json(&good.replace("\"seed\": 1", "\"seed\": \"s\"")).is_err());
+    }
+
+    #[test]
+    fn medians_and_seed_parse_back_out() {
+        let samples = [
+            BenchSample {
+                name: "alpha".into(),
+                median_ns: 1200,
+                ops_per_s: 1.0,
+                iters: 5,
+                extra: vec![("makespan", 9)],
+            },
+            BenchSample {
+                name: "beta".into(),
+                median_ns: 34,
+                ops_per_s: 2.0,
+                iters: 5,
+                extra: Vec::new(),
+            },
+        ];
+        let doc = render_json("x", 2012, "rev", &samples);
+        assert_eq!(parse_seed(&doc), Some(2012));
+        assert_eq!(
+            parse_medians(&doc),
+            vec![("alpha".to_string(), 1200), ("beta".to_string(), 34)]
+        );
     }
 
     #[test]

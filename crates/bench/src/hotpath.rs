@@ -7,9 +7,10 @@
 //!   deadline-doomed straggler) with a live telemetry registry. The
 //!   55-job runs also report an FNV-1a checksum of the full event log,
 //!   which pins bit-identical scheduling across occupancy-index changes.
-//! * **faults** — the Ablation II degraded-mode batches: 60 worms under
-//!   transient link faults and the 32-job mix under permanent switch
-//!   faults.
+//! * **faults** — the Ablation II degraded-mode batches: a 240-worm
+//!   staggered storm under transient link faults (spanning the whole
+//!   fault horizon, so the 1% tier actually retransmits) and the 32-job
+//!   mix under permanent switch faults.
 //! * **hotpath** — gather/release churn on a 32×32 die with admission
 //!   probes every round, and a 64×64 chaos mix (larger die, stuck
 //!   switches mid-run) that leans on the occupancy scans the scheduler
@@ -22,10 +23,11 @@ use crate::harness::fnv1a;
 use vlsi_core::{ProcessorId, VlsiChip};
 use vlsi_faults::FaultPlanBuilder;
 use vlsi_noc::NocNetwork;
+use vlsi_par::Pool;
 use vlsi_prng::Prng;
 use vlsi_runtime::mix::mixed_jobs;
 use vlsi_runtime::{
-    Fifo, JobSpec, Priority, Runtime, RuntimeConfig, RuntimeSummary, SchedPolicy,
+    Fifo, Fleet, JobSpec, Priority, Runtime, RuntimeConfig, RuntimeSummary, SchedPolicy,
     SmallestFitBackfill, Workload,
 };
 use vlsi_telemetry::TelemetryHandle;
@@ -89,8 +91,15 @@ pub fn sched_acceptance(policy_name: &str) -> (RuntimeSummary, u64) {
     (summary, fnv)
 }
 
-/// The Ablation II NoC batch: 60 worms on an 8×8 mesh under transient
-/// link faults at `rate`. Returns `(delivered, retransmissions)`.
+/// Worms in the Ablation II NoC storm.
+pub const FAULT_STORM_WORMS: usize = 240;
+
+/// The Ablation II NoC batch: a 240-worm storm on an 8×8 mesh under
+/// transient link faults at `rate`, injected in batches of 10 every 8
+/// cycles so traffic spans the whole 192-cycle fault horizon. (The old
+/// single-burst storm drained before the drawn fault windows *opened*,
+/// so the 1% tier reported zero retransmissions and exercised nothing.)
+/// Returns `(delivered, retransmissions)`.
 pub fn faults_noc(rate: f64) -> (usize, u64) {
     let (w, h) = (8u16, 8u16);
     let mut net = NocNetwork::with_telemetry(w, h, TelemetryHandle::active());
@@ -103,11 +112,18 @@ pub fn faults_noc(rate: f64) -> (usize, u64) {
         .build();
     net.attach_fault_plan(plan);
     let mut rng = Prng::seed_from_u64(SEED);
-    for _ in 0..60 {
-        let src = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
-        let dest = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
-        let payload: Vec<u64> = (0..rng.gen_range(1..8u64)).collect();
-        net.inject(src, dest, payload).unwrap();
+    let mut injected = 0;
+    while injected < FAULT_STORM_WORMS {
+        for _ in 0..10.min(FAULT_STORM_WORMS - injected) {
+            let src = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+            let dest = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+            let payload: Vec<u64> = (0..rng.gen_range(8..16u64)).collect();
+            net.inject(src, dest, payload).unwrap();
+            injected += 1;
+        }
+        for _ in 0..8 {
+            net.tick();
+        }
     }
     net.run_until_drained(4_000_000).expect("must drain");
     let delivered = net.take_delivered().len();
@@ -184,6 +200,59 @@ pub fn chaos_mix() -> (RuntimeSummary, u64) {
     (summary, fnv)
 }
 
+/// The fleet mix: `chips` independent 64×64 dies, each running its own
+/// 40-job mix (seeded `SEED + chip`), ticked on `threads` workers with a
+/// static chip→worker assignment. Returns `(completed, merged-event-log
+/// fnv, merged-telemetry fnv)` — both checksums are over fleet-wide
+/// merges in chip-index order, so they must be bit-identical at every
+/// thread count.
+pub fn fleet_mix(threads: usize, chips: usize) -> (u64, u64, u64) {
+    let mut fleet = Fleet::new(Pool::new(threads));
+    for c in 0..chips {
+        let chip = VlsiChip::with_telemetry(64, 64, Cluster::default(), TelemetryHandle::active());
+        let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+        for spec in mixed_jobs(SEED + c as u64, 40) {
+            rt.submit(spec);
+        }
+        fleet.push(rt);
+    }
+    let summaries = fleet.run_until_idle(500_000).expect("fleet must drain");
+    let completed = summaries.iter().map(|s| s.completed).sum();
+    let mut text = String::new();
+    for (c, e) in fleet.merged_events() {
+        let _ = writeln!(text, "{c} {e:?}");
+    }
+    let events_fnv = fnv1a(text.as_bytes());
+    let telemetry_fnv = fnv1a(fleet.merged_telemetry().snapshot().to_json().as_bytes());
+    (completed, events_fnv, telemetry_fnv)
+}
+
+/// A 256-worm storm on a 32×32 mesh ticked through the *sharded* NoC
+/// path (`min_resident` 0, so row-stripe sharding engages at any
+/// occupancy when `threads > 1`). Returns an FNV digest over the
+/// delivered list, final stats, and the telemetry export — the digest
+/// the thread-matrix CI gate compares across thread counts.
+pub fn noc_storm(threads: usize) -> u64 {
+    let (w, h) = (32u16, 32u16);
+    let mut net = NocNetwork::with_telemetry(w, h, TelemetryHandle::active());
+    net.set_parallel(Pool::new(threads), 0);
+    let mut rng = Prng::seed_from_u64(SEED);
+    for _ in 0..256 {
+        let src = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let dest = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let payload: Vec<u64> = (0..rng.gen_range(4..12u64)).collect();
+        net.inject(src, dest, payload).unwrap();
+    }
+    net.run_until_drained(4_000_000).expect("storm must drain");
+    let mut text = String::new();
+    for d in net.take_delivered() {
+        let _ = writeln!(text, "{d:?}");
+    }
+    let _ = writeln!(text, "{:?}", net.stats());
+    let _ = writeln!(text, "{}", net.telemetry().snapshot().to_json());
+    fnv1a(text.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +269,16 @@ mod tests {
         assert_eq!(a_fnv, b_fnv, "event log must replay bit-identically");
         assert_eq!(a_sum.makespan, b_sum.makespan);
         assert_eq!(a_sum.completed + a_sum.failed, (ACCEPT_JOBS + 1) as u64);
+    }
+
+    #[test]
+    fn fault_storm_exercises_retransmission() {
+        let (delivered, retrans) = faults_noc(0.0);
+        assert_eq!(delivered, FAULT_STORM_WORMS);
+        assert_eq!(retrans, 0, "no faults, no retransmissions");
+        let (delivered, retrans) = faults_noc(0.01);
+        assert_eq!(delivered, FAULT_STORM_WORMS);
+        assert!(retrans >= 1, "the 1% tier must hit at least one window");
     }
 
     #[test]

@@ -201,6 +201,15 @@ impl VlsiChip {
         &self.noc
     }
 
+    /// Attaches a worker pool to the NoC: loaded ticks shard the mesh
+    /// into row stripes and run on the pool, bit-identical to the serial
+    /// schedule at every thread count. `min_resident` gates the fan-out —
+    /// cycles with fewer resident flits stay single-shard (an overhead
+    /// control, never observable in results).
+    pub fn set_noc_parallel(&mut self, pool: std::sync::Arc<vlsi_par::Pool>, min_resident: usize) {
+        self.noc.set_parallel(pool, min_resident);
+    }
+
     /// Marks a cluster defective: no future gather may include it.
     pub fn mark_defective(&mut self, c: Coord) {
         self.index.mark_defective(c);
@@ -287,20 +296,11 @@ impl VlsiChip {
     /// The largest cluster count [`gather_any`](Self::gather_any) would
     /// currently succeed for — a read-only admission-control probe.
     /// Because the allocator places serpentine-prefix regions, fit is
-    /// monotone in the request size, so this is a binary search over
-    /// [`find_region`](vlsi_topology::alloc::find_region).
+    /// monotone in the request size, so this is a binary search over one
+    /// shared [`RegionFinder`](vlsi_topology::RegionFinder) snapshot —
+    /// the occupancy sweep happens once, not once per probe.
     pub fn largest_gatherable(&self) -> usize {
-        let free = |c: Coord| self.index.is_free(c);
-        let (mut lo, mut hi) = (0usize, self.free_clusters());
-        while lo < hi {
-            let mid = (lo + hi).div_ceil(2);
-            if vlsi_topology::alloc::find_region(&self.grid, mid, free).is_some() {
-                lo = mid;
-            } else {
-                hi = mid - 1;
-            }
-        }
-        lo
+        vlsi_topology::RegionFinder::new(&self.grid, |c| self.index.is_free(c)).largest_fit()
     }
 
     // --- scaling -----------------------------------------------------------

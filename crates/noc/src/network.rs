@@ -38,7 +38,9 @@ use crate::error::NocError;
 use crate::flit::{Flit, Packet, WormId};
 use crate::router::{Port, Router};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 use vlsi_faults::{payload_checksum, FaultPlan};
+use vlsi_par::Pool;
 use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::{Coord, Dir};
 
@@ -98,6 +100,84 @@ struct PendingWorm {
     retry_at: Option<u64>,
 }
 
+/// A phase-1 link crossing whose target router lives in another shard.
+/// Collected during the parallel sweep and committed serially in
+/// ascending source-router order — acceptance depends only on
+/// cycle-start queue state (each input queue has exactly one upstream
+/// register per cycle), so the deferred commit decides exactly what an
+/// inline one would.
+#[derive(Clone, Copy, Debug)]
+struct BoundaryCrossing {
+    /// Absolute source router index.
+    src: u32,
+    /// Output port the flit leaves `src` through.
+    out_port: Port,
+    /// Absolute target router index.
+    dst: u32,
+    /// Input port the flit enters `dst` through.
+    in_port: Port,
+    /// The flit as it arrives (corruption, if any, already applied).
+    flit: Flit,
+}
+
+/// Per-shard tick state: the shard's active/woken router lists plus
+/// everything phase 1 defers to the serial commit sections (deliveries,
+/// boundary crossings, head hops) and shard-local tallies the owner
+/// absorbs in shard order. Reused every cycle, so the steady parallel
+/// path allocates nothing once the vectors have grown.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Loaded routers of this shard at cycle start (absolute indices,
+    /// ascending).
+    active: Vec<u32>,
+    /// Routers phase 1 woke (absolute indices; sorted before phase 3).
+    woken: Vec<u32>,
+    /// Local-port deliveries, deferred to the serial delivery commit.
+    deliveries: Vec<(Coord, Flit)>,
+    /// Cross-shard crossings, deferred to the serial boundary commit.
+    proposals: Vec<BoundaryCrossing>,
+    /// Worms whose head crossed a link inside this shard this cycle.
+    hop_heads: Vec<WormId>,
+    /// Shard-local `stats.link_crossings` delta.
+    link_crossings: u64,
+    /// Shard-local `stats.corrupted_crossings` delta.
+    corrupted_crossings: u64,
+    /// Flits discarded by the off-mesh debug path.
+    lost: usize,
+    /// Source-queue flits drained into local ports (a `queued` delta).
+    queued_drained: usize,
+    /// Fork of the network's telemetry handle; absorbed (drained) into
+    /// the main registry in shard order at the end of the tick.
+    telemetry: TelemetryHandle,
+}
+
+/// The immutable per-cycle context the shard phases read.
+struct TickEnv<'a> {
+    width: u16,
+    height: u16,
+    now: u64,
+    ft: bool,
+    plan: &'a FaultPlan,
+}
+
+impl TickEnv<'_> {
+    fn idx(&self, c: Coord) -> Option<usize> {
+        (c.x < self.width && c.y < self.height && c.layer == 0)
+            .then(|| c.y as usize * self.width as usize + c.x as usize)
+    }
+}
+
+/// One shard's disjoint view of the mesh: the routers, loads, and
+/// source queues of a contiguous row stripe, plus its scratch.
+struct ShardView<'a> {
+    /// Absolute index of the first router in this shard.
+    base: usize,
+    routers: &'a mut [Router],
+    load: &'a mut [u32],
+    injection: &'a mut [VecDeque<Flit>],
+    scratch: &'a mut ShardScratch,
+}
+
 /// The router mesh.
 ///
 /// ```
@@ -112,7 +192,7 @@ struct PendingWorm {
 /// assert_eq!(packet.payload, vec![1, 2, 3]);
 /// assert!(latency >= 5); // at least the Manhattan distance
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct NocNetwork {
     width: u16,
     height: u16,
@@ -145,18 +225,55 @@ pub struct NocNetwork {
     /// per-router phase, so [`Self::tick`] skips it — on a large mesh
     /// with a handful of worms in flight, almost all of them.
     load: Vec<u32>,
-    /// Scratch for the per-cycle loaded-router list (reused every tick so
-    /// the steady path allocates nothing).
-    active_scratch: Vec<u32>,
-    /// Scratch for routers phase 1 wakes for phase 3.
-    woken_scratch: Vec<u32>,
     /// Scratch for phase 0's due-retry collection (reused every tick so
     /// the steady path allocates nothing).
     due_scratch: Vec<WormId>,
     /// Scratch for phase 4's expired-worm collection.
     expired_scratch: Vec<WormId>,
+    /// Execution pool for the sharded tick. The default is the inline
+    /// serial pool; [`Self::set_parallel`] attaches a threaded one.
+    pool: Arc<Pool>,
+    /// Resident-flit threshold below which the tick stays single-shard
+    /// (fan-out overhead beats the win on a near-empty mesh). The shard
+    /// schedule is bit-identical at every shard count, so this gate can
+    /// never change results.
+    par_min_resident: usize,
+    /// Per-shard tick scratch, grown lazily to the shard count in use.
+    shard_scratch: Vec<ShardScratch>,
     /// Observability sink; the default handle is a no-op.
     telemetry: TelemetryHandle,
+}
+
+impl Clone for NocNetwork {
+    fn clone(&self) -> NocNetwork {
+        NocNetwork {
+            width: self.width,
+            height: self.height,
+            routers: self.routers.clone(),
+            injection: self.injection.clone(),
+            assembling: self.assembling.clone(),
+            delivered: self.delivered.clone(),
+            latencies: self.latencies.clone(),
+            next_worm: self.next_worm,
+            stats: self.stats.clone(),
+            plan: self.plan.clone(),
+            ft: self.ft,
+            pending: self.pending.clone(),
+            failed: self.failed.clone(),
+            resident: self.resident,
+            queued: self.queued,
+            load: self.load.clone(),
+            due_scratch: Vec::new(),
+            expired_scratch: Vec::new(),
+            pool: Arc::clone(&self.pool),
+            par_min_resident: self.par_min_resident,
+            // Fresh scratch, not a clone: shard telemetry forks are
+            // drained by absorption, so sharing them between clones
+            // would cross-talk; scratch content is transient anyway.
+            shard_scratch: Vec::new(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
 }
 
 impl NocNetwork {
@@ -193,11 +310,42 @@ impl NocNetwork {
             resident: 0,
             queued: 0,
             load: vec![0; n],
-            active_scratch: Vec::new(),
-            woken_scratch: Vec::new(),
             due_scratch: Vec::new(),
             expired_scratch: Vec::new(),
+            pool: Pool::serial(),
+            par_min_resident: 0,
+            shard_scratch: Vec::new(),
             telemetry,
+        }
+    }
+
+    /// Attaches a worker pool: ticks shard the mesh into contiguous row
+    /// stripes (one per pool executor, capped at the mesh height) and run
+    /// the router-local phases in parallel. The shard schedule commits
+    /// cross-shard effects serially in fixed order, so a run at any
+    /// thread count is **bit-identical** to the serial run — same flit
+    /// order, same stats, same telemetry export.
+    ///
+    /// `min_resident` gates the fan-out: cycles with fewer resident
+    /// flits stay single-shard (pure overhead control; never observable
+    /// in results). Pass `0` to shard every loaded cycle.
+    pub fn set_parallel(&mut self, pool: Arc<Pool>, min_resident: usize) {
+        self.pool = pool;
+        self.par_min_resident = min_resident;
+    }
+
+    /// Executors the sharded tick can use (1 = serial).
+    pub fn parallel_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Shards the next loaded tick would fan out over.
+    fn shard_count(&self) -> usize {
+        let t = self.pool.threads();
+        if t <= 1 || self.resident < self.par_min_resident {
+            1
+        } else {
+            t.min(usize::from(self.height)).max(1)
         }
     }
 
@@ -371,258 +519,187 @@ impl NocNetwork {
     }
 
     /// Phases 1–3 of [`Self::tick`]: link traversal, injection, and
-    /// allocation. Only called while at least one flit is resident.
+    /// allocation, over row-stripe shards. Only called while at least one
+    /// flit is resident.
     ///
-    /// Each phase visits only the *loaded* routers, in ascending index
-    /// order — observably identical to scanning the whole mesh, because a
-    /// zero-load router is a no-op in every phase. The list is built once
-    /// per cycle: phase 1 moves flits out of output registers only (which
-    /// fill in phase 3), and phase 2 drains source queues only (which
-    /// fill outside the tick), so the cycle-start snapshot covers both.
-    /// Phase 1 can *wake* a previously-empty neighbour by moving a flit
-    /// into its input queue; those routers are collected and merged (in
-    /// order) for phase 3, which is where input queues are read.
+    /// One schedule serves every shard count (1 = serial), which is what
+    /// makes parallel runs bit-identical to serial ones:
+    ///
+    /// 1. **Phase 1** (parallel): each shard walks its loaded routers in
+    ///    ascending order. Own-shard crossings commit immediately;
+    ///    cross-shard crossings and local deliveries are deferred. Every
+    ///    accept decision depends only on cycle-start queue state (pops
+    ///    happen in phase 3, and each input queue has exactly one
+    ///    upstream register), so deferral never changes what is accepted.
+    /// 2. **Boundary commit** (serial): deferred crossings land in
+    ///    ascending source-router order.
+    /// 3. **Stat/hop absorption** (serial, shard order): commutative
+    ///    tallies fold into the global stats.
+    /// 4. **Delivery commit** (serial): local-port flits reach
+    ///    [`Self::deliver`] in ascending router order — reassembly,
+    ///    checksum verdicts, and any resulting purge touch cross-shard
+    ///    state, so they stay on the owner thread.
+    /// 5. **Phases 2+3** (parallel): source-queue drain and switch
+    ///    allocation, fused per router — both read and write only that
+    ///    router's own queues and registers.
+    /// 6. **Queued/telemetry absorption** (serial, shard order).
     fn move_flits(&mut self, now: u64) {
-        let mut active = std::mem::take(&mut self.active_scratch);
-        active.clear();
-        active.extend((0..self.routers.len() as u32).filter(|&ri| self.load[ri as usize] > 0));
-        let mut woken = std::mem::take(&mut self.woken_scratch);
-        woken.clear();
-        // Phase 1: link traversal (fixed router order; each output register
-        // moves at most one flit).
-        for &ri32 in &active {
-            let ri = ri32 as usize;
-            let coord = self.routers[ri].coord;
-            for port in Port::ALL {
-                let Some(mut flit) = self.routers[ri].outputs[port.index()].reg else {
+        let shards = self.shard_count();
+        if self.shard_scratch.len() < shards {
+            self.shard_scratch
+                .resize_with(shards, ShardScratch::default);
+        }
+        if self.telemetry.is_enabled() {
+            if shards == 1 {
+                // One shard runs the exact serial schedule, so record
+                // straight into the main registry (the end-of-tick absorb
+                // no-ops on a shared registry) — the telemetry-enabled
+                // serial tick costs exactly what it did before sharding.
+                self.shard_scratch[0].telemetry = self.telemetry.clone();
+            } else {
+                for sc in &mut self.shard_scratch[..shards] {
+                    sc.telemetry = self.telemetry.fork();
+                }
+            }
+        }
+        let pool = Arc::clone(&self.pool);
+        let (w, h) = (usize::from(self.width), usize::from(self.height));
+
+        // 1. Phase 1: route-compute plus own-shard commit.
+        run_sharded(
+            &pool,
+            shards,
+            w,
+            h,
+            &mut self.routers,
+            &mut self.load,
+            &mut self.injection,
+            &mut self.shard_scratch[..shards],
+            &TickEnv {
+                width: self.width,
+                height: self.height,
+                now,
+                ft: self.ft,
+                plan: &self.plan,
+            },
+            shard_phase1,
+        );
+
+        // 2. Boundary commit, globally ascending source order: shards
+        // cover ascending router ranges and each shard's proposals are
+        // already ascending, so shard-order concatenation preserves the
+        // serial visit order.
+        for s in 0..shards {
+            if self.shard_scratch[s].proposals.is_empty() {
+                continue;
+            }
+            let mut proposals = std::mem::take(&mut self.shard_scratch[s].proposals);
+            for p in &proposals {
+                let (src, dst) = (p.src as usize, p.dst as usize);
+                if self.routers[dst].accept(p.in_port, p.flit).is_err() {
+                    // Backpressure: the source register keeps the original
+                    // (uncorrupted) flit, exactly like an inline attempt.
                     continue;
-                };
-                match port {
-                    Port::Local => {
-                        // Deliver: local sinks always accept.
-                        self.routers[ri].outputs[port.index()].reg = None;
-                        if flit.is_tail() {
-                            self.routers[ri].outputs[port.index()].held_by = None;
-                        }
-                        self.load[ri] -= 1;
-                        self.deliver(coord, flit);
-                    }
-                    _ => {
-                        let Some(d) = port.dir() else { continue };
-                        if self.ft && self.plan.link_blocked(now, coord, d) {
-                            // Link down: the flit waits in the register.
-                            continue;
-                        }
-                        let Some(nc) = coord.step(d) else {
-                            // Edge of the mesh: XY routing never does this.
-                            debug_assert!(false, "flit routed off the mesh");
-                            self.routers[ri].outputs[port.index()].reg = None;
-                            self.resident = self.resident.saturating_sub(1);
-                            self.load[ri] = self.load[ri].saturating_sub(1);
-                            continue;
-                        };
-                        let Some(ni) = self.idx(nc) else {
-                            debug_assert!(false, "flit routed off the mesh");
-                            self.routers[ri].outputs[port.index()].reg = None;
-                            self.resident = self.resident.saturating_sub(1);
-                            self.load[ri] = self.load[ri].saturating_sub(1);
-                            continue;
-                        };
-                        let Some(in_port) = Port::from_dir(d.opposite()) else {
-                            continue;
-                        };
-                        if self.ft {
-                            if let Some(mask) = self.plan.corruption(now, coord, d) {
-                                // Faulty link: payload words flip in transit.
-                                match &mut flit {
-                                    Flit::Body { data, .. } | Flit::Tail { data, .. } => {
-                                        *data ^= mask;
-                                        self.stats.corrupted_crossings += 1;
-                                    }
-                                    Flit::Head { .. } => {}
-                                }
-                            }
-                        }
-                        if self.routers[ni].accept(in_port, flit).is_ok() {
-                            self.routers[ri].outputs[port.index()].reg = None;
-                            if flit.is_tail() {
-                                self.routers[ri].outputs[port.index()].held_by = None;
-                            }
-                            self.load[ri] -= 1;
-                            if self.load[ni] == 0 {
-                                woken.push(ni as u32);
-                            }
-                            self.load[ni] += 1;
-                            self.stats.link_crossings += 1;
-                            self.telemetry.count("noc.link_crossings", 1);
-                            // One utilization lane per directed link,
-                            // keyed router-major: router*5 + output port.
-                            self.telemetry.count_at(
-                                "noc.link_util",
-                                ri as u64 * 5 + port.index() as u64,
-                                1,
-                            );
-                            if self.ft && matches!(flit, Flit::Head { .. }) {
-                                if let Some(p) = self.pending.get_mut(&flit.worm()) {
-                                    p.hops += 1;
-                                }
-                            }
-                        }
+                }
+                self.routers[src].outputs[p.out_port.index()].reg = None;
+                if p.flit.is_tail() {
+                    self.routers[src].outputs[p.out_port.index()].held_by = None;
+                }
+                self.load[src] -= 1;
+                if self.load[dst] == 0 {
+                    // The woken router allocates in phase 3 on its own
+                    // shard's merged list.
+                    let owner = owner_shard(dst / w, h, shards);
+                    self.shard_scratch[owner].woken.push(dst as u32);
+                }
+                self.load[dst] += 1;
+                self.stats.link_crossings += 1;
+                self.telemetry.count("noc.link_crossings", 1);
+                self.telemetry.count_at(
+                    "noc.link_util",
+                    u64::from(p.src) * 5 + p.out_port.index() as u64,
+                    1,
+                );
+                if self.ft && matches!(p.flit, Flit::Head { .. }) {
+                    if let Some(pd) = self.pending.get_mut(&p.flit.worm()) {
+                        pd.hops += 1;
                     }
                 }
             }
+            proposals.clear();
+            self.shard_scratch[s].proposals = proposals;
         }
-        // Phase 2: feed injection queues into local input ports.
-        for &ri32 in &active {
-            let ri = ri32 as usize;
-            while let Some(&f) = self.injection[ri].front() {
-                if self.routers[ri].accept(Port::Local, f).is_err() {
-                    break; // backpressure: the flit stays in the source queue
-                }
-                self.injection[ri].pop_front();
-                self.queued -= 1;
-            }
-        }
-        // Phase 3: allocation (one flit per input port), over the
-        // cycle-start snapshot merged with the routers phase 1 woke —
-        // still ascending, still each router at most once (a woken router
-        // had zero load and so is never also in the snapshot).
-        woken.sort_unstable();
-        let mut wi = 0;
-        let mut ai = 0;
-        loop {
-            let ri = match (active.get(ai), woken.get(wi)) {
-                (Some(&a), Some(&w)) if a < w => {
-                    ai += 1;
-                    a as usize
-                }
-                (Some(_), Some(&w)) => {
-                    wi += 1;
-                    w as usize
-                }
-                (Some(&a), None) => {
-                    ai += 1;
-                    a as usize
-                }
-                (None, Some(&w)) => {
-                    wi += 1;
-                    w as usize
-                }
-                (None, None) => break,
-            };
-            if self.load[ri] == 0 {
-                continue;
-            }
-            let coord = self.routers[ri].coord;
-            if self.ft && self.plan.router_stalled(now, coord) {
-                continue; // stalled router: queues do not drain this cycle
-            }
-            for port in Port::ALL {
-                if self.ft {
-                    self.allocate_adaptive(ri, port);
-                } else {
-                    let _ = self.routers[ri].allocate(port);
-                }
-            }
-        }
-        self.active_scratch = active;
-        self.woken_scratch = woken;
-    }
 
-    /// Allocation with adaptive head steering: heads detour around
-    /// permanently dead links/routers; body and tail flits follow their
-    /// binding unchanged.
-    fn allocate_adaptive(&mut self, ri: usize, in_port: Port) {
-        let Some(&flit) = self.routers[ri].inputs[in_port.index()].front() else {
-            return;
-        };
-        let coord = self.routers[ri].coord;
-        let out = match flit {
-            Flit::Head { dest, .. } => {
-                let xy = self.routers[ri].route(dest);
-                let Some(chosen) = self.adaptive_route(coord, dest) else {
-                    return; // nowhere to go: wait for the timeout to purge
-                };
-                if chosen != xy {
-                    self.telemetry.count("noc.misroutes", 1);
+        // 3. Stat and head-hop absorption, shard order (commutative
+        // sums, so the totals equal a serial run's).
+        for s in 0..shards {
+            let sc = &mut self.shard_scratch[s];
+            let crossings = std::mem::take(&mut sc.link_crossings);
+            let corrupted = std::mem::take(&mut sc.corrupted_crossings);
+            let lost = std::mem::take(&mut sc.lost);
+            self.stats.link_crossings += crossings;
+            self.stats.corrupted_crossings += corrupted;
+            self.resident = self.resident.saturating_sub(lost);
+        }
+        if self.ft {
+            for s in 0..shards {
+                let heads = std::mem::take(&mut self.shard_scratch[s].hop_heads);
+                for worm in &heads {
+                    if let Some(p) = self.pending.get_mut(worm) {
+                        p.hops += 1;
+                    }
                 }
-                chosen
+                let mut heads = heads;
+                heads.clear();
+                self.shard_scratch[s].hop_heads = heads;
             }
-            Flit::Body { .. } | Flit::Tail { .. } => {
-                let Some(bound) = self.routers[ri].bindings[in_port.index()] else {
-                    return;
-                };
-                bound
-            }
-        };
-        let _ = self.routers[ri].allocate_toward(in_port, out);
-    }
+        }
 
-    /// The output port a head for `dest` should take from `at`, avoiding
-    /// permanently dead links and routers. Preference order is fixed —
-    /// productive X, productive Y, then the remaining planar directions —
-    /// so routing stays deterministic.
-    fn adaptive_route(&self, at: Coord, dest: Coord) -> Option<Port> {
-        if dest.x == at.x && dest.y == at.y {
-            return Some(Port::Local);
-        }
-        let now = self.stats.cycles;
-        let px = if dest.x > at.x {
-            Some(Dir::East)
-        } else if dest.x < at.x {
-            Some(Dir::West)
-        } else {
-            None
-        };
-        let py = if dest.y > at.y {
-            Some(Dir::South)
-        } else if dest.y < at.y {
-            Some(Dir::North)
-        } else {
-            None
-        };
-        // Preference list on the stack — this runs per head flit per
-        // cycle, so it must not allocate.
-        let mut prefs = [Dir::East; 4];
-        let mut n = 0usize;
-        if let Some(d) = px {
-            prefs[n] = d;
-            n += 1;
-        }
-        if let Some(d) = py {
-            prefs[n] = d;
-            n += 1;
-        }
-        // Perpendicular detours before backtracking: a sideways hop opens
-        // a fresh productive path, a backward hop just undoes one and
-        // invites ping-pong with the previous router.
-        for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
-            if prefs[..n].contains(&d)
-                || Some(d) == px.map(Dir::opposite)
-                || Some(d) == py.map(Dir::opposite)
-            {
+        // 4. Delivery commit in globally ascending router order. At every
+        // shard count the fabric state here is "all phase-1 crossings
+        // applied", so a checksum-failure purge sees the same mesh
+        // regardless of sharding.
+        for s in 0..shards {
+            if self.shard_scratch[s].deliveries.is_empty() {
                 continue;
             }
-            prefs[n] = d;
-            n += 1;
+            let mut deliveries = std::mem::take(&mut self.shard_scratch[s].deliveries);
+            for &(coord, flit) in &deliveries {
+                self.deliver(coord, flit);
+            }
+            deliveries.clear();
+            self.shard_scratch[s].deliveries = deliveries;
         }
-        for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
-            if !prefs[..n].contains(&d) {
-                prefs[n] = d;
-                n += 1;
+
+        // 5. Phases 2+3: source-queue drain and allocation, router-local.
+        run_sharded(
+            &pool,
+            shards,
+            w,
+            h,
+            &mut self.routers,
+            &mut self.load,
+            &mut self.injection,
+            &mut self.shard_scratch[..shards],
+            &TickEnv {
+                width: self.width,
+                height: self.height,
+                now,
+                ft: self.ft,
+                plan: &self.plan,
+            },
+            shard_phase23,
+        );
+
+        // 6. Queued and telemetry absorption, shard order.
+        for s in 0..shards {
+            self.queued -= std::mem::take(&mut self.shard_scratch[s].queued_drained);
+        }
+        if self.telemetry.is_enabled() {
+            for s in 0..shards {
+                self.telemetry.absorb(&self.shard_scratch[s].telemetry);
             }
         }
-        for d in prefs.into_iter().take(n) {
-            let Some(nc) = at.step(d) else { continue };
-            if self.idx(nc).is_none() {
-                continue;
-            }
-            if self.plan.link_dead(now, at, d) || self.plan.router_dead(now, nc) {
-                continue;
-            }
-            return Port::from_dir(d);
-        }
-        None
     }
 
     /// Removes every trace of `worm` from the fabric (source queues,
@@ -821,6 +898,375 @@ impl NocNetwork {
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
     }
+}
+
+/// Which row stripe owns `row` under the `(s + 1) * height / shards`
+/// boundary rule [`run_sharded`] splits with.
+fn owner_shard(row: usize, height: usize, shards: usize) -> usize {
+    (0..shards)
+        .find(|&s| row < (s + 1) * height / shards)
+        .unwrap_or(shards - 1)
+}
+
+/// Splits the mesh into `shards` contiguous row stripes and runs `f` once
+/// per stripe on the pool. With one shard everything runs inline on the
+/// caller — no `Mutex`, no `Vec`, no fan-out — so the serial tick keeps
+/// its allocation-free steady path and the parallel tick is *the same
+/// code* at a different shard count.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    pool: &Pool,
+    shards: usize,
+    width: usize,
+    height: usize,
+    mut routers: &mut [Router],
+    mut load: &mut [u32],
+    mut injection: &mut [VecDeque<Flit>],
+    mut scratch: &mut [ShardScratch],
+    env: &TickEnv<'_>,
+    f: fn(&mut ShardView<'_>, &TickEnv<'_>),
+) {
+    if shards == 1 {
+        f(
+            &mut ShardView {
+                base: 0,
+                routers,
+                load,
+                injection,
+                scratch: &mut scratch[0],
+            },
+            env,
+        );
+        return;
+    }
+    // The Mutex is lock-uncontended by construction (exactly one task per
+    // shard); it exists to hand each worker a `&mut` view through the
+    // shared closure.
+    let mut work: Vec<Mutex<ShardView<'_>>> = Vec::with_capacity(shards);
+    let mut base = 0usize;
+    for s in 0..shards {
+        let end = (s + 1) * height / shards * width;
+        let take = end - base;
+        let (r, rest) = routers.split_at_mut(take);
+        routers = rest;
+        let (l, rest) = load.split_at_mut(take);
+        load = rest;
+        let (i, rest) = injection.split_at_mut(take);
+        injection = rest;
+        let (sc, rest) = scratch.split_at_mut(1);
+        scratch = rest;
+        work.push(Mutex::new(ShardView {
+            base,
+            routers: r,
+            load: l,
+            injection: i,
+            scratch: &mut sc[0],
+        }));
+        base = end;
+    }
+    pool.run(shards, &|s| {
+        let mut view = work[s].lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut view, env);
+    });
+}
+
+/// Phase 1 over one shard: link traversal of the shard's loaded routers,
+/// in ascending index order. Own-shard crossings commit in place;
+/// deliveries and cross-shard crossings are deferred to the serial commit
+/// sections. See [`NocNetwork::move_flits`] for the full schedule.
+fn shard_phase1(v: &mut ShardView<'_>, env: &TickEnv<'_>) {
+    let base = v.base;
+    let end = base + v.routers.len();
+    let ShardScratch {
+        active,
+        woken,
+        deliveries,
+        proposals,
+        hop_heads,
+        link_crossings,
+        corrupted_crossings,
+        lost,
+        queued_drained: _,
+        telemetry,
+    } = &mut *v.scratch;
+    active.clear();
+    woken.clear();
+    active.extend(
+        (0..v.routers.len())
+            .filter(|&i| v.load[i] > 0)
+            .map(|i| (base + i) as u32),
+    );
+    for &ri32 in active.iter() {
+        let ri = ri32 as usize;
+        let li = ri - base;
+        let coord = v.routers[li].coord;
+        for port in Port::ALL {
+            let Some(mut flit) = v.routers[li].outputs[port.index()].reg else {
+                continue;
+            };
+            match port {
+                Port::Local => {
+                    // Local sinks always accept; the delivery itself
+                    // (reassembly, checksum verdict, possible purge) runs
+                    // in the serial delivery commit.
+                    v.routers[li].outputs[port.index()].reg = None;
+                    if flit.is_tail() {
+                        v.routers[li].outputs[port.index()].held_by = None;
+                    }
+                    v.load[li] -= 1;
+                    deliveries.push((coord, flit));
+                }
+                _ => {
+                    let Some(d) = port.dir() else { continue };
+                    if env.ft && env.plan.link_blocked(env.now, coord, d) {
+                        // Link down: the flit waits in the register.
+                        continue;
+                    }
+                    let Some(nc) = coord.step(d) else {
+                        // Edge of the mesh: XY routing never does this.
+                        debug_assert!(false, "flit routed off the mesh");
+                        v.routers[li].outputs[port.index()].reg = None;
+                        *lost += 1;
+                        v.load[li] = v.load[li].saturating_sub(1);
+                        continue;
+                    };
+                    let Some(ni) = env.idx(nc) else {
+                        debug_assert!(false, "flit routed off the mesh");
+                        v.routers[li].outputs[port.index()].reg = None;
+                        *lost += 1;
+                        v.load[li] = v.load[li].saturating_sub(1);
+                        continue;
+                    };
+                    let Some(in_port) = Port::from_dir(d.opposite()) else {
+                        continue;
+                    };
+                    if env.ft {
+                        if let Some(mask) = env.plan.corruption(env.now, coord, d) {
+                            // Faulty link: payload words flip in transit.
+                            // Counted at crossing-attempt time (even if the
+                            // neighbour then refuses the flit), matching
+                            // the serial accounting.
+                            match &mut flit {
+                                Flit::Body { data, .. } | Flit::Tail { data, .. } => {
+                                    *data ^= mask;
+                                    *corrupted_crossings += 1;
+                                }
+                                Flit::Head { .. } => {}
+                            }
+                        }
+                    }
+                    if (base..end).contains(&ni) {
+                        // Own-shard crossing: commit immediately.
+                        let nli = ni - base;
+                        if v.routers[nli].accept(in_port, flit).is_ok() {
+                            v.routers[li].outputs[port.index()].reg = None;
+                            if flit.is_tail() {
+                                v.routers[li].outputs[port.index()].held_by = None;
+                            }
+                            v.load[li] -= 1;
+                            if v.load[nli] == 0 {
+                                woken.push(ni as u32);
+                            }
+                            v.load[nli] += 1;
+                            *link_crossings += 1;
+                            telemetry.count("noc.link_crossings", 1);
+                            // One utilization lane per directed link,
+                            // keyed router-major: router*5 + output port.
+                            telemetry.count_at(
+                                "noc.link_util",
+                                ri as u64 * 5 + port.index() as u64,
+                                1,
+                            );
+                            if env.ft && matches!(flit, Flit::Head { .. }) {
+                                hop_heads.push(flit.worm());
+                            }
+                        }
+                    } else {
+                        // Cross-shard: the neighbour belongs to another
+                        // stripe. Defer to the serial boundary commit.
+                        proposals.push(BoundaryCrossing {
+                            src: ri as u32,
+                            out_port: port,
+                            dst: ni as u32,
+                            in_port,
+                            flit,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phases 2+3 over one shard, fused per router: drain the router's source
+/// queue into its local input port, then allocate the switch (one flit
+/// per input port). Both touch only that router's own queues and
+/// registers, so the per-router fusion is observably identical to the
+/// all-phase-2-then-all-phase-3 serial order. The visit list is the
+/// cycle-start snapshot merged (ascending) with the routers phase 1 woke
+/// — a woken router had zero load, so it is never also in the snapshot.
+fn shard_phase23(v: &mut ShardView<'_>, env: &TickEnv<'_>) {
+    let base = v.base;
+    let ShardScratch {
+        active,
+        woken,
+        queued_drained,
+        telemetry,
+        ..
+    } = &mut *v.scratch;
+    woken.sort_unstable();
+    let mut wi = 0;
+    let mut ai = 0;
+    loop {
+        let ri = match (active.get(ai), woken.get(wi)) {
+            (Some(&a), Some(&w)) if a < w => {
+                ai += 1;
+                a as usize
+            }
+            (Some(_), Some(&w)) => {
+                wi += 1;
+                w as usize
+            }
+            (Some(&a), None) => {
+                ai += 1;
+                a as usize
+            }
+            (None, Some(&w)) => {
+                wi += 1;
+                w as usize
+            }
+            (None, None) => break,
+        };
+        let li = ri - base;
+        if v.load[li] == 0 {
+            continue;
+        }
+        // Phase 2: feed this router's source queue into its local input
+        // port. Safe to skip via the load check above — a zero-load
+        // router's source queue is empty (load counts queued flits), and
+        // safe to run for woken routers — they had zero load at cycle
+        // start, so their queues were empty then and nothing refills them
+        // mid-tick.
+        while let Some(&f) = v.injection[li].front() {
+            if v.routers[li].accept(Port::Local, f).is_err() {
+                break; // backpressure: the flit stays in the source queue
+            }
+            v.injection[li].pop_front();
+            *queued_drained += 1;
+        }
+        let coord = v.routers[li].coord;
+        if env.ft && env.plan.router_stalled(env.now, coord) {
+            continue; // stalled router: queues do not drain this cycle
+        }
+        for port in Port::ALL {
+            if env.ft {
+                allocate_adaptive(&mut v.routers[li], port, env, telemetry);
+            } else {
+                let _ = v.routers[li].allocate(port);
+            }
+        }
+    }
+}
+
+/// Allocation with adaptive head steering: heads detour around
+/// permanently dead links/routers; body and tail flits follow their
+/// binding unchanged.
+fn allocate_adaptive(
+    r: &mut Router,
+    in_port: Port,
+    env: &TickEnv<'_>,
+    telemetry: &TelemetryHandle,
+) {
+    let Some(&flit) = r.inputs[in_port.index()].front() else {
+        return;
+    };
+    let coord = r.coord;
+    let out = match flit {
+        Flit::Head { dest, .. } => {
+            let xy = r.route(dest);
+            let Some(chosen) = adaptive_route(env, coord, dest) else {
+                return; // nowhere to go: wait for the timeout to purge
+            };
+            if chosen != xy {
+                telemetry.count("noc.misroutes", 1);
+            }
+            chosen
+        }
+        Flit::Body { .. } | Flit::Tail { .. } => {
+            let Some(bound) = r.bindings[in_port.index()] else {
+                return;
+            };
+            bound
+        }
+    };
+    let _ = r.allocate_toward(in_port, out);
+}
+
+/// The output port a head for `dest` should take from `at`, avoiding
+/// permanently dead links and routers. Preference order is fixed —
+/// productive X, productive Y, then the remaining planar directions —
+/// so routing stays deterministic.
+fn adaptive_route(env: &TickEnv<'_>, at: Coord, dest: Coord) -> Option<Port> {
+    if dest.x == at.x && dest.y == at.y {
+        return Some(Port::Local);
+    }
+    let now = env.now;
+    let px = if dest.x > at.x {
+        Some(Dir::East)
+    } else if dest.x < at.x {
+        Some(Dir::West)
+    } else {
+        None
+    };
+    let py = if dest.y > at.y {
+        Some(Dir::South)
+    } else if dest.y < at.y {
+        Some(Dir::North)
+    } else {
+        None
+    };
+    // Preference list on the stack — this runs per head flit per
+    // cycle, so it must not allocate.
+    let mut prefs = [Dir::East; 4];
+    let mut n = 0usize;
+    if let Some(d) = px {
+        prefs[n] = d;
+        n += 1;
+    }
+    if let Some(d) = py {
+        prefs[n] = d;
+        n += 1;
+    }
+    // Perpendicular detours before backtracking: a sideways hop opens
+    // a fresh productive path, a backward hop just undoes one and
+    // invites ping-pong with the previous router.
+    for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+        if prefs[..n].contains(&d)
+            || Some(d) == px.map(Dir::opposite)
+            || Some(d) == py.map(Dir::opposite)
+        {
+            continue;
+        }
+        prefs[n] = d;
+        n += 1;
+    }
+    for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+        if !prefs[..n].contains(&d) {
+            prefs[n] = d;
+            n += 1;
+        }
+    }
+    for d in prefs.into_iter().take(n) {
+        let Some(nc) = at.step(d) else { continue };
+        if env.idx(nc).is_none() {
+            continue;
+        }
+        if env.plan.link_dead(now, at, d) || env.plan.router_dead(now, nc) {
+            continue;
+        }
+        return Port::from_dir(d);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -1118,5 +1564,61 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_tick_is_bit_identical_to_serial() {
+        use vlsi_par::Pool;
+        // A faulty storm crossing every row stripe, replayed at several
+        // shard counts: deliveries, failures, stats, and the full
+        // telemetry export must match the serial run byte for byte.
+        let run = |threads: usize| {
+            let mut net = NocNetwork::with_telemetry(8, 8, TelemetryHandle::active());
+            if threads > 1 {
+                net.set_parallel(Pool::new(threads), 0);
+            }
+            net.attach_fault_plan(
+                vlsi_faults::FaultPlanBuilder::new(91)
+                    .grid(8, 8)
+                    .horizon(4_000)
+                    .link_down_rate(0.05)
+                    .link_corrupt_rate(0.05)
+                    .router_stall_rate(0.02)
+                    .build(),
+            );
+            for y in 0..8u16 {
+                for x in 0..8u16 {
+                    net.inject(
+                        Coord::new(x, y),
+                        Coord::new(7 - x, 7 - y),
+                        vec![u64::from(y) * 8 + u64::from(x), 13, 99],
+                    )
+                    .unwrap();
+                }
+            }
+            net.run_until_drained(500_000).unwrap();
+            let delivered: Vec<(WormId, u64)> = net
+                .take_delivered()
+                .into_iter()
+                .map(|(p, l)| (p.worm, l))
+                .collect();
+            let snapshot = net.telemetry().snapshot().to_json();
+            let trace = net.telemetry().trace_chrome_json();
+            (
+                delivered,
+                net.take_failed(),
+                net.stats().clone(),
+                snapshot,
+                trace,
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let parallel = run(threads);
+            assert_eq!(parallel.0, serial.0, "{threads}-thread deliveries");
+            assert_eq!(parallel.2, serial.2, "{threads}-thread stats");
+            assert_eq!(parallel.3, serial.3, "{threads}-thread telemetry");
+            assert_eq!(parallel, serial, "{threads}-thread full state");
+        }
     }
 }

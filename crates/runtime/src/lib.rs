@@ -55,6 +55,7 @@
 
 mod error;
 mod events;
+mod fleet;
 mod job;
 pub mod mix;
 mod policy;
@@ -62,6 +63,7 @@ mod runtime;
 
 pub use error::RuntimeError;
 pub use events::{EventKind, RuntimeEvent};
+pub use fleet::{Fleet, FleetError};
 pub use job::{JobId, JobOutput, JobRecord, JobSpec, JobState, JobStats, Workload};
 pub use policy::{Fifo, Priority, QueuedJob, SchedPolicy, SmallestFitBackfill};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, RuntimeSummary};

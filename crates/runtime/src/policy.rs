@@ -32,7 +32,12 @@ impl QueuedJob {
 }
 
 /// A scheduling policy: picks the next queued job to try admitting.
-pub trait SchedPolicy {
+///
+/// `Send` is a supertrait so a boxed policy — and therefore a whole
+/// [`Runtime`](crate::Runtime) — can move to a worker thread; the
+/// [`Fleet`](crate::Fleet) ticks its chips on a pool. The shipped
+/// policies are all stateless unit structs, so this costs nothing.
+pub trait SchedPolicy: Send {
     /// The policy's name (for traces, tables, and benches).
     fn name(&self) -> &'static str;
 

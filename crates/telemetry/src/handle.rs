@@ -40,6 +40,62 @@ impl TelemetryHandle {
         TelemetryHandle { inner: None }
     }
 
+    /// A *child* handle: live exactly when `self` is live, but backed by
+    /// its own fresh registry — nothing recorded through the fork is
+    /// visible here until [`absorb`](Self::absorb) or
+    /// [`merge_from`](Self::merge_from) folds it back.
+    ///
+    /// This is the shard-local pattern the parallel paths use: each
+    /// worker records into a fork with no lock contention, and the
+    /// owner absorbs the forks on a fixed schedule (shard order, chip
+    /// index order), which keeps merged exports deterministic.
+    pub fn fork(&self) -> TelemetryHandle {
+        if self.is_enabled() {
+            TelemetryHandle {
+                inner: Some(Arc::new(Mutex::new(Registry::new()))),
+            }
+        } else {
+            TelemetryHandle::disabled()
+        }
+    }
+
+    /// Folds `other`'s instruments into this handle's registry without
+    /// touching `other` (counters/gauges add, histograms merge, traces
+    /// append — see [`Registry::merge_from`]). No-op when either handle
+    /// is disabled or both share one registry.
+    pub fn merge_from(&self, other: &TelemetryHandle) {
+        let (Some(a), Some(b)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(a, b) {
+            return;
+        }
+        // Clone `other`'s registry out before locking ours: the locks
+        // are never held together, so two handles can merge either way
+        // around without ordering concerns.
+        let theirs = b.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        a.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge_from(&theirs);
+    }
+
+    /// [`merge_from`](Self::merge_from), but *draining*: `other`'s
+    /// registry is left empty (fresh, default trace capacity). The
+    /// per-tick absorb the sharded NoC uses — forks accumulate during a
+    /// parallel region, the owner drains them in shard order after.
+    pub fn absorb(&self, other: &TelemetryHandle) {
+        let (Some(a), Some(b)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(a, b) {
+            return;
+        }
+        let theirs = std::mem::take(&mut *b.lock().unwrap_or_else(|e| e.into_inner()));
+        a.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge_from(&theirs);
+    }
+
     /// Whether recording calls reach a registry.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -178,6 +234,47 @@ mod tests {
         t.count("x", 2);
         u.count("x", 3);
         assert_eq!(t.snapshot().counter("x"), 5);
+    }
+
+    #[cfg(not(feature = "compile-out"))]
+    #[test]
+    fn fork_isolates_until_absorbed() {
+        let t = TelemetryHandle::active();
+        t.count("x", 1);
+        let f = t.fork();
+        assert!(f.is_enabled());
+        f.count("x", 2);
+        f.record("lat", 8);
+        assert_eq!(t.snapshot().counter("x"), 1, "fork is isolated");
+        t.absorb(&f);
+        assert_eq!(t.snapshot().counter("x"), 3);
+        assert_eq!(t.snapshot().histogram("lat").unwrap().count(), 1);
+        // Absorb drains: a second absorb adds nothing.
+        t.absorb(&f);
+        assert_eq!(t.snapshot().counter("x"), 3);
+        // The drained fork keeps working.
+        f.count("x", 5);
+        t.merge_from(&f);
+        assert_eq!(t.snapshot().counter("x"), 8);
+        // merge_from does not drain.
+        t.merge_from(&f);
+        assert_eq!(t.snapshot().counter("x"), 13);
+    }
+
+    #[cfg(not(feature = "compile-out"))]
+    #[test]
+    fn self_and_clone_merges_are_no_ops() {
+        let t = TelemetryHandle::active();
+        t.count("x", 2);
+        let c = t.clone();
+        t.merge_from(&c); // same registry: must not deadlock or double
+        t.absorb(&c);
+        assert_eq!(t.snapshot().counter("x"), 2);
+        let d = TelemetryHandle::disabled();
+        t.merge_from(&d);
+        t.absorb(&d);
+        assert!(!d.fork().is_enabled());
+        assert_eq!(t.snapshot().counter("x"), 2);
     }
 
     #[cfg(feature = "compile-out")]

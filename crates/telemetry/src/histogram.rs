@@ -118,6 +118,36 @@ impl Histogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Folds `other` into `self`: buckets, counts, saturation tallies,
+    /// and extrema add exactly; the sums add saturating. Returns `true`
+    /// when the sum addition itself saturated (a *new* event, beyond the
+    /// `other.saturated()` tally carried over), so the caller can count
+    /// it the same way [`record`](Self::record) saturations are counted.
+    ///
+    /// Merging is commutative and associative up to the pinned sum, so
+    /// shard-local histograms folded in shard order reproduce the serial
+    /// histogram exactly whenever the total sum fits in a `u64`.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.saturated += other.saturated;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        match self.sum.checked_add(other.sum) {
+            Some(s) => {
+                self.sum = s;
+                false
+            }
+            None => {
+                self.sum = u64::MAX;
+                self.saturated += 1;
+                true
+            }
+        }
+    }
+
     /// Occupancy of bucket `i`.
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i]
@@ -190,6 +220,45 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_reproduces_single_stream_recording() {
+        // Record one stream serially, and the same stream split across
+        // two shards then merged: the results must be identical.
+        let samples = [3u64, 0, 5, 8, 1, 900, 7, 2];
+        let mut serial = Histogram::new();
+        for &v in &samples {
+            serial.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        assert!(!a.merge(&b));
+        assert_eq!(a, serial);
+    }
+
+    #[test]
+    fn merge_saturation_is_new_and_counted() {
+        let mut a = Histogram::new();
+        a.record(u64::MAX);
+        let mut b = Histogram::new();
+        b.record(2);
+        // Neither side saturated on its own; the merge addition does.
+        assert!(a.merge(&b));
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.saturated(), 1);
+        assert_eq!(a.count(), 2);
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        assert!(!a.merge(&Histogram::new()));
+        assert_eq!(a, before);
     }
 
     #[test]

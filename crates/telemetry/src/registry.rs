@@ -36,17 +36,31 @@ enum Instrument {
 /// Keys are `&'static str` (plus an optional integer index), interned on
 /// first use: the hot path is one hash lookup and one slot update —
 /// `O(1)`, and allocation-free after an instrument's first recording.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Registry {
     slots: HashMap<InstrKey, usize>,
     instruments: Vec<(InstrKey, Instrument)>,
     trace: Trace,
 }
 
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with the default trace capacity.
+    ///
+    /// (The trace must be built with [`Trace::new`]: the *derived*
+    /// `Trace` default has capacity zero, which silently dropped every
+    /// span a registry ever recorded.)
     pub fn new() -> Registry {
-        Registry::default()
+        Registry {
+            slots: HashMap::new(),
+            instruments: Vec::new(),
+            trace: Trace::new(),
+        }
     }
 
     fn slot(&mut self, name: &'static str, index: Option<u64>, make: fn() -> Instrument) -> usize {
@@ -109,6 +123,42 @@ impl Registry {
                 self.count(Self::SATURATED_COUNTER, 1);
             }
         }
+    }
+
+    /// Folds every instrument of `other` into this registry: counters
+    /// and gauges add, histograms merge bucket-wise, trace events append
+    /// in `other`'s recording order.
+    ///
+    /// `other`'s instruments are visited in *interning* order, so a
+    /// fixed merge schedule (shards in shard order, fleet chips in chip
+    /// index order) yields a deterministic registry — and the sorted
+    /// [`snapshot`](Self::snapshot) makes the export independent of the
+    /// interning interleave altogether. Merging an instrument that only
+    /// `other` has interns it here, zero-valued first, so a shard that
+    /// touched an instrument materialises it in the merged export
+    /// exactly as a serial run would.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (key, ins) in &other.instruments {
+            match ins {
+                Instrument::Counter(c) => self.count_at_opt(key.name, key.index, *c),
+                Instrument::Gauge(g) => self.gauge_add(key.name, *g),
+                Instrument::Histogram(h) => {
+                    let i = self.slot(
+                        key.name,
+                        key.index,
+                        || Instrument::Histogram(Box::default()),
+                    );
+                    let saturated = match &mut self.instruments[i].1 {
+                        Instrument::Histogram(mine) => mine.merge(h),
+                        _ => false,
+                    };
+                    if saturated {
+                        self.count(Self::SATURATED_COUNTER, 1);
+                    }
+                }
+            }
+        }
+        self.trace.append(other.trace());
     }
 
     /// Appends a span event to the trace buffer.
@@ -211,6 +261,69 @@ mod tests {
         r.record("other", u64::MAX);
         r.record("other", u64::MAX);
         assert_eq!(r.snapshot().counter(Registry::SATURATED_COUNTER), 2);
+    }
+
+    #[test]
+    fn merge_from_reproduces_serial_recording() {
+        use crate::trace::{SpanEvent, SpanPhase};
+        let ev = |cycle| SpanEvent {
+            track: "noc",
+            name: "tick",
+            id: 1,
+            cycle,
+            phase: SpanPhase::Instant,
+        };
+        // One serial registry vs. the same stream split across shards
+        // and merged in shard order.
+        let mut serial = Registry::new();
+        let mut main = Registry::new();
+        let mut shard = Registry::new();
+        for i in 0..10u64 {
+            serial.count("flits", i);
+            serial.count_at("links", i % 3, 1);
+            serial.gauge_add("load", i as i64 - 4);
+            serial.record("lat", i * 7);
+            serial.span(ev(i));
+            let r = if i % 2 == 0 { &mut main } else { &mut shard };
+            r.count("flits", i);
+            r.count_at("links", i % 3, 1);
+            r.gauge_add("load", i as i64 - 4);
+            r.record("lat", i * 7);
+        }
+        // Spans are emitted on the owner only (the serial sections).
+        for i in 0..10u64 {
+            main.span(ev(i));
+        }
+        main.merge_from(&shard);
+        assert_eq!(main.snapshot().to_json(), serial.snapshot().to_json());
+        assert_eq!(main.trace().events(), serial.trace().events());
+        // An instrument only the shard touched still materialises.
+        let mut other = Registry::new();
+        other.count("shard.only", 0);
+        main.merge_from(&other);
+        assert_eq!(main.snapshot().counter("shard.only"), 0);
+        assert!(main
+            .snapshot()
+            .entries()
+            .iter()
+            .any(|(name, _)| name == "shard.only"));
+    }
+
+    #[test]
+    fn registries_record_spans_by_default() {
+        use crate::trace::{SpanEvent, SpanPhase};
+        // Regression: the derived Trace default had capacity 0, so every
+        // span a fresh registry recorded was silently dropped.
+        let mut r = Registry::new();
+        r.span(SpanEvent {
+            track: "noc",
+            name: "tick",
+            id: 1,
+            cycle: 3,
+            phase: SpanPhase::Begin,
+        });
+        assert_eq!(r.trace().events().len(), 1);
+        assert_eq!(r.trace().dropped(), 0);
     }
 
     #[test]

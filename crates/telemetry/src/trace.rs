@@ -78,6 +78,17 @@ impl Trace {
         }
     }
 
+    /// Appends every event of `other` (in `other`'s recording order),
+    /// then carries over `other`'s drop count. Events that do not fit in
+    /// this buffer's remaining capacity are dropped and counted, exactly
+    /// as if they had been [`push`](Self::push)ed here originally.
+    pub fn append(&mut self, other: &Trace) {
+        for &e in other.events() {
+            self.push(e);
+        }
+        self.dropped += other.dropped;
+    }
+
     /// The recorded events, in recording order.
     pub fn events(&self) -> &[SpanEvent] {
         &self.events

@@ -18,134 +18,169 @@ use crate::coord::Coord;
 use crate::fold::serpentine;
 use crate::region::Region;
 
+/// A reusable free-space index over one snapshot of the chip.
+///
+/// [`find_region`] answers a single request but pays an O(grid) predicate
+/// sweep every call, which makes probe-heavy callers — the binary searches
+/// in [`fragmentation`] and `VlsiChip::largest_gatherable` — quadratic in
+/// practice. A `RegionFinder` does the sweep once into a 2-D integral
+/// image and then answers [`find`](Self::find) probes with O(1) work per
+/// anchor: a serpentine prefix is always "`full` complete rows plus one
+/// partial row", so fit is one rectangle query plus one row-span query.
+///
+/// The finder is a snapshot: rebuild it after any allocation change.
+/// Placement decisions are bit-identical to [`find_region`]'s.
+pub struct RegionFinder {
+    gw: usize,
+    gh: usize,
+    free_total: usize,
+    /// Integral image, stride `gw + 1`: `ii[y * (gw+1) + x]` counts the
+    /// free cells in rows `[0, y)` × columns `[0, x)`.
+    ii: Vec<u32>,
+}
+
+impl RegionFinder {
+    /// Sweeps `is_free` exactly once per cell and builds the index.
+    pub fn new(grid: &ClusterGrid, mut is_free: impl FnMut(Coord) -> bool) -> RegionFinder {
+        let gw = usize::from(grid.width());
+        let gh = usize::from(grid.height());
+        let stride = gw + 1;
+        let mut ii = vec![0u32; stride * (gh + 1)];
+        let mut free_total = 0usize;
+        for y in 0..gh {
+            let mut row = 0u32;
+            for x in 0..gw {
+                let f = is_free(Coord::new(x as u16, y as u16));
+                free_total += usize::from(f);
+                row += u32::from(f);
+                ii[(y + 1) * stride + (x + 1)] = ii[y * stride + (x + 1)] + row;
+            }
+        }
+        RegionFinder {
+            gw,
+            gh,
+            free_total,
+            ii,
+        }
+    }
+
+    /// Total free cells in the snapshot.
+    pub fn free_total(&self) -> usize {
+        self.free_total
+    }
+
+    /// Free cells in rows `[y0, y1)` × columns `[x0, x1)`.
+    #[inline]
+    fn rect_free(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> usize {
+        let s = self.gw + 1;
+        (self.ii[y1 * s + x1] + self.ii[y0 * s + x0] - self.ii[y0 * s + x1] - self.ii[y1 * s + x0])
+            as usize
+    }
+
+    /// Finds a free region of exactly `clusters` clusters, or `None` —
+    /// same candidate-width order and row-major first-fit anchor scan as
+    /// [`find_region`], so the placement is identical.
+    pub fn find(&self, clusters: usize) -> Option<Region> {
+        if clusters == 0 || clusters > self.gw * self.gh || self.free_total < clusters {
+            return None;
+        }
+        // Candidate widths, squarest first.
+        let ideal = (clusters as f64).sqrt();
+        let mut widths: Vec<usize> = (1..=self.gw.min(clusters)).collect();
+        widths.sort_by(|&a, &b| {
+            (a as f64 - ideal)
+                .abs()
+                .partial_cmp(&(b as f64 - ideal).abs())
+                .unwrap()
+                .then(b.cmp(&a))
+        });
+        for w in widths {
+            let h = clusters.div_ceil(w);
+            if h > self.gh {
+                continue;
+            }
+            // A k-cell serpentine prefix of a w×h box is `full` complete
+            // rows plus `rem` cells in row `full` — left-aligned when that
+            // row is traversed left→right (even index), right-aligned
+            // otherwise. Fit is therefore one rect query + one row query.
+            let full = clusters / w;
+            let rem = clusters % w;
+            for y0 in 0..=(self.gh - h) {
+                for x0 in 0..=(self.gw - w) {
+                    if self.rect_free(x0, y0, x0 + w, y0 + full) != w * full {
+                        continue;
+                    }
+                    if rem > 0 {
+                        let y = y0 + full;
+                        let (a, b) = if full.is_multiple_of(2) {
+                            (x0, x0 + rem)
+                        } else {
+                            (x0 + w - rem, x0 + w)
+                        };
+                        if self.rect_free(a, y, b, y + 1) != rem {
+                            continue;
+                        }
+                    }
+                    return Some(Region::new(
+                        serpentine(w as u16, h as u16)
+                            .path()
+                            .iter()
+                            .take(clusters)
+                            .map(|c| Coord::new(x0 as u16 + c.x, y0 as u16 + c.y)),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// The largest `k` for which [`find`](Self::find) succeeds (0 when
+    /// nothing fits). Serpentine-prefix fit is monotone in the request
+    /// size, so this is a binary search over O(1)-amortised probes.
+    pub fn largest_fit(&self) -> usize {
+        let (mut lo, mut hi) = (0usize, self.free_total);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.find(mid).is_some() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
 /// Finds a free region of exactly `clusters` clusters, or `None`.
 ///
 /// `is_free` reports whether a coordinate is allocatable (unowned,
 /// non-defective, on the chip). Candidate widths are tried squarest-first;
 /// anchors row-major — the first fit wins, so allocation is deterministic.
+///
+/// One-shot convenience over [`RegionFinder`]; callers probing many sizes
+/// against one snapshot should build the finder once instead.
 pub fn find_region(
     grid: &ClusterGrid,
     clusters: usize,
-    mut is_free: impl FnMut(Coord) -> bool,
+    is_free: impl FnMut(Coord) -> bool,
 ) -> Option<Region> {
     if clusters == 0 || clusters > grid.cluster_count() {
         return None;
     }
-    let gw = grid.width();
-    let gh = grid.height();
-    let (gw_us, gh_us) = (usize::from(gw), usize::from(gh));
-    // Evaluate the predicate exactly once per cell into per-row prefix
-    // sums; every anchor probe below is then O(region height) instead of
-    // O(region cells) predicate calls. `pre[y * (gw+1) + x]` counts the
-    // free cells of row `y` in columns `[0, x)`.
-    let mut free_total = 0usize;
-    let mut pre = vec![0u32; (gw_us + 1) * gh_us];
-    for y in 0..gh_us {
-        let base = y * (gw_us + 1);
-        for x in 0..gw_us {
-            let f = is_free(Coord::new(x as u16, y as u16));
-            free_total += usize::from(f);
-            pre[base + x + 1] = pre[base + x] + u32::from(f);
-        }
-    }
-    if free_total < clusters {
-        return None;
-    }
-    // Free cells of row `y` in columns `[x0, x1)`.
-    let row_free = |y: usize, x0: usize, x1: usize| -> usize {
-        let base = y * (gw_us + 1);
-        (pre[base + x1] - pre[base + x0]) as usize
-    };
-    // Candidate widths, squarest first.
-    let ideal = (clusters as f64).sqrt();
-    let mut widths: Vec<u16> = (1..=gw.min(clusters as u16)).collect();
-    widths.sort_by(|&a, &b| {
-        (f64::from(a) - ideal)
-            .abs()
-            .partial_cmp(&(f64::from(b) - ideal).abs())
-            .unwrap()
-            .then(b.cmp(&a))
-    });
-    for w in widths {
-        let h = (clusters as u16).div_ceil(w);
-        if h > gh {
-            continue;
-        }
-        // Cells of the serpentine prefix within a w×h box, and their
-        // per-row column spans `[min_x, max_x+1)` — contiguous by the
-        // serpentine's construction (each row is traversed monotonically).
-        let prefix: Vec<Coord> = serpentine(w, h)
-            .path()
-            .iter()
-            .take(clusters)
-            .copied()
-            .collect();
-        let mut spans: Vec<(usize, usize)> = vec![(usize::MAX, 0); usize::from(h)];
-        for c in &prefix {
-            let s = &mut spans[usize::from(c.y)];
-            s.0 = s.0.min(usize::from(c.x));
-            s.1 = s.1.max(usize::from(c.x) + 1);
-        }
-        debug_assert_eq!(
-            spans.iter().map(|s| s.1 - s.0).sum::<usize>(),
-            clusters,
-            "serpentine prefix rows must be contiguous"
-        );
-        for y0 in 0..=(gh - h) {
-            'anchor: for x0 in 0..=(gw - w) {
-                for (dy, &(sx0, sx1)) in spans.iter().enumerate() {
-                    let y = usize::from(y0) + dy;
-                    let a = usize::from(x0) + sx0;
-                    let b = usize::from(x0) + sx1;
-                    if row_free(y, a, b) != b - a {
-                        continue 'anchor;
-                    }
-                }
-                return Some(Region::new(
-                    prefix.iter().map(|c| Coord::new(x0 + c.x, y0 + c.y)),
-                ));
-            }
-        }
-    }
-    None
+    RegionFinder::new(grid, is_free).find(clusters)
 }
 
 /// Free-space fragmentation in `[0, 1]`: 0 when the largest allocatable
 /// square region covers all free clusters, approaching 1 when free
 /// clusters exist but only tiny requests can be placed.
-pub fn fragmentation(grid: &ClusterGrid, mut is_free: impl FnMut(Coord) -> bool) -> f64 {
-    // Evaluate the predicate once per cell; the binary search below then
-    // probes a flat bitmap instead of re-running caller lookups.
-    let gw = usize::from(grid.width());
-    let mut free = vec![false; grid.cluster_count()];
-    let mut free_count = 0usize;
-    for c in grid.coords() {
-        if is_free(c) {
-            free[usize::from(c.y) * gw + usize::from(c.x)] = true;
-            free_count += 1;
-        }
-    }
-    if free_count == 0 {
+pub fn fragmentation(grid: &ClusterGrid, is_free: impl FnMut(Coord) -> bool) -> f64 {
+    // One predicate sweep; every probe of the binary search inside
+    // `largest_fit` then runs off the shared integral image.
+    let finder = RegionFinder::new(grid, is_free);
+    if finder.free_total() == 0 {
         return 0.0;
     }
-    // Largest k such that a k-cluster request still fits.
-    let mut best = 0usize;
-    let mut lo = 1usize;
-    let mut hi = free_count;
-    while lo <= hi {
-        let mid = (lo + hi) / 2;
-        let fits = find_region(grid, mid, |c| {
-            free[usize::from(c.y) * gw + usize::from(c.x)]
-        })
-        .is_some();
-        if fits {
-            best = mid;
-            lo = mid + 1;
-        } else {
-            hi = mid - 1;
-        }
-    }
-    1.0 - best as f64 / free_count as f64
+    1.0 - finder.largest_fit() as f64 / finder.free_total() as f64
 }
 
 #[cfg(test)]

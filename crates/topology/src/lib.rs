@@ -34,6 +34,7 @@ pub mod index;
 pub mod region;
 pub mod switch;
 
+pub use alloc::RegionFinder;
 pub use cluster::{Cluster, ClusterGrid, ClusterId};
 pub use coord::{Coord, Dir};
 pub use error::TopologyError;

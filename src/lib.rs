@@ -11,6 +11,7 @@ pub use vlsi_csd as csd;
 pub use vlsi_faults as faults;
 pub use vlsi_noc as noc;
 pub use vlsi_object as object;
+pub use vlsi_par as par;
 pub use vlsi_prng as prng;
 pub use vlsi_runtime as runtime;
 pub use vlsi_telemetry as telemetry;
