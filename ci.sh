@@ -23,11 +23,14 @@ echo "== bench smoke (one iteration per workload, emitted JSON validates)"
 BENCH_SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
 ./target/release/bench --smoke --out "$BENCH_SMOKE_DIR"
-# --check validates the fresh JSONs and (non-fatally) warns when a
-# median regressed >25% vs the committed BENCH_*.json at the repo root.
-./target/release/bench --check "$BENCH_SMOKE_DIR" --baseline .
+# --check validates the fresh JSONs (cluster included) and (non-fatally)
+# warns when a median regressed beyond the threshold vs the committed
+# BENCH_*.json at the repo root.
+./target/release/bench --check "$BENCH_SMOKE_DIR" --baseline . --check-threshold 0.25
 
 echo "== thread-matrix determinism (bench --digest at 1 vs 8 threads, double-run)"
+# The digest covers the fleet, sharded-NoC, acceptance, chaos, and
+# cluster_4x workloads — the cluster lines gate the inter-chip fabric.
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1" --threads 1 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1b" --threads 1 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t8" --threads 8 >/dev/null

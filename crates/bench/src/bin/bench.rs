@@ -1,15 +1,17 @@
 //! `bench` — the BENCH-emitting runner.
 //!
-//! Executes the sched / faults / hotpath / fleet workload families and
-//! writes `BENCH_sched.json`, `BENCH_faults.json`, `BENCH_hotpath.json`,
-//! and `BENCH_fleet.json` (median ns/iter, ops/s, seed, git rev) so the
-//! perf trajectory is machine-readable at the repo root.
+//! Executes the sched / faults / hotpath / fleet / cluster workload
+//! families and writes `BENCH_sched.json`, `BENCH_faults.json`,
+//! `BENCH_hotpath.json`, `BENCH_fleet.json`, and `BENCH_cluster.json`
+//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
+//! machine-readable at the repo root.
 //!
 //! ```text
 //! bench [--smoke] [--threads N] [--out DIR]   run workloads, write + validate JSONs
 //! bench --check DIR [--baseline DIR]          validate BENCH_*.json in DIR and
-//!                                             warn (non-fatally) on >25% median
-//!                                             regressions vs the baseline copies
+//!       [--check-threshold FRAC]              warn (non-fatally) on median
+//!                                             regressions beyond FRAC (default
+//!                                             0.25) vs the baseline copies
 //! bench --digest FILE [--threads N]           write deterministic run checksums
 //!                                             (no timings) — the thread-matrix
 //!                                             CI gate compares these files
@@ -25,19 +27,21 @@ use vlsi_bench::harness::{
     git_rev, measure, parse_medians, parse_seed, render_json, validate_json, BenchSample,
 };
 use vlsi_bench::hotpath::{
-    chaos_mix, faults_noc, faults_sched, fleet_mix, gather_release_churn, noc_storm,
+    chaos_mix, cluster_4x, faults_noc, faults_sched, fleet_mix, gather_release_churn, noc_storm,
     sched_acceptance, sched_mix, SEED,
 };
 
-const FILES: [&str; 4] = [
+const FILES: [&str; 5] = [
     "BENCH_sched.json",
     "BENCH_faults.json",
     "BENCH_hotpath.json",
     "BENCH_fleet.json",
+    "BENCH_cluster.json",
 ];
 
-/// Median regressions beyond this fraction draw a (non-fatal) warning.
-const REGRESSION_WARN: f64 = 0.25;
+/// Default for `--check-threshold`: median regressions beyond this
+/// fraction draw a (non-fatal) warning.
+const DEFAULT_CHECK_THRESHOLD: f64 = 0.25;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,11 +50,20 @@ fn main() {
     let mut out_dir = String::from(".");
     let mut baseline_dir = String::from(".");
     let mut check_dir: Option<String> = None;
+    let mut check_threshold = DEFAULT_CHECK_THRESHOLD;
     let mut digest_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--check-threshold" => {
+                i += 1;
+                check_threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .expect("--check-threshold needs a non-negative fraction, e.g. 0.25");
+            }
             "--threads" => {
                 i += 1;
                 threads = args
@@ -78,7 +91,7 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: bench [--smoke] [--threads N] [--out DIR] \
-                     | bench --check DIR [--baseline DIR] \
+                     | bench --check DIR [--baseline DIR] [--check-threshold FRAC] \
                      | bench --digest FILE [--threads N]"
                 );
                 std::process::exit(2);
@@ -92,7 +105,7 @@ fn main() {
         return;
     }
     if let Some(dir) = check_dir {
-        check(&dir, &baseline_dir);
+        check(&dir, &baseline_dir, check_threshold);
         return;
     }
 
@@ -107,6 +120,13 @@ fn main() {
     emit(&out_dir, "faults", SEED, &rev, faults_samples(iters));
     emit(&out_dir, "hotpath", SEED, &rev, hotpath_samples(iters));
     emit(&out_dir, "fleet", SEED, &rev, fleet_samples(iters, threads));
+    emit(
+        &out_dir,
+        "cluster",
+        SEED,
+        &rev,
+        cluster_samples(iters, threads),
+    );
 }
 
 fn sched_samples(iters: u64) -> Vec<BenchSample> {
@@ -193,6 +213,22 @@ fn fleet_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
     samples
 }
 
+fn cluster_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    let mut extras = (0u64, 0u64);
+    let (mut s, completed) = measure("cluster_4x_32x32", iters, || {
+        let (completed, messages, digest_fnv) = cluster_4x(threads);
+        extras = (messages, digest_fnv);
+        completed
+    });
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("completed", completed));
+    s.extra.push(("fabric_messages", extras.0));
+    s.extra.push(("digest_fnv", extras.1));
+    samples.push(s);
+    samples
+}
+
 fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
     for s in &samples {
         println!(
@@ -217,6 +253,7 @@ fn digest(file: &str, threads: usize) {
     let storm = noc_storm(threads);
     let (_, accept_fnv) = sched_acceptance("fifo");
     let (_, chaos_fnv) = chaos_mix();
+    let (cluster_completed, cluster_msgs, cluster_fnv) = cluster_4x(threads);
     let text = format!(
         "seed {SEED}\n\
          fleet_64x64x4 completed {completed}\n\
@@ -224,14 +261,17 @@ fn digest(file: &str, threads: usize) {
          fleet_64x64x4 telemetry_fnv {telemetry_fnv:#018x}\n\
          noc_storm_32x32_sharded digest_fnv {storm:#018x}\n\
          accept55_fifo event_log_fnv {accept_fnv:#018x}\n\
-         chaos_mix_64x64 event_log_fnv {chaos_fnv:#018x}\n"
+         chaos_mix_64x64 event_log_fnv {chaos_fnv:#018x}\n\
+         cluster_4x_32x32 completed {cluster_completed}\n\
+         cluster_4x_32x32 fabric_messages {cluster_msgs}\n\
+         cluster_4x_32x32 digest_fnv {cluster_fnv:#018x}\n"
     );
     print!("{text}");
     std::fs::write(file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));
     println!("wrote {file} ({threads} thread(s))");
 }
 
-fn check(dir: &str, baseline_dir: &str) {
+fn check(dir: &str, baseline_dir: &str, threshold: f64) {
     let mut failed = false;
     for file in FILES {
         let path = format!("{dir}/{file}");
@@ -239,7 +279,7 @@ fn check(dir: &str, baseline_dir: &str) {
             Ok(text) => match validate_json(&text) {
                 Ok(()) => {
                     println!("ok: {path}");
-                    diff_against_baseline(&text, &format!("{baseline_dir}/{file}"));
+                    diff_against_baseline(&text, &format!("{baseline_dir}/{file}"), threshold);
                 }
                 Err(e) => {
                     eprintln!("INVALID {path}: {e}");
@@ -258,12 +298,13 @@ fn check(dir: &str, baseline_dir: &str) {
 }
 
 /// Compares a freshly written BENCH document against the committed copy
-/// at `baseline_path` and warns on medians more than [`REGRESSION_WARN`]
-/// slower. Non-fatal by design: medians on shared CI hardware are noisy,
-/// so this surfaces a trajectory signal without flaking the build. Skips
-/// silently when the baseline is missing or was taken under a different
-/// seed (the numbers would not be comparable).
-fn diff_against_baseline(fresh: &str, baseline_path: &str) {
+/// at `baseline_path` and warns on medians more than `threshold` slower
+/// (`--check-threshold`, default 25%). Non-fatal by design: medians on
+/// shared CI hardware are noisy, so this surfaces a trajectory signal
+/// without flaking the build. Skips silently when the baseline is
+/// missing or was taken under a different seed (the numbers would not
+/// be comparable).
+fn diff_against_baseline(fresh: &str, baseline_path: &str, threshold: f64) {
     let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
         return;
     };
@@ -280,7 +321,7 @@ fn diff_against_baseline(fresh: &str, baseline_path: &str) {
             continue;
         }
         let ratio = new_ns as f64 / old_ns as f64;
-        if ratio > 1.0 + REGRESSION_WARN {
+        if ratio > 1.0 + threshold {
             println!(
                 "  WARN {name}: median {new_ns} ns/iter is {:.0}% slower than \
                  the committed {old_ns} ns/iter ({baseline_path})",

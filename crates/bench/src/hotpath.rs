@@ -1,6 +1,6 @@
 //! Hot-path workloads shared by the `bench` runner and Ablation IV.
 //!
-//! Three workload families, one per `BENCH_*.json` file:
+//! The workload families, one per `BENCH_*.json` file:
 //!
 //! * **sched** — the Ablation I 48-job policy mix plus the acceptance
 //!   suite's 55-job mix (54 mixed jobs, five mid-run defects, one
@@ -15,13 +15,18 @@
 //!   probes every round, and a 64×64 chaos mix (larger die, stuck
 //!   switches mid-run) that leans on the occupancy scans the scheduler
 //!   performs every tick.
+//! * **cluster** — a ring of four 32×32 dies joined by the vlsi-fabric
+//!   interconnect: chip 0 is oversubscribed so jobs migrate over real
+//!   links, and one chip dies mid-run. The digest the thread-matrix
+//!   gate compares covers the merged event logs and telemetry.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use crate::harness::fnv1a;
 use vlsi_core::{ProcessorId, VlsiChip};
-use vlsi_faults::FaultPlanBuilder;
+use vlsi_fabric::{Cluster as ChipCluster, ClusterConfig, ClusterTopology};
+use vlsi_faults::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
 use vlsi_noc::NocNetwork;
 use vlsi_par::Pool;
 use vlsi_prng::Prng;
@@ -225,6 +230,63 @@ pub fn fleet_mix(threads: usize, chips: usize) -> (u64, u64, u64) {
     let events_fnv = fnv1a(text.as_bytes());
     let telemetry_fnv = fnv1a(fleet.merged_telemetry().snapshot().to_json().as_bytes());
     (completed, events_fnv, telemetry_fnv)
+}
+
+/// The cluster mix: a ring of four 32×32 dies with the fabric between
+/// them. Chip 0 is hammered with twelve 400-cluster jobs (at most two
+/// co-run, so the rest must migrate over the fabric), chips 1–3 carry a
+/// light mixed background, and chip 3 dies at tick 10 — its jobs
+/// relocate across the ring. Returns `(completed, fabric messages,
+/// digest fnv)`; the digest covers the cluster summary, the merged
+/// event logs, and the merged telemetry export, so it must be
+/// bit-identical at every thread count.
+pub fn cluster_4x(threads: usize) -> (u64, u64, u64) {
+    let mut cluster = ChipCluster::with_telemetry(
+        ClusterTopology::ring(4),
+        (32, 32),
+        Pool::new(threads),
+        ClusterConfig::standard(),
+        TelemetryHandle::active(),
+    );
+    for _ in 0..4 {
+        let chip = VlsiChip::with_telemetry(32, 32, Cluster::default(), TelemetryHandle::active());
+        cluster.push_chip(Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default()));
+    }
+    for j in 0..12 {
+        cluster.submit_to(
+            0,
+            JobSpec::new(format!("bulk{j}"), 400, Workload::Idle { ticks: 20 }),
+        );
+    }
+    for c in 1..4usize {
+        for spec in mixed_jobs(SEED + c as u64, 6) {
+            cluster.submit_to(c, spec);
+        }
+    }
+    let mut plan = FaultPlan::none();
+    plan.push(Fault::permanent(FaultKind::ChipDown { chip: 3 }, 10));
+    cluster.attach_fault_plan(plan);
+    let summary = cluster.run_until_idle(500_000).expect("cluster must drain");
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "ticks {} completed {} failed {} lost {} migrated {} deaths {}",
+        summary.ticks,
+        summary.completed,
+        summary.failed,
+        summary.lost,
+        summary.migrated,
+        summary.chip_failures
+    );
+    for (c, e) in cluster.merged_events() {
+        let _ = writeln!(text, "{c} {e:?}");
+    }
+    let _ = writeln!(text, "{}", cluster.merged_telemetry().snapshot().to_json());
+    (
+        summary.completed,
+        cluster.network().stats().messages,
+        fnv1a(text.as_bytes()),
+    )
 }
 
 /// A 256-worm storm on a 32×32 mesh ticked through the *sharded* NoC

@@ -74,6 +74,14 @@ pub enum FaultKind {
         /// The stuck cluster.
         at: Coord,
     },
+    /// Cluster-level: the whole chip at fleet index `chip` dies — clock
+    /// gone, NoC gone, off-chip links severed. Always treated as
+    /// permanent by consumers (a die does not heal); the fabric layer
+    /// reacts by rerouting around it and evacuating its jobs.
+    ChipDown {
+        /// Fleet index of the failed chip.
+        chip: u16,
+    },
 }
 
 /// One scheduled fault: a kind, an activation time, and a duration.
@@ -250,6 +258,18 @@ impl FaultPlan {
         })
     }
 
+    /// Chip-death faults that activate exactly at `t`, by fleet index
+    /// (edge-triggered, like [`switches_sticking_at`]; chip deaths are
+    /// permanent regardless of the fault's recorded duration).
+    ///
+    /// [`switches_sticking_at`]: FaultPlan::switches_sticking_at
+    pub fn chips_failing_at(&self, t: u64) -> impl Iterator<Item = u16> + '_ {
+        self.faults.iter().filter_map(move |f| match f.kind {
+            FaultKind::ChipDown { chip } if f.start == t => Some(chip),
+            _ => None,
+        })
+    }
+
     /// Switch stuck-at faults that activate exactly at `t`.
     pub fn switches_sticking_at(&self, t: u64) -> impl Iterator<Item = Coord> + '_ {
         self.faults.iter().filter_map(move |f| match f.kind {
@@ -297,6 +317,8 @@ pub struct FaultPlanBuilder {
     csd_segments: usize,
     csd_segment_rate: f64,
     switch_stuck_rate: f64,
+    cluster_chips: usize,
+    chip_down_rate: f64,
     permanent_fraction: f64,
     transient_range: (u64, u64),
 }
@@ -316,6 +338,8 @@ impl FaultPlanBuilder {
             csd_segments: 0,
             csd_segment_rate: 0.0,
             switch_stuck_rate: 0.0,
+            cluster_chips: 0,
+            chip_down_rate: 0.0,
             permanent_fraction: 0.25,
             transient_range: (16, 128),
         }
@@ -372,6 +396,20 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// The number of chips in the cluster chip-death faults are drawn
+    /// over (0 — the default — disables the chip layer entirely).
+    pub fn cluster(mut self, chips: usize) -> Self {
+        self.cluster_chips = chips;
+        self
+    }
+
+    /// Per-chip probability of the whole die failing somewhere in the
+    /// horizon. Chip deaths are always permanent.
+    pub fn chip_down_rate(mut self, rate: f64) -> Self {
+        self.chip_down_rate = rate;
+        self
+    }
+
     /// Fraction of NoC/CSD faults that are permanent rather than
     /// transient (clamped to `[0, 1]`; switch faults are always
     /// permanent).
@@ -408,6 +446,7 @@ impl FaultPlanBuilder {
         let mut stall_rng = Prng::seed_from_u64(self.seed ^ 0x5354_414C);
         let mut csd_rng = Prng::seed_from_u64(self.seed ^ 0x4353_4447);
         let mut switch_rng = Prng::seed_from_u64(self.seed ^ 0x5357_4348);
+        let mut chip_rng = Prng::seed_from_u64(self.seed ^ 0x4348_4950);
 
         for y in 0..self.height {
             for x in 0..self.width {
@@ -465,6 +504,15 @@ impl FaultPlanBuilder {
                         duration,
                     });
                 }
+            }
+        }
+        for chip in 0..self.cluster_chips {
+            if chip_rng.gen_bool(self.chip_down_rate) {
+                let start = chip_rng.gen_range(0..self.horizon);
+                faults.push(Fault::permanent(
+                    FaultKind::ChipDown { chip: chip as u16 },
+                    start,
+                ));
             }
         }
         FaultPlan { faults }
@@ -613,6 +661,43 @@ mod tests {
         ]);
         let got: Vec<Coord> = plan.noc_failures_at(4).collect();
         assert_eq!(got, vec![a, b], "transient faults are not cluster deaths");
+    }
+
+    #[test]
+    fn chip_deaths_are_permanent_and_edge_triggered() {
+        let build = || {
+            FaultPlanBuilder::new(5)
+                .horizon(100)
+                .cluster(8)
+                .chip_down_rate(0.5)
+                .build()
+        };
+        let plan = build();
+        assert!(!plan.is_empty(), "0.5 over 8 chips should fire");
+        assert_eq!(plan, build(), "chip layer replays bit-identically");
+        assert!(plan.faults().iter().all(Fault::is_permanent));
+        let fired: Vec<u16> = (0..100).flat_map(|t| plan.chips_failing_at(t)).collect();
+        assert_eq!(fired.len(), plan.faults().len());
+        assert!(fired.iter().all(|&c| c < 8));
+        // The chip stream is independent: enabling it must not disturb
+        // the other layers' draws.
+        let base = FaultPlanBuilder::new(5)
+            .grid(4, 4)
+            .horizon(100)
+            .link_down_rate(0.3)
+            .build();
+        let with_chips = FaultPlanBuilder::new(5)
+            .grid(4, 4)
+            .horizon(100)
+            .link_down_rate(0.3)
+            .cluster(8)
+            .chip_down_rate(0.5)
+            .build();
+        assert_eq!(
+            base.faults(),
+            &with_chips.faults()[..base.faults().len()],
+            "link draws unchanged by the chip layer"
+        );
     }
 
     #[test]

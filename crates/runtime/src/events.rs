@@ -139,6 +139,14 @@ pub enum EventKind {
         /// The released processor.
         proc: ProcessorId,
     },
+    /// A cluster scheduler withdrew the job from this chip to run it
+    /// elsewhere (work stealing, or evacuation after a chip failure).
+    MigratedOut {
+        /// The withdrawn job.
+        job: JobId,
+        /// Why it left (`"steal"` or `"evacuate"`).
+        reason: &'static str,
+    },
 }
 
 impl RuntimeEvent {
@@ -152,7 +160,8 @@ impl RuntimeEvent {
             | EventKind::Failed { job, .. }
             | EventKind::DefectRecovered { job, .. }
             | EventKind::Requeued { job, .. }
-            | EventKind::PoolWoken { job, .. } => Some(*job),
+            | EventKind::PoolWoken { job, .. }
+            | EventKind::MigratedOut { job, .. } => Some(*job),
             EventKind::Compacted { .. }
             | EventKind::FaultReported { .. }
             | EventKind::DefectInjected { .. }

@@ -116,6 +116,23 @@ impl Fleet {
         first_error(results.into_iter().map(|r| r.map(|_| ())))
     }
 
+    /// Advances only the chips whose `alive` flag is set (indices past
+    /// the end of `alive` count as alive). A cluster scheduler uses this
+    /// once a chip has failed: the dead chip's clock freezes while the
+    /// survivors keep the same chip-`i`-is-task-`i` assignment, so the
+    /// run stays bit-identical at every thread count.
+    pub fn tick_masked(&mut self, alive: &[bool]) -> Result<(), FleetError> {
+        let views: Vec<Mutex<&mut Runtime>> = self.chips.iter_mut().map(Mutex::new).collect();
+        let results = self.pool.map(views.len(), |i| {
+            if *alive.get(i).unwrap_or(&true) {
+                views[i].lock().unwrap_or_else(|e| e.into_inner()).tick()
+            } else {
+                Ok(())
+            }
+        });
+        first_error(results.into_iter())
+    }
+
     /// Runs every chip until its queue drains (or `max_ticks`), in
     /// parallel, and returns the per-chip summaries in chip-index order.
     /// Chips are independent, so per-chip results are bit-identical to

@@ -183,6 +183,10 @@ pub enum JobState {
     Completed,
     /// Failed gracefully (deadline, retries, workload error).
     Failed,
+    /// Withdrawn by a cluster scheduler and moved to another chip. The
+    /// record stays behind for the trace; the job finishes (and is
+    /// counted) wherever it lands.
+    Migrated,
 }
 
 /// Per-job accounting, filled in as the job moves through the runtime.

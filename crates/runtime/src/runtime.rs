@@ -97,6 +97,9 @@ pub struct RuntimeStats {
     pub pooled: u64,
     /// Pool parks reclaimed by timer expiry (or defects).
     pub pool_reclaims: u64,
+    /// Jobs withdrawn by a cluster scheduler to run on another chip
+    /// (work stealing or chip-failure evacuation).
+    pub migrated_out: u64,
     /// Cluster-ticks spent held by processors (busy area).
     pub busy_cluster_ticks: u64,
     /// Cluster-ticks available (usable area × ticks).
@@ -705,6 +708,75 @@ impl Runtime {
             job: job_id,
             reason,
         });
+    }
+
+    // --- migration -----------------------------------------------------------
+
+    /// Withdraws a *queued* job for a cluster scheduler to run elsewhere
+    /// (work stealing). Returns the spec to resubmit on the target chip,
+    /// or `None` if the job is unknown or not currently queued. The
+    /// local record stays behind in [`JobState::Migrated`] — it is not a
+    /// completion and not a failure, so per-chip totals never double
+    /// count a stolen job.
+    pub fn withdraw(&mut self, id: JobId) -> Option<JobSpec> {
+        let rec = self.jobs.get(&id)?;
+        if rec.state != JobState::Queued {
+            return None;
+        }
+        self.queue.retain(|j| *j != id);
+        let now = self.now;
+        let rec = self.jobs.get_mut(&id).expect("queued job");
+        rec.state = JobState::Migrated;
+        let spec = rec.spec.clone();
+        self.stats.migrated_out += 1;
+        self.telemetry.count("runtime.migrated_out", 1);
+        self.telemetry.span_end("runtime", "job", id.0, now);
+        self.push_event(EventKind::MigratedOut {
+            job: id,
+            reason: "steal",
+        });
+        Some(spec)
+    }
+
+    /// Evacuates every unfinished job (queued *and* running) after the
+    /// chip itself has died: pure bookkeeping that never touches chip
+    /// state, because there is no chip left to talk to. Running jobs
+    /// restart from their spec on whatever chip they land on. Returns
+    /// the evacuated jobs in ascending [`JobId`] order.
+    pub fn evacuate(&mut self) -> Vec<(JobId, JobSpec)> {
+        let mut ids: Vec<JobId> = self
+            .queue
+            .iter()
+            .chain(self.running.iter())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        self.queue.clear();
+        self.running.clear();
+        self.pool.clear();
+        let now = self.now;
+        let mut specs = Vec::with_capacity(ids.len());
+        for id in ids {
+            let rec = self.jobs.get_mut(&id).expect("outstanding job");
+            rec.state = JobState::Migrated;
+            rec.procs.clear();
+            specs.push((id, rec.spec.clone()));
+            self.stats.migrated_out += 1;
+            self.telemetry.count("runtime.migrated_out", 1);
+            self.telemetry.span_end("runtime", "job", id.0, now);
+            self.push_event(EventKind::MigratedOut {
+                job: id,
+                reason: "evacuate",
+            });
+        }
+        specs
+    }
+
+    /// The queued jobs, in queue order (admission order is the policy's
+    /// business; this is submission/requeue order). Cluster schedulers
+    /// scan it to pick migration candidates.
+    pub fn queued_ids(&self) -> &[JobId] {
+        &self.queue
     }
 
     // --- admission -----------------------------------------------------------

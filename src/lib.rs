@@ -8,6 +8,7 @@ pub use vlsi_ap as ap;
 pub use vlsi_core as core;
 pub use vlsi_cost as cost;
 pub use vlsi_csd as csd;
+pub use vlsi_fabric as fabric;
 pub use vlsi_faults as faults;
 pub use vlsi_noc as noc;
 pub use vlsi_object as object;
@@ -17,3 +18,8 @@ pub use vlsi_runtime as runtime;
 pub use vlsi_telemetry as telemetry;
 pub use vlsi_topology as topology;
 pub use vlsi_workloads as workloads;
+
+/// The cluster layer's front door, re-exported flat: a [`Fleet`] of
+/// runtimes plus the fabric types that turn it into one machine.
+pub use vlsi_fabric::{Cluster, ClusterConfig, ClusterNetwork, ClusterTopology};
+pub use vlsi_runtime::{Fleet, FleetError};

@@ -120,3 +120,89 @@ fn fault_storm_replays_under_sharding() {
         assert_eq!(run(threads), serial, "{threads} threads");
     }
 }
+
+/// A cross-chip traffic storm on a 2×2 torus of 16×16 dies: 96
+/// seed-driven sends between random chips/routers, drained through the
+/// two-phase fabric tick. Returns every observable: deliveries,
+/// failures, fabric stats, and the merged telemetry export.
+fn fabric_storm_observables(threads: usize, seed: u64, kill_a_chip: bool) -> String {
+    use vlsi_processor::fabric::{ClusterNetwork, ClusterTopology, FabricConfig};
+    let (w, h) = (16u16, 16u16);
+    let mut net = ClusterNetwork::with_telemetry(
+        ClusterTopology::torus(2, 2),
+        (w, h),
+        Pool::new(threads),
+        FabricConfig::default(),
+        TelemetryHandle::active(),
+    );
+    let mut rng = Prng::seed_from_u64(seed);
+    for _ in 0..96 {
+        let src_chip = rng.gen_range(0..4u16) as usize;
+        let dst_chip = rng.gen_range(0..4u16) as usize;
+        let src = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let dst = Coord::new(rng.gen_range(0..w), rng.gen_range(0..h));
+        let payload: Vec<u64> = (0..rng.gen_range(1..8u64)).collect();
+        net.send(src_chip, src, dst_chip, dst, payload).unwrap();
+    }
+    if kill_a_chip {
+        // Mid-storm whole-chip failure: in-transit messages reroute or
+        // fail typed, and the remaining traffic must still drain.
+        for _ in 0..2 {
+            net.tick();
+        }
+        net.fail_chip(3);
+    }
+    let mut ticks = 0;
+    while !net.is_idle() {
+        net.tick();
+        ticks += 1;
+        assert!(ticks < 10_000, "fabric storm must never hang");
+    }
+    format!(
+        "{:?}\n{:?}\n{:?}\n{}",
+        net.take_delivered(),
+        net.take_failed(),
+        net.stats(),
+        net.merged_telemetry().snapshot().to_json(),
+    )
+}
+
+#[test]
+fn cross_chip_storm_is_bit_identical_across_thread_counts() {
+    for seed in [7, 2012] {
+        let serial = fabric_storm_observables(1, seed, false);
+        assert!(serial.contains("delivered"), "storm must deliver");
+        for threads in THREADS {
+            assert_eq!(
+                fabric_storm_observables(threads, seed, false),
+                serial,
+                "seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_chip_storm_with_chip_failure_is_bit_identical() {
+    let serial = fabric_storm_observables(1, 2012, true);
+    for threads in THREADS {
+        assert_eq!(
+            fabric_storm_observables(threads, 2012, true),
+            serial,
+            "{threads} threads"
+        );
+    }
+    // Replay at the same thread count too.
+    assert_eq!(fabric_storm_observables(8, 2012, true), serial);
+}
+
+#[test]
+fn cluster_chaos_run_is_bit_identical_across_thread_counts() {
+    use vlsi_bench::hotpath::cluster_4x;
+    let serial = cluster_4x(1);
+    assert!(serial.0 > 0, "the cluster must complete jobs");
+    assert!(serial.1 > 0, "migration must ride the fabric");
+    for threads in THREADS {
+        assert_eq!(cluster_4x(threads), serial, "{threads} threads");
+    }
+}
