@@ -1,17 +1,18 @@
 //! `bench` — the BENCH-emitting runner.
 //!
-//! Executes the sched / faults / hotpath / fleet / cluster workload
-//! families and writes `BENCH_sched.json`, `BENCH_faults.json`,
-//! `BENCH_hotpath.json`, `BENCH_fleet.json`, and `BENCH_cluster.json`
-//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
-//! machine-readable at the repo root.
+//! Executes the sched / faults / hotpath / fleet / cluster / ingest
+//! workload families and writes `BENCH_sched.json`, `BENCH_faults.json`,
+//! `BENCH_hotpath.json`, `BENCH_fleet.json`, `BENCH_cluster.json`, and
+//! `BENCH_ingest.json` (median ns/iter, ops/s, seed, git rev) so the
+//! perf trajectory is machine-readable at the repo root.
 //!
 //! ```text
 //! bench [--smoke] [--threads N] [--out DIR]   run workloads, write + validate JSONs
 //! bench --check DIR [--baseline DIR]          validate BENCH_*.json in DIR and
-//!       [--check-threshold FRAC]              warn (non-fatally) on median
-//!                                             regressions beyond FRAC (default
-//!                                             0.25) vs the baseline copies
+//!       [--check-threshold FRAC]              warn on median regressions beyond
+//!       [--check-fatal]                       FRAC (default 0.25) vs the baseline
+//!                                             copies; with --check-fatal, any
+//!                                             regression beyond FRAC exits 1
 //! bench --digest FILE [--threads N]           write deterministic run checksums
 //!                                             (no timings) — the thread-matrix
 //!                                             CI gate compares these files
@@ -27,16 +28,17 @@ use vlsi_bench::harness::{
     git_rev, measure, parse_medians, parse_seed, render_json, validate_json, BenchSample,
 };
 use vlsi_bench::hotpath::{
-    chaos_mix, cluster_4x, faults_noc, faults_sched, fleet_mix, gather_release_churn, noc_storm,
-    sched_acceptance, sched_mix, SEED,
+    chaos_mix, cluster_4x, faults_noc, faults_sched, fleet_mix, gather_release_churn,
+    ingest_open_loop, noc_storm, sched_acceptance, sched_mix, SEED,
 };
 
-const FILES: [&str; 5] = [
+const FILES: [&str; 6] = [
     "BENCH_sched.json",
     "BENCH_faults.json",
     "BENCH_hotpath.json",
     "BENCH_fleet.json",
     "BENCH_cluster.json",
+    "BENCH_ingest.json",
 ];
 
 /// Default for `--check-threshold`: median regressions beyond this
@@ -52,10 +54,12 @@ fn main() {
     let mut check_dir: Option<String> = None;
     let mut check_threshold = DEFAULT_CHECK_THRESHOLD;
     let mut digest_file: Option<String> = None;
+    let mut check_fatal = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--check-fatal" => check_fatal = true,
             "--check-threshold" => {
                 i += 1;
                 check_threshold = args
@@ -92,7 +96,7 @@ fn main() {
                 eprintln!(
                     "usage: bench [--smoke] [--threads N] [--out DIR] \
                      | bench --check DIR [--baseline DIR] [--check-threshold FRAC] \
-                     | bench --digest FILE [--threads N]"
+                     [--check-fatal] | bench --digest FILE [--threads N]"
                 );
                 std::process::exit(2);
             }
@@ -105,7 +109,7 @@ fn main() {
         return;
     }
     if let Some(dir) = check_dir {
-        check(&dir, &baseline_dir, check_threshold);
+        check(&dir, &baseline_dir, check_threshold, check_fatal);
         return;
     }
 
@@ -126,6 +130,13 @@ fn main() {
         SEED,
         &rev,
         cluster_samples(iters, threads),
+    );
+    emit(
+        &out_dir,
+        "ingest",
+        SEED,
+        &rev,
+        ingest_samples(iters, threads),
     );
 }
 
@@ -229,6 +240,27 @@ fn cluster_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
     samples
 }
 
+fn ingest_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    let mut report = None;
+    let (mut s, accepted) = measure("ingest_open_loop_4x", iters, || {
+        let r = ingest_open_loop(threads);
+        report = Some(r);
+        r.accepted
+    });
+    let r = report.expect("at least one iteration ran");
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("arrivals", r.arrivals));
+    s.extra.push(("accepted", accepted));
+    s.extra.push(("dropped", r.dropped));
+    s.extra.push(("completed", r.completed));
+    s.extra.push(("sojourn_p50", r.sojourn_p50));
+    s.extra.push(("sojourn_p99", r.sojourn_p99));
+    s.extra.push(("digest_fnv", r.digest_fnv));
+    samples.push(s);
+    samples
+}
+
 fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
     for s in &samples {
         println!(
@@ -254,6 +286,7 @@ fn digest(file: &str, threads: usize) {
     let (_, accept_fnv) = sched_acceptance("fifo");
     let (_, chaos_fnv) = chaos_mix();
     let (cluster_completed, cluster_msgs, cluster_fnv) = cluster_4x(threads);
+    let ingest = ingest_open_loop(threads);
     let text = format!(
         "seed {SEED}\n\
          fleet_64x64x4 completed {completed}\n\
@@ -264,14 +297,22 @@ fn digest(file: &str, threads: usize) {
          chaos_mix_64x64 event_log_fnv {chaos_fnv:#018x}\n\
          cluster_4x_32x32 completed {cluster_completed}\n\
          cluster_4x_32x32 fabric_messages {cluster_msgs}\n\
-         cluster_4x_32x32 digest_fnv {cluster_fnv:#018x}\n"
+         cluster_4x_32x32 digest_fnv {cluster_fnv:#018x}\n\
+         ingest_open_loop_4x arrivals {arrivals}\n\
+         ingest_open_loop_4x accepted {accepted}\n\
+         ingest_open_loop_4x completed {ingest_completed}\n\
+         ingest_open_loop_4x digest_fnv {ingest_fnv:#018x}\n",
+        arrivals = ingest.arrivals,
+        accepted = ingest.accepted,
+        ingest_completed = ingest.completed,
+        ingest_fnv = ingest.digest_fnv,
     );
     print!("{text}");
     std::fs::write(file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));
     println!("wrote {file} ({threads} thread(s))");
 }
 
-fn check(dir: &str, baseline_dir: &str, threshold: f64) {
+fn check(dir: &str, baseline_dir: &str, threshold: f64, fatal: bool) {
     let mut failed = false;
     for file in FILES {
         let path = format!("{dir}/{file}");
@@ -279,7 +320,16 @@ fn check(dir: &str, baseline_dir: &str, threshold: f64) {
             Ok(text) => match validate_json(&text) {
                 Ok(()) => {
                     println!("ok: {path}");
-                    diff_against_baseline(&text, &format!("{baseline_dir}/{file}"), threshold);
+                    let regressions =
+                        diff_against_baseline(&text, &format!("{baseline_dir}/{file}"), threshold);
+                    if fatal && regressions > 0 {
+                        eprintln!(
+                            "FAIL {path}: {regressions} median(s) regressed beyond \
+                             {:.0}% (--check-fatal)",
+                            threshold * 100.0
+                        );
+                        failed = true;
+                    }
                 }
                 Err(e) => {
                     eprintln!("INVALID {path}: {e}");
@@ -299,20 +349,23 @@ fn check(dir: &str, baseline_dir: &str, threshold: f64) {
 
 /// Compares a freshly written BENCH document against the committed copy
 /// at `baseline_path` and warns on medians more than `threshold` slower
-/// (`--check-threshold`, default 25%). Non-fatal by design: medians on
-/// shared CI hardware are noisy, so this surfaces a trajectory signal
-/// without flaking the build. Skips silently when the baseline is
-/// missing or was taken under a different seed (the numbers would not
-/// be comparable).
-fn diff_against_baseline(fresh: &str, baseline_path: &str, threshold: f64) {
+/// (`--check-threshold`, default 25%). Returns the number of medians
+/// that regressed beyond the threshold; without `--check-fatal` the
+/// warnings are non-fatal by design — medians on shared CI hardware are
+/// noisy, so this surfaces a trajectory signal without flaking the
+/// build. Skips silently (returning 0) when the baseline is missing or
+/// was taken under a different seed (the numbers would not be
+/// comparable).
+fn diff_against_baseline(fresh: &str, baseline_path: &str, threshold: f64) -> usize {
     let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
-        return;
+        return 0;
     };
     if parse_seed(&baseline) != parse_seed(fresh) {
-        return;
+        return 0;
     }
     let old: std::collections::BTreeMap<String, u64> =
         parse_medians(&baseline).into_iter().collect();
+    let mut regressions = 0;
     for (name, new_ns) in parse_medians(fresh) {
         let Some(&old_ns) = old.get(&name) else {
             continue;
@@ -327,6 +380,8 @@ fn diff_against_baseline(fresh: &str, baseline_path: &str, threshold: f64) {
                  the committed {old_ns} ns/iter ({baseline_path})",
                 (ratio - 1.0) * 100.0
             );
+            regressions += 1;
         }
     }
+    regressions
 }

@@ -19,6 +19,11 @@
 //!   interconnect: chip 0 is oversubscribed so jobs migrate over real
 //!   links, and one chip dies mid-run. The digest the thread-matrix
 //!   gate compares covers the merged event logs and telemetry.
+//! * **ingest** — the same 4-chip ring behind the vlsi-ingest front
+//!   door, fed an open-loop overload trace through the submission ring
+//!   while a chip dies mid-run: admission sheds typed, the client backs
+//!   off, and the exact conservation ledger plus sojourn quantiles land
+//!   in `BENCH_ingest.json`.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -27,6 +32,9 @@ use crate::harness::fnv1a;
 use vlsi_core::{ProcessorId, VlsiChip};
 use vlsi_fabric::{Cluster as ChipCluster, ClusterConfig, ClusterTopology};
 use vlsi_faults::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
+use vlsi_ingest::{
+    accounting, run_trace, AdmissionConfig, ClientConfig, IngestClient, IngestConfig, IngestService,
+};
 use vlsi_noc::NocNetwork;
 use vlsi_par::Pool;
 use vlsi_prng::Prng;
@@ -37,6 +45,7 @@ use vlsi_runtime::{
 };
 use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::{Cluster, Coord};
+use vlsi_workloads::{arrival_trace, ArrivalProfile};
 
 /// The workload seed every bench run replays (the paper's year).
 pub const SEED: u64 = 2012;
@@ -287,6 +296,111 @@ pub fn cluster_4x(threads: usize) -> (u64, u64, u64) {
         cluster.network().stats().messages,
         fnv1a(text.as_bytes()),
     )
+}
+
+/// What [`ingest_open_loop`] reports: the conservation ledger headline
+/// numbers, the sojourn quantiles, and the determinism digest the
+/// thread-matrix gate compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestOpenLoopReport {
+    /// Client-side arrivals delivered by the trace.
+    pub arrivals: u64,
+    /// Requests admitted into the cluster.
+    pub accepted: u64,
+    /// Requests shed or rejected, all reasons.
+    pub dropped: u64,
+    /// Jobs the cluster completed.
+    pub completed: u64,
+    /// p50 enqueue→admission sojourn (log2-quantised ticks).
+    pub sojourn_p50: u64,
+    /// p99 enqueue→admission sojourn (log2-quantised ticks).
+    pub sojourn_p99: u64,
+    /// FNV digest over the ledger, merged events, and telemetry.
+    pub digest_fnv: u64,
+}
+
+/// The ingest open-loop mix: a genuinely overloading arrival trace
+/// (~15 jobs/tick for 120 ticks, six tenants, rate-limited) pushed
+/// through a 16-slot submission ring into a ring of four small 8×8
+/// dies, with chip 3 dying at tick 40 — the ring backpressures, the
+/// client backs off, degraded mode sheds low classes, deadlines shed
+/// up front, and the fabric migrates the dead chip's jobs, all while
+/// the exact conservation ledger stays balanced. The digest covers the
+/// ledger, the merged event logs, and the merged telemetry export, so
+/// it must be bit-identical at every thread count.
+pub fn ingest_open_loop(threads: usize) -> IngestOpenLoopReport {
+    let mut cluster = ChipCluster::with_telemetry(
+        ClusterTopology::ring(4),
+        (8, 8),
+        Pool::new(threads),
+        ClusterConfig::standard(),
+        TelemetryHandle::active(),
+    );
+    for _ in 0..4 {
+        let chip = VlsiChip::with_telemetry(8, 8, Cluster::default(), TelemetryHandle::active());
+        cluster.push_chip(Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default()));
+    }
+    let mut plan = FaultPlan::none();
+    plan.push(Fault::permanent(FaultKind::ChipDown { chip: 3 }, 40));
+    cluster.attach_fault_plan(plan);
+
+    let telemetry = TelemetryHandle::active();
+    let mut service = IngestService::with_telemetry(
+        cluster,
+        IngestConfig {
+            ring_capacity: 8,
+            admission: AdmissionConfig {
+                tenant_rate_milli: 2000,
+                tenant_burst: 4,
+                high_water: 64,
+                low_water: 24,
+                max_degraded_level: 4,
+            },
+        },
+        telemetry.clone(),
+    );
+    let mut client = IngestClient::with_telemetry(
+        service.ring(),
+        SEED,
+        ClientConfig::default(),
+        telemetry.clone(),
+    );
+    let trace = arrival_trace(
+        SEED,
+        ArrivalProfile::Overload { rate_milli: 15_000 },
+        120,
+        6,
+    );
+    run_trace(&mut service, &mut client, &trace, 500_000).expect("open loop must drain");
+
+    let ledger = accounting(&service, &client);
+    assert!(ledger.is_balanced(), "conservation ledger: {ledger:?}");
+    let snap = telemetry.snapshot();
+    let (p50, p99) = snap
+        .histogram("ingest.sojourn")
+        .map(|h| (h.percentile(500), h.percentile(990)))
+        .unwrap_or((0, 0));
+
+    let mut text = String::new();
+    let _ = writeln!(text, "{ledger:?}");
+    for (c, e) in service.sink().merged_events() {
+        let _ = writeln!(text, "{c} {e:?}");
+    }
+    let _ = writeln!(text, "{}", snap.to_json());
+    let _ = writeln!(
+        text,
+        "{}",
+        service.sink().merged_telemetry().snapshot().to_json()
+    );
+    IngestOpenLoopReport {
+        arrivals: ledger.arrivals,
+        accepted: ledger.stats.accepted,
+        dropped: ledger.stats.decided() - ledger.stats.accepted + ledger.gave_up,
+        completed: ledger.completed,
+        sojourn_p50: p50,
+        sojourn_p99: p99,
+        digest_fnv: fnv1a(text.as_bytes()),
+    }
 }
 
 /// A 256-worm storm on a 32×32 mesh ticked through the *sharded* NoC

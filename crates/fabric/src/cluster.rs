@@ -261,6 +261,17 @@ impl Cluster {
         self.submit_to(chip, spec)
     }
 
+    /// Submits a job only if some live chip can (eventually) hold it.
+    /// Returns `None` — no placement, no side effects — when every
+    /// live chip is too small or the whole cluster is dead, so a
+    /// service front-end can turn "nowhere to run" into a typed
+    /// rejection instead of the panic [`Cluster::submit_to`] reserves
+    /// for internal misuse.
+    pub fn try_submit(&mut self, spec: JobSpec) -> Option<GlobalJobId> {
+        let chip = self.pick_chip(spec.clusters)?;
+        Some(self.submit_to(chip, spec))
+    }
+
     /// Submits a job to a specific chip (tests pin placements with
     /// this; saturating one chip is how migration is exercised).
     pub fn submit_to(&mut self, chip: usize, spec: JobSpec) -> GlobalJobId {
@@ -422,12 +433,14 @@ impl Cluster {
             self.jobs[gid as usize].placement = Placement::Lost("no capacity");
             self.lost.push((GlobalJobId(gid), "no capacity"));
             self.telemetry.count("fabric.jobs_lost", 1);
+            self.telemetry.count("fabric.jobs_lost.no_capacity", 1);
             return;
         };
         let Some(home) = (0..self.fleet.len()).find(|&c| self.alive[c]) else {
             self.jobs[gid as usize].placement = Placement::Lost("no live chip");
             self.lost.push((GlobalJobId(gid), "no live chip"));
             self.telemetry.count("fabric.jobs_lost", 1);
+            self.telemetry.count("fabric.jobs_lost.no_live_chip", 1);
             return;
         };
         self.telemetry.count("fabric.relocations", 1);

@@ -1,0 +1,46 @@
+//! Typed failures of the ingestion layer.
+
+use std::fmt;
+
+/// Errors raised at the ingestion boundary. Overload is *never* a
+/// silent drop: a full ring is a typed [`IngestError::RingFull`] the
+/// producer must handle (retry, back off, or give up — all counted).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IngestError {
+    /// The submission ring is at capacity; the producer should back off
+    /// and retry (see `IngestClient`) or give up, typed.
+    RingFull {
+        /// The ring's fixed capacity.
+        capacity: usize,
+    },
+    /// The service loop ran past its tick budget without draining —
+    /// the bounded-progress guard, mirroring the cluster's `Hung`.
+    Hung {
+        /// Ticks simulated before giving up.
+        ticks: u64,
+        /// Work still in the ring, retry queue, or sink.
+        outstanding: u64,
+    },
+    /// The sink underneath the service failed unrecoverably.
+    Sink {
+        /// The sink's own error, rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::RingFull { capacity } => {
+                write!(f, "submission ring full ({capacity} slots)")
+            }
+            IngestError::Hung { ticks, outstanding } => write!(
+                f,
+                "ingest service did not drain within {ticks} ticks ({outstanding} outstanding)"
+            ),
+            IngestError::Sink { detail } => write!(f, "sink error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

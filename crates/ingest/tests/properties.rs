@@ -1,0 +1,129 @@
+//! Property-based tests for the submission ring.
+//!
+//! The ring is the determinism boundary of the ingestion layer, so its
+//! invariants are checked over randomised capacities, batch shapes, and
+//! enqueue-during-drain interleavings rather than a few handpicked
+//! cases:
+//!
+//! * drain order == enqueue order, with contiguous global positions;
+//! * a full ring always reports typed backpressure, never drops;
+//! * wrap-around over many laps never corrupts or reorders;
+//! * interleaving pushes between pops (the "producers racing the tick
+//!   boundary" shape, serialised) preserves exactly-once delivery.
+
+use proptest::prelude::*;
+use vlsi_ingest::{IngestError, SubmissionRing};
+
+proptest! {
+    /// Positions come back contiguous from 0 and values in enqueue
+    /// order, across arbitrary capacities and batch sizes.
+    #[test]
+    fn drain_order_is_enqueue_order(cap in 1usize..32, n in 0usize..80) {
+        let ring = SubmissionRing::new(cap);
+        let mut expect = Vec::new();
+        for v in 0..n as u64 {
+            match ring.try_push(v) {
+                Ok(pos) => {
+                    prop_assert_eq!(pos, expect.len() as u64);
+                    expect.push(v);
+                }
+                Err(IngestError::RingFull { capacity }) => {
+                    prop_assert_eq!(capacity, cap.max(1));
+                    prop_assert_eq!(ring.len(), cap.max(1), "full means full");
+                    break;
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        let drained = ring.drain();
+        prop_assert_eq!(
+            drained,
+            expect.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect::<Vec<_>>()
+        );
+        prop_assert!(ring.is_empty());
+    }
+
+    /// At capacity every further push is typed backpressure, and one
+    /// pop frees exactly one slot.
+    #[test]
+    fn full_ring_backpressures_and_frees_slot_by_slot(cap in 1usize..24) {
+        let ring = SubmissionRing::new(cap);
+        for v in 0..cap as u64 {
+            prop_assert!(ring.try_push(v).is_ok());
+        }
+        for _ in 0..3 {
+            prop_assert_eq!(
+                ring.try_push(999),
+                Err(IngestError::RingFull { capacity: cap.max(1) })
+            );
+        }
+        for lap in 0..cap as u64 {
+            prop_assert_eq!(ring.try_pop(), Some((lap, lap)));
+            prop_assert!(ring.try_push(100 + lap).is_ok(), "pop frees a push");
+            prop_assert_eq!(
+                ring.try_push(999),
+                Err(IngestError::RingFull { capacity: cap.max(1) }),
+                "still full after the paired push"
+            );
+        }
+    }
+
+    /// Many laps around a small ring: the global position sequence
+    /// stays contiguous and values arrive exactly once, in order.
+    #[test]
+    fn wrap_around_preserves_order_across_laps(
+        cap in 1usize..8,
+        laps in 1usize..40,
+        batch in 1usize..6,
+    ) {
+        let ring = SubmissionRing::new(cap);
+        let mut next_value = 0u64;
+        let mut next_pos = 0u64;
+        for _ in 0..laps {
+            let mut pushed = 0;
+            while pushed < batch {
+                match ring.try_push(next_value) {
+                    Ok(pos) => {
+                        prop_assert_eq!(pos, next_value);
+                        next_value += 1;
+                        pushed += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            for (pos, v) in ring.drain() {
+                prop_assert_eq!(pos, next_pos);
+                prop_assert_eq!(v, next_pos);
+                next_pos += 1;
+            }
+        }
+        prop_assert_eq!(next_pos, next_value, "everything pushed was drained");
+    }
+
+    /// Enqueue-during-drain interleavings: a seed-driven schedule of
+    /// pushes and pops (the serialised shape of producers racing the
+    /// consumer) delivers every value exactly once, in enqueue order.
+    #[test]
+    fn interleaved_push_pop_is_exactly_once(
+        cap in 1usize..12,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let ring = SubmissionRing::new(cap);
+        let mut pushed = 0u64;
+        let mut popped = Vec::new();
+        for push in ops {
+            if push {
+                if ring.try_push(pushed).is_ok() {
+                    pushed += 1;
+                }
+            } else if let Some((pos, v)) = ring.try_pop() {
+                prop_assert_eq!(pos, v, "position tracks value by construction");
+                popped.push(v);
+            }
+        }
+        for (_, v) in ring.drain() {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, (0..pushed).collect::<Vec<_>>());
+    }
+}

@@ -260,6 +260,76 @@ mod tests {
         }
     }
 
+    /// A fleet where the chips at `hung` can never drain: each gets an
+    /// idle job far longer than the `max_ticks` the tests run with.
+    fn fleet_with_hung_chips(threads: usize, hung: &[usize]) -> Fleet {
+        let mut fleet = Fleet::new(Pool::new(threads));
+        for c in 0..4 {
+            let mut rt = loaded_runtime(8, 2);
+            if hung.contains(&c) {
+                rt.submit(JobSpec::new("stuck", 1, Workload::Idle { ticks: 1 << 40 }));
+            }
+            fleet.push(rt);
+        }
+        fleet
+    }
+
+    #[test]
+    fn multiple_failing_chips_report_the_lowest_index() {
+        // Chips 1 and 3 both hang; every thread count must blame chip 1
+        // with the same typed error.
+        let serial_err = fleet_with_hung_chips(1, &[1, 3])
+            .run_until_idle(200)
+            .expect_err("hung chips surface");
+        assert_eq!(serial_err.chip, 1, "lowest failing index wins");
+        assert!(
+            matches!(serial_err.error, RuntimeError::Hung { .. }),
+            "typed: {:?}",
+            serial_err.error
+        );
+        for threads in [2, 8] {
+            let err = fleet_with_hung_chips(threads, &[1, 3])
+                .run_until_idle(200)
+                .expect_err("hung chips surface");
+            assert_eq!(err, serial_err, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn survivors_merge_deterministically_after_a_chip_fails() {
+        // After the fleet-level error, the surviving chips' events and
+        // telemetry must still merge bit-identically at every thread
+        // count — a failure on one chip cannot perturb the others.
+        let digest = |threads: usize| {
+            let mut fleet = fleet_with_hung_chips(threads, &[2]);
+            fleet.run_until_idle(200).expect_err("chip 2 hangs");
+            (
+                format!("{:?}", fleet.merged_events()),
+                fleet.merged_telemetry().snapshot().to_json(),
+            )
+        };
+        let serial = digest(1);
+        assert!(serial.0.len() > 2, "survivors produced events");
+        for threads in [2, 8] {
+            assert_eq!(digest(threads), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn first_error_picks_the_lowest_chip_regardless_of_order() {
+        // The merge rule itself: with chips 1 and 3 both failing, the
+        // fleet error is always chip 1's, whatever order workers finish.
+        let hung = |ticks| RuntimeError::Hung {
+            ticks,
+            outstanding: 1,
+        };
+        let results = vec![Ok(()), Err(hung(10)), Ok(()), Err(hung(99))];
+        let err = first_error(results.into_iter()).expect_err("two chips failed");
+        assert_eq!(err.chip, 1);
+        assert_eq!(err.error, hung(10), "chip 1's own error, not chip 3's");
+        assert!(first_error(vec![Ok(()), Ok(())].into_iter()).is_ok());
+    }
+
     #[test]
     fn merged_events_interleave_in_chip_order() {
         let mut fleet = Fleet::serial();

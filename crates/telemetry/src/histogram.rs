@@ -153,6 +153,26 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// The quantile at `permille` (500 = p50, 990 = p99), reported as
+    /// the floor of the bucket the rank-th sample landed in — a lower
+    /// bound quantised to the log2 boundaries, integer-only and
+    /// byte-stable like every other export. Returns 0 when empty;
+    /// `permille` is clamped to 1000.
+    pub fn percentile(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * permille.min(1000)).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        Self::bucket_floor(HISTOGRAM_BUCKETS - 1)
+    }
+
     /// `(bucket floor, occupancy)` for every non-empty bucket, in
     /// ascending boundary order.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -266,5 +286,30 @@ mod tests {
         let h = Histogram::new();
         assert_eq!((h.count(), h.min(), h.max(), h.mean()), (0, 0, 0, 0));
         assert!(h.nonzero_buckets().is_empty());
+        assert_eq!(h.percentile(500), 0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_bucket_ranks() {
+        let mut h = Histogram::new();
+        // 90 samples of 1 (bucket 1, floor 1), 9 of 100 (bucket 7,
+        // floor 64), 1 of 5000 (bucket 13, floor 4096).
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(5000);
+        assert_eq!(h.percentile(500), 1, "p50 in the bulk");
+        assert_eq!(h.percentile(900), 1, "rank 90 is still a 1-sample");
+        assert_eq!(h.percentile(990), 64, "p99 lands on the 100s");
+        assert_eq!(h.percentile(1000), 4096, "p100 is the max bucket");
+        assert_eq!(h.percentile(5000), 4096, "permille clamps");
+        // A single sample answers every quantile.
+        let mut one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.percentile(1), 4);
+        assert_eq!(one.percentile(999), 4);
     }
 }

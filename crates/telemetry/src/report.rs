@@ -92,7 +92,31 @@ pub fn render(snapshot: &Snapshot) -> String {
             snapshot.dropped_spans()
         ));
     }
+    let losses: Vec<String> = snapshot
+        .entries()
+        .iter()
+        .filter_map(|(name, v)| match v {
+            SnapshotValue::Counter(c) if *c > 0 && is_loss_counter(name) => {
+                Some(format!("{name}={c}"))
+            }
+            _ => None,
+        })
+        .collect();
+    if !losses.is_empty() {
+        out.push_str(&format!("(loss accounting: {})\n", losses.join(", ")));
+    }
     out
+}
+
+/// Counters that record work leaving the system without completing —
+/// surfaced in a dedicated report footer so a lossy run is impossible
+/// to miss in a scrolled table.
+fn is_loss_counter(name: &str) -> bool {
+    name == "runtime.events_dropped"
+        || name == "ingest.gave_up"
+        || name.starts_with("fabric.jobs_lost")
+        || name.starts_with("ingest.shed.")
+        || name.starts_with("ingest.rejected.")
 }
 
 #[cfg(test)]
@@ -136,5 +160,29 @@ mod tests {
     fn empty_snapshot_renders_header_only() {
         let table = render(&Snapshot::default());
         assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn loss_counters_surface_in_a_footer() {
+        let mut r = Registry::new();
+        r.count("runtime.events_dropped", 3);
+        r.count("fabric.jobs_lost.no_live_chip", 1);
+        r.count("ingest.shed.deadline", 7);
+        r.count("noc.link_crossings", 500);
+        let table = render(&r.snapshot());
+        let footer = table.lines().last().unwrap();
+        assert!(footer.starts_with("(loss accounting:"), "footer: {footer}");
+        assert!(footer.contains("runtime.events_dropped=3"));
+        assert!(footer.contains("fabric.jobs_lost.no_live_chip=1"));
+        assert!(footer.contains("ingest.shed.deadline=7"));
+        assert!(!footer.contains("noc.link_crossings"), "not a loss class");
+    }
+
+    #[test]
+    fn lossless_run_renders_no_footer() {
+        let mut r = Registry::new();
+        r.count("runtime.submissions", 10);
+        let table = render(&r.snapshot());
+        assert_eq!(table.lines().count(), 3, "header + rule + one row only");
     }
 }

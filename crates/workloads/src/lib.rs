@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod figure7;
 pub mod jobmix;
 pub mod ocode;
@@ -31,6 +32,7 @@ pub mod program;
 pub mod randpath;
 pub mod streaming;
 
+pub use arrivals::{arrival_trace, ArrivalEvent, ArrivalProfile};
 pub use ocode::{assemble, disassemble};
 pub use optimizer::optimize_stream;
 pub use program::{BasicBlock, BlockDatapath, Expr, Program, Stmt, Terminator};

@@ -10,6 +10,7 @@ pub use vlsi_cost as cost;
 pub use vlsi_csd as csd;
 pub use vlsi_fabric as fabric;
 pub use vlsi_faults as faults;
+pub use vlsi_ingest as ingest;
 pub use vlsi_noc as noc;
 pub use vlsi_object as object;
 pub use vlsi_par as par;
@@ -23,3 +24,10 @@ pub use vlsi_workloads as workloads;
 /// runtimes plus the fabric types that turn it into one machine.
 pub use vlsi_fabric::{Cluster, ClusterConfig, ClusterNetwork, ClusterTopology};
 pub use vlsi_runtime::{Fleet, FleetError};
+
+/// The ingestion front door, re-exported flat: the submission ring,
+/// admission control, the retrying client, and the tick-boundary
+/// service that drives any sink deterministically under overload.
+pub use vlsi_ingest::{
+    AdmissionVerdict, IngestClient, IngestConfig, IngestError, IngestService, SubmissionRing,
+};
