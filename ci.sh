@@ -26,23 +26,29 @@ echo "== bench smoke (one iteration per workload, emitted JSON validates)"
 BENCH_SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
 ./target/release/bench --smoke --out "$BENCH_SMOKE_DIR"
-# --check validates the fresh JSONs (cluster and ingest included) and
+# --check validates the fresh JSONs (cluster, ingest, and compile
+# included) and
 # compares medians against the committed BENCH_*.json at the repo root.
 # The smoke tier gates fatally but with a generous threshold (smoke runs
 # are single-iteration and noisy); the full-run tier stays warn-only at
 # 0.25 for trend tracking.
 ./target/release/bench --check "$BENCH_SMOKE_DIR" --baseline . --check-threshold 1.0 --check-fatal
 
-echo "== thread-matrix determinism (bench --digest at 1 vs 8 threads, double-run)"
+echo "== thread-matrix determinism (bench --digest at 1/2/8 threads, double-run)"
 # The digest covers the fleet, sharded-NoC, acceptance, chaos,
-# cluster_4x, and ingest_open_loop workloads — the cluster lines gate
-# the inter-chip fabric, the ingest lines the admission front door.
+# cluster_4x, ingest_open_loop, and compile_corpus workloads — the
+# cluster lines gate the inter-chip fabric, the ingest lines the
+# admission front door, and the compile lines pin the compiler's full
+# artifact trail plus its executed output on both fleet and cluster
+# sinks to one byte pattern at every thread count.
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1" --threads 1 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1b" --threads 1 >/dev/null
+./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t2" --threads 2 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t8" --threads 8 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t8b" --threads 8 >/dev/null
 cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t1b"
 cmp "$BENCH_SMOKE_DIR/digest.t8" "$BENCH_SMOKE_DIR/digest.t8b"
+cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t2"
 cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t8"
 cargo test -q --offline --test parallel_determinism
 

@@ -1,10 +1,11 @@
 //! `bench` — the BENCH-emitting runner.
 //!
-//! Executes the sched / faults / hotpath / fleet / cluster / ingest
-//! workload families and writes `BENCH_sched.json`, `BENCH_faults.json`,
-//! `BENCH_hotpath.json`, `BENCH_fleet.json`, `BENCH_cluster.json`, and
-//! `BENCH_ingest.json` (median ns/iter, ops/s, seed, git rev) so the
-//! perf trajectory is machine-readable at the repo root.
+//! Executes the sched / faults / hotpath / fleet / cluster / ingest /
+//! compile workload families and writes `BENCH_sched.json`,
+//! `BENCH_faults.json`, `BENCH_hotpath.json`, `BENCH_fleet.json`,
+//! `BENCH_cluster.json`, `BENCH_ingest.json`, and `BENCH_compile.json`
+//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
+//! machine-readable at the repo root.
 //!
 //! ```text
 //! bench [--smoke] [--threads N] [--out DIR]   run workloads, write + validate JSONs
@@ -28,17 +29,18 @@ use vlsi_bench::harness::{
     git_rev, measure, parse_medians, parse_seed, render_json, validate_json, BenchSample,
 };
 use vlsi_bench::hotpath::{
-    chaos_mix, cluster_4x, faults_noc, faults_sched, fleet_mix, gather_release_churn,
-    ingest_open_loop, noc_storm, sched_acceptance, sched_mix, SEED,
+    chaos_mix, cluster_4x, compile_corpus, faults_noc, faults_sched, fleet_mix,
+    gather_release_churn, ingest_open_loop, noc_storm, sched_acceptance, sched_mix, SEED,
 };
 
-const FILES: [&str; 6] = [
+const FILES: [&str; 7] = [
     "BENCH_sched.json",
     "BENCH_faults.json",
     "BENCH_hotpath.json",
     "BENCH_fleet.json",
     "BENCH_cluster.json",
     "BENCH_ingest.json",
+    "BENCH_compile.json",
 ];
 
 /// Default for `--check-threshold`: median regressions beyond this
@@ -137,6 +139,13 @@ fn main() {
         SEED,
         &rev,
         ingest_samples(iters, threads),
+    );
+    emit(
+        &out_dir,
+        "compile",
+        SEED,
+        &rev,
+        compile_samples(iters, threads),
     );
 }
 
@@ -261,6 +270,22 @@ fn ingest_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
     samples
 }
 
+fn compile_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
+    let mut samples = Vec::new();
+    let mut extras = (0u64, 0u64);
+    let (mut s, completed) = measure("compile_corpus_12", iters, || {
+        let (graphs, completed, digest_fnv) = compile_corpus(threads);
+        extras = (graphs, digest_fnv);
+        completed
+    });
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("graphs", extras.0));
+    s.extra.push(("completed", completed));
+    s.extra.push(("digest_fnv", extras.1));
+    samples.push(s);
+    samples
+}
+
 fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
     for s in &samples {
         println!(
@@ -287,6 +312,7 @@ fn digest(file: &str, threads: usize) {
     let (_, chaos_fnv) = chaos_mix();
     let (cluster_completed, cluster_msgs, cluster_fnv) = cluster_4x(threads);
     let ingest = ingest_open_loop(threads);
+    let (compile_graphs, compile_completed, compile_fnv) = compile_corpus(threads);
     let text = format!(
         "seed {SEED}\n\
          fleet_64x64x4 completed {completed}\n\
@@ -301,7 +327,10 @@ fn digest(file: &str, threads: usize) {
          ingest_open_loop_4x arrivals {arrivals}\n\
          ingest_open_loop_4x accepted {accepted}\n\
          ingest_open_loop_4x completed {ingest_completed}\n\
-         ingest_open_loop_4x digest_fnv {ingest_fnv:#018x}\n",
+         ingest_open_loop_4x digest_fnv {ingest_fnv:#018x}\n\
+         compile_corpus_12 graphs {compile_graphs}\n\
+         compile_corpus_12 completed {compile_completed}\n\
+         compile_corpus_12 digest_fnv {compile_fnv:#018x}\n",
         arrivals = ingest.arrivals,
         accepted = ingest.accepted,
         ingest_completed = ingest.completed,
@@ -355,9 +384,15 @@ fn check(dir: &str, baseline_dir: &str, threshold: f64, fatal: bool) {
 /// noisy, so this surfaces a trajectory signal without flaking the
 /// build. Skips silently (returning 0) when the baseline is missing or
 /// was taken under a different seed (the numbers would not be
-/// comparable).
+/// comparable). A missing baseline file — or a sample name absent from
+/// the baseline — is a **new workload**, reported as such and never a
+/// regression: the first committed run establishes the baseline.
 fn diff_against_baseline(fresh: &str, baseline_path: &str, threshold: f64) -> usize {
     let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        println!(
+            "  new workload: no committed baseline at {baseline_path} yet \
+             — this run's numbers establish it"
+        );
         return 0;
     };
     if parse_seed(&baseline) != parse_seed(fresh) {
@@ -368,6 +403,7 @@ fn diff_against_baseline(fresh: &str, baseline_path: &str, threshold: f64) -> us
     let mut regressions = 0;
     for (name, new_ns) in parse_medians(fresh) {
         let Some(&old_ns) = old.get(&name) else {
+            println!("  new workload {name}: no baseline median, tracked from this run");
             continue;
         };
         if old_ns == 0 {

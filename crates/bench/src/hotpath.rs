@@ -19,6 +19,11 @@
 //!   interconnect: chip 0 is oversubscribed so jobs migrate over real
 //!   links, and one chip dies mid-run. The digest the thread-matrix
 //!   gate compares covers the merged event logs and telemetry.
+//! * **compile** — the 12-graph netgen corpus through every
+//!   vlsi-compile pass, then executed as staged jobs against the
+//!   netlist evaluator's reference outputs on both a two-chip fleet
+//!   and a two-chip ring cluster; the digest covers the full artifact
+//!   trail plus both sinks' event logs.
 //! * **ingest** — the same 4-chip ring behind the vlsi-ingest front
 //!   door, fed an open-loop overload trace through the submission ring
 //!   while a chip dies mid-run: admission sheds typed, the client backs
@@ -401,6 +406,101 @@ pub fn ingest_open_loop(threads: usize) -> IngestOpenLoopReport {
         sojourn_p99: p99,
         digest_fnv: fnv1a(text.as_bytes()),
     }
+}
+
+/// The compile mix: the full 12-graph netgen corpus driven through
+/// every vlsi-compile pass, then *executed* — each compiled
+/// [`StagedProgram`](vlsi_core::StagedProgram) becomes a
+/// `Workload::Staged` job with three deterministic datasets and the
+/// netlist evaluator's reference outputs attached, submitted to both a
+/// two-chip [`Fleet`] and a two-chip ring [`ChipCluster`] on a
+/// `threads`-wide pool. The runtime fails any job whose on-chip
+/// outputs diverge from the reference, so `completed` doubles as a
+/// correctness count. Returns `(graphs, completed, digest_fnv)`; the
+/// digest covers every pass's artifact dump plus both sinks' merged
+/// event logs, so it must be bit-identical at every thread count — the
+/// thread-matrix CI gate compares it.
+pub fn compile_corpus(threads: usize) -> (u64, u64, u64) {
+    use std::collections::HashMap;
+    use vlsi_compile::{compile, CompileOptions};
+
+    let opts = CompileOptions::default();
+    let corpus = vlsi_workloads::netgen::corpus(SEED);
+    let mut text = String::new();
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for (name, src) in &corpus {
+        let c = compile(src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let _ = writeln!(text, "graph {name}");
+        text.push_str(&c.emit_all());
+        let mut rng = Prng::seed_from_u64(SEED ^ fnv1a(name.as_bytes()));
+        let mut datasets = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..3 {
+            let mut env: HashMap<String, i64> = HashMap::new();
+            for input in c.netlist.input_names() {
+                env.insert(input.to_string(), i64::from(rng.gen_range(-500..500i32)));
+            }
+            expected.push(c.netlist.evaluate(&env));
+            datasets.push(env);
+        }
+        jobs.push(JobSpec::for_staged(
+            format!("compile_{name}"),
+            c.program.clone(),
+            datasets,
+            Some(expected),
+        ));
+    }
+    let graphs = corpus.len() as u64;
+
+    // Fleet sink: jobs alternate between two 16×16 chips.
+    let mut fleet = Fleet::new(Pool::new(threads));
+    for chip_ix in 0..2usize {
+        let chip = VlsiChip::with_telemetry(16, 16, Cluster::default(), TelemetryHandle::active());
+        let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
+        for (j, spec) in jobs.iter().enumerate() {
+            if j % 2 == chip_ix {
+                rt.submit(spec.clone());
+            }
+        }
+        fleet.push(rt);
+    }
+    let summaries = fleet.run_until_idle(500_000).expect("fleet must drain");
+    let mut completed: u64 = summaries.iter().map(|s| s.completed).sum();
+    assert_eq!(
+        summaries.iter().map(|s| s.failed).sum::<u64>(),
+        0,
+        "compiled programs must match the netlist evaluator on the fleet"
+    );
+    for (c, e) in fleet.merged_events() {
+        let _ = writeln!(text, "fleet {c} {e:?}");
+    }
+
+    // Cluster sink: the same jobs over the fabric, two-chip ring.
+    let mut cluster = ChipCluster::with_telemetry(
+        ClusterTopology::ring(2),
+        (16, 16),
+        Pool::new(threads),
+        ClusterConfig::standard(),
+        TelemetryHandle::active(),
+    );
+    for _ in 0..2 {
+        let chip = VlsiChip::with_telemetry(16, 16, Cluster::default(), TelemetryHandle::active());
+        cluster.push_chip(Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default()));
+    }
+    for (j, spec) in jobs.iter().enumerate() {
+        cluster.submit_to(j % 2, spec.clone());
+    }
+    let summary = cluster.run_until_idle(500_000).expect("cluster must drain");
+    assert_eq!(
+        summary.failed, 0,
+        "compiled programs must match the netlist evaluator on the cluster"
+    );
+    completed += summary.completed;
+    for (c, e) in cluster.merged_events() {
+        let _ = writeln!(text, "cluster {c} {e:?}");
+    }
+
+    (graphs, completed, fnv1a(text.as_bytes()))
 }
 
 /// A 256-worm storm on a 32×32 mesh ticked through the *sharded* NoC

@@ -1,0 +1,107 @@
+//! The CSD channel-assignment pass: bind live-ins to mailbox blocks.
+//!
+//! Inter-stage values travel the way §2.6.2/Figure 7 move data between
+//! processors: the producer (or the driver, for graph inputs) writes
+//! the consumer's memory block at address 0 while the consumer is
+//! inactive. Each stage's memory objects are its CSD-side mailbox
+//! channels; this pass assigns every live-in a block index —
+//! deterministically, in ascending producer-node order, so the same
+//! partition always yields the same channel map — and checks the count
+//! against the shaped region's memory capacity.
+
+use crate::error::CompileError;
+use crate::netlist::{Netlist, NodeId};
+use crate::partition::Partition;
+use crate::shape::Shape;
+use vlsi_topology::Cluster;
+
+/// One stage's channel map.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StageChannels {
+    /// `(producer node, mailbox block index)` in block order 0..n.
+    pub bindings: Vec<(NodeId, usize)>,
+}
+
+/// The channel-assignment artifact.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Channels {
+    /// Per-stage maps, in stage order.
+    pub stages: Vec<StageChannels>,
+    /// Total mailbox channels across all stages.
+    pub total: usize,
+}
+
+/// Assigns mailbox blocks for every stage of `part`, validating the
+/// count against `shape`'s regions (capacity = clusters × per-cluster
+/// memory objects).
+pub fn assign_channels(
+    netlist: &Netlist,
+    part: &Partition,
+    shape: &Shape,
+    cluster: &Cluster,
+) -> Result<Channels, CompileError> {
+    let _ = netlist; // bindings derive from the partition's live-ins
+    let mut stages = Vec::with_capacity(part.stages.len());
+    let mut total = 0usize;
+    for (i, st) in part.stages.iter().enumerate() {
+        // Live-ins are already ascending by node id; block = position.
+        let bindings: Vec<(NodeId, usize)> = st
+            .live_ins
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(block, node)| (node, block))
+            .collect();
+        let capacity = shape.stages[i].clusters() * cluster.memory_objects;
+        if bindings.len() > capacity {
+            return Err(CompileError::ChannelOverflow {
+                stage: i,
+                channels: bindings.len(),
+                capacity,
+            });
+        }
+        total += bindings.len();
+        stages.push(StageChannels { bindings });
+    }
+    Ok(Channels { stages, total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::partition::partition;
+    use crate::shape::shape;
+
+    #[test]
+    fn blocks_are_dense_and_in_producer_order() {
+        let n = Netlist::parse(
+            "graph g\ninput x\ninput y\nnode a add x y\nnode b mul a y\noutput o b\n",
+        )
+        .unwrap();
+        let cluster = Cluster::default();
+        let p = partition(&n, 1); // force two stages
+        let s = shape(&n, &p, &cluster, 8, 8, 2012).unwrap();
+        let ch = assign_channels(&n, &p, &s, &cluster).unwrap();
+        assert_eq!(ch.stages.len(), 2);
+        // Stage 0 reads x(0), y(1); stage 1 reads y(1), a(2).
+        assert_eq!(ch.stages[0].bindings, vec![(0, 0), (1, 1)]);
+        assert_eq!(ch.stages[1].bindings, vec![(1, 0), (2, 1)]);
+        assert_eq!(ch.total, 4);
+    }
+
+    #[test]
+    fn shaped_regions_always_have_channel_capacity() {
+        let cluster = Cluster::default();
+        for (name, text) in vlsi_workloads::netgen::corpus(2012) {
+            let n = Netlist::parse(&text).unwrap();
+            let p = partition(&n, 12);
+            let s = shape(&n, &p, &cluster, 32, 32, 2012).unwrap();
+            let ch =
+                assign_channels(&n, &p, &s, &cluster).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for (st, sc) in p.stages.iter().zip(&ch.stages) {
+                assert_eq!(st.live_ins.len(), sc.bindings.len());
+            }
+        }
+    }
+}

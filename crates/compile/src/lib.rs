@@ -1,0 +1,59 @@
+//! vlsi-compile: a pass-pipeline compiler from dataflow-graph netlists
+//! to scheduled AP regions.
+//!
+//! The paper's §5 sketches the software stack above the VLSI processor:
+//! an *application compiler* decides what runs where and in which
+//! stream order, and the hardware merely replays the configuration it
+//! is handed. This crate is that compiler for the repo's simulated
+//! target. It ingests a line-oriented **netlist** text format (a
+//! dataflow DAG of binary integer ops, in the spirit of
+//! `vlsi-workloads`' ocode assembler) and lowers it through six
+//! explicit, individually testable passes:
+//!
+//! 1. [`netlist`] — **parse**: text → [`Netlist`], with typed
+//!    1-line-numbered errors and a byte-identical [`Netlist::render`]
+//!    round trip;
+//! 2. [`partition`] — **partition**: the DAG is cut into pipeline
+//!    stages of bounded size, generalising the basic-block partitioner
+//!    with a cut-size heuristic (operands pull nodes toward their
+//!    producers' stages; constants duplicate locally for free);
+//! 3. [`shape`] — **shape**: each stage picks a rectangular AP region
+//!    sized by the §4 cost model (minimum area, then minimum
+//!    perimeter-weighted wire delay for the configured ITRS year);
+//! 4. [`place`] — **place**: shapes bind to concrete die coordinates
+//!    on a defect-aware [`FabricIndex`](vlsi_topology::FabricIndex)
+//!    mirror, largest-first / row-major first-fit;
+//! 5. [`channels`] — **channel assignment**: every inter-stage value
+//!    gets a CSD mailbox block, checked against memory capacity;
+//! 6. [`schedule`] — **schedule**: stages lower to
+//!    [`StagedProgram`](vlsi_core::StagedProgram) objects + optimised
+//!    configuration streams, directly submittable to the runtime as
+//!    [`Workload::Staged`](vlsi_runtime) jobs or executable in-process
+//!    via [`StagedExecutor`](vlsi_core::StagedExecutor).
+//!
+//! [`compile`] chains all six; [`Compilation::emit_after`] dumps any
+//! intermediate artifact as deterministic text (the `vlsic` binary's
+//! `--emit-after=<pass>` flag). Everything is deterministic per input
+//! and options — byte-identical across runs and thread counts, which
+//! the CI thread-matrix gate checks.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod channels;
+pub mod error;
+pub mod netlist;
+pub mod partition;
+pub mod pipeline;
+pub mod place;
+pub mod schedule;
+pub mod shape;
+
+pub use channels::{assign_channels, Channels, StageChannels};
+pub use error::CompileError;
+pub use netlist::{NetOp, Netlist, NetlistError, NodeId};
+pub use partition::{partition, PartStage, Partition};
+pub use pipeline::{compile, Compilation, CompileOptions, Pass};
+pub use place::{place, Placement};
+pub use schedule::schedule;
+pub use shape::{shape, Shape, StageShape};

@@ -1,0 +1,127 @@
+//! Property-based tests for the netlist front-end and the pipeline.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vlsi_compile::{compile, CompileOptions, Netlist};
+use vlsi_workloads::netgen::{self, GraphKind};
+
+fn kind_from(sel: u8, size: u8) -> GraphKind {
+    match sel % 4 {
+        0 => GraphKind::Chain {
+            len: 1 + usize::from(size % 48),
+        },
+        1 => GraphKind::Tree {
+            depth: 1 + u32::from(size % 5),
+        },
+        2 => GraphKind::Butterfly {
+            lanes_log2: 1 + u32::from(size % 4),
+        },
+        _ => GraphKind::Random {
+            nodes: 2 + usize::from(size % 40),
+        },
+    }
+}
+
+proptest! {
+    /// Any generated netlist round-trips byte-identically:
+    /// parse → render reproduces the generator's text, and rendering
+    /// a re-parse of the render changes nothing.
+    #[test]
+    fn netlist_roundtrip_is_byte_identical(seed: u64, sel: u8, size: u8) {
+        let text = netgen::generate(kind_from(sel, size), seed);
+        let n = Netlist::parse(&text).unwrap();
+        let rendered = n.render();
+        prop_assert_eq!(&rendered, &text, "render != generator text");
+        let n2 = Netlist::parse(&rendered).unwrap();
+        prop_assert_eq!(n2.render(), rendered, "second round trip diverged");
+    }
+
+    /// The parser is total: arbitrary printable text never panics, and
+    /// every rejection carries a line number within the input (or 0 for
+    /// whole-file errors) plus a non-empty message.
+    #[test]
+    fn parser_is_total_with_line_numbers(text in "[ -~\n]{0,300}") {
+        match Netlist::parse(&text) {
+            Ok(n) => {
+                // Accepted text must round-trip through the renderer.
+                let r = n.render();
+                prop_assert_eq!(Netlist::parse(&r).unwrap().render(), r);
+            }
+            Err(e) => {
+                prop_assert!(e.line <= text.lines().count());
+                prop_assert!(!e.message.is_empty());
+                prop_assert!(e.to_string().starts_with(&format!("line {}:", e.line)));
+            }
+        }
+    }
+
+    /// Whole-pipeline determinism: compiling the same generated graph
+    /// twice yields identical artifacts, and the compiled program's
+    /// on-evaluator semantics match the netlist evaluator under random
+    /// input environments.
+    #[test]
+    fn pipeline_is_deterministic_per_seed(seed: u64, sel: u8, size: u8, x: i32, y: i32) {
+        let text = netgen::generate(kind_from(sel, size), seed);
+        let opts = CompileOptions::default();
+        let a = compile(&text, &opts).unwrap();
+        let b = compile(&text, &opts).unwrap();
+        prop_assert_eq!(a.emit_all(), b.emit_all());
+        prop_assert_eq!(&a.program, &b.program);
+        // The partition never loses or duplicates semantics: the
+        // evaluator's view of the graph is unchanged by compilation.
+        let mut env = HashMap::new();
+        for (i, name) in a.netlist.input_names().into_iter().enumerate() {
+            env.insert(
+                name.to_string(),
+                if i % 2 == 0 { i64::from(x) } else { i64::from(y) },
+            );
+        }
+        prop_assert_eq!(a.netlist.evaluate(&env), b.netlist.evaluate(&env));
+    }
+}
+
+/// Malformed inputs produce typed errors pointing at the right 1-based
+/// line, mirroring the ocode assembler's contract.
+#[test]
+fn malformed_inputs_name_the_line() {
+    let cases: &[(&str, usize, &str)] = &[
+        ("input x\n", 1, "expected `graph"),
+        ("graph g\ngraph h\n", 2, "second `graph`"),
+        ("graph g\ninput x\ninput x\n", 3, "duplicate name"),
+        ("graph g\nnode a xor a b\n", 2, "unknown operation"),
+        ("graph g\nconst k banana\n", 2, "needs an integer value"),
+        ("graph g\ninput x\nnode a add x ghost\n", 3, "undefined"),
+        ("graph g\ninput x\noutput o ghost\n", 3, "undefined"),
+        (
+            "graph g\ninput x\noutput o x\noutput o x\n",
+            4,
+            "duplicate output",
+        ),
+        ("graph g\ninput x trailing\n", 2, "unexpected token"),
+        ("graph g\nfrobnicate x\n", 2, "unknown keyword"),
+        ("graph g\ninput x\n", 0, "no outputs"),
+        ("", 0, "empty netlist"),
+        ("# only comments\n\n", 0, "empty netlist"),
+    ];
+    for (text, line, needle) in cases {
+        let e = Netlist::parse(text).unwrap_err();
+        assert_eq!(e.line, *line, "{text:?}: {e}");
+        assert!(
+            e.message.contains(needle),
+            "{text:?}: `{e}` lacks `{needle}`"
+        );
+    }
+}
+
+/// The full 12-graph corpus round-trips byte-identically and compiles.
+#[test]
+fn corpus_roundtrips_and_compiles() {
+    let corpus = netgen::corpus(2012);
+    assert!(corpus.len() >= 12, "corpus shrank to {}", corpus.len());
+    let opts = CompileOptions::default();
+    for (name, text) in corpus {
+        let n = Netlist::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(n.render(), text, "{name}: round trip not byte-identical");
+        compile(&text, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

@@ -16,7 +16,10 @@
 //!   stack, its adaptive processor, and its lifecycle state;
 //! * [`blockexec`] — execution of basic-block-partitioned programs across
 //!   multiple processors through mailbox memory writes and activation
-//!   (Figure 7(d)).
+//!   (Figure 7(d));
+//! * [`staged`] — execution of compiler-emitted dataflow stage chains
+//!   ([`StagedProgram`]) over the same mailbox choreography, with
+//!   placement-directed deployment.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,10 +28,12 @@ pub mod blockexec;
 pub mod chip;
 pub mod error;
 pub mod scaled;
+pub mod staged;
 pub mod state;
 
 pub use blockexec::{BlockExecutor, PipelineReport, RunStats};
 pub use chip::{ChipMetrics, ConfigStrategy, GatherOutcome, VlsiChip};
 pub use error::CoreError;
 pub use scaled::{ProcessorId, ScaledProcessor};
+pub use staged::{StagedExecutor, StagedProgram, StagedRunStats, StagedStage};
 pub use state::ProcState;

@@ -1,0 +1,343 @@
+//! Executing compiled, pre-placed stage programs on a chip.
+//!
+//! [`blockexec`](crate::blockexec) runs *control-flow* partitions: basic
+//! blocks joined by jumps and branches, each lowered on the fly. The
+//! compiler (`vlsi-compile`) instead emits *dataflow* partitions: a DAG
+//! cut into stages that execute once each, in index order, passing
+//! live values forward through mailbox memory writes — the same §2.6.2
+//! choreography (the predecessor writes a successor's memory blocks
+//! while the successor is inactive), but with the lowering done ahead
+//! of time and the region shapes chosen by the placement pass.
+//!
+//! [`StagedProgram`] is that ahead-of-time artifact: per stage, the
+//! logical objects, the optimised configuration stream, the live-in
+//! mailbox bindings, and the live-out probe taps. [`StagedExecutor`]
+//! deploys it — either wherever the allocator finds room
+//! ([`StagedExecutor::deploy`]) or onto the exact rectangles the
+//! compiler placed ([`StagedExecutor::deploy_placed`]) — and pushes
+//! input environments through the stage chain.
+
+use crate::chip::VlsiChip;
+use crate::error::CoreError;
+use crate::scaled::ProcessorId;
+use std::collections::HashMap;
+use vlsi_object::{GlobalConfigStream, LogicalObject, ObjectId, Word};
+use vlsi_topology::Region;
+
+/// One compiled stage: a partition of the dataflow graph, lowered to
+/// objects + stream, with its mailbox and probe contracts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StagedStage {
+    /// Stage label (for traces and artifact dumps).
+    pub name: String,
+    /// Clusters the stage's region must span.
+    pub clusters: usize,
+    /// Logical objects to install.
+    pub objects: Vec<LogicalObject>,
+    /// Optimised global configuration stream.
+    pub stream: GlobalConfigStream,
+    /// Live-in value name → mailbox memory-block index (the CSD channel
+    /// the predecessor writes into while this stage is inactive).
+    pub inputs: Vec<(String, usize)>,
+    /// Live-out value name → probe (tap) object.
+    pub outputs: Vec<(String, ObjectId)>,
+}
+
+/// A compiled program: stages executed in index order, every inter-stage
+/// value carried by a mailbox write.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StagedProgram {
+    /// Program name (from the source netlist).
+    pub name: String,
+    /// Stages in execution (topological) order.
+    pub stages: Vec<StagedStage>,
+    /// Program outputs: `(output name, value name)` — the value is read
+    /// from the environment after the last stage retires.
+    pub outputs: Vec<(String, String)>,
+}
+
+impl StagedProgram {
+    /// Total clusters across all stages (the admission request).
+    pub fn clusters(&self) -> usize {
+        self.stages.iter().map(|s| s.clusters).sum()
+    }
+}
+
+/// Statistics of one staged run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StagedRunStats {
+    /// Stages executed (activations).
+    pub stages_executed: u64,
+    /// Mailbox words written between stages.
+    pub mailbox_writes: u64,
+    /// Total datapath execution cycles across stages.
+    pub exec_cycles: u64,
+    /// Total configuration cycles across stages.
+    pub config_cycles: u64,
+}
+
+/// A deployed staged program: one processor per stage.
+#[derive(Debug)]
+pub struct StagedExecutor {
+    program: StagedProgram,
+    procs: Vec<ProcessorId>,
+}
+
+impl StagedExecutor {
+    /// Deploys `program` wherever the allocator finds free clusters
+    /// (one `gather_any` per stage). On failure, every processor
+    /// gathered so far is released — the chip is left as found.
+    pub fn deploy(
+        chip: &mut VlsiChip,
+        program: StagedProgram,
+    ) -> Result<StagedExecutor, CoreError> {
+        Self::deploy_with(chip, program, |chip, stage, _| {
+            chip.gather_any(stage.clusters).map(|o| o.id)
+        })
+    }
+
+    /// Deploys `program` onto the exact `regions` the placement pass
+    /// chose (one region per stage, same order). On failure, every
+    /// processor gathered so far is released.
+    pub fn deploy_placed(
+        chip: &mut VlsiChip,
+        program: StagedProgram,
+        regions: &[Region],
+    ) -> Result<StagedExecutor, CoreError> {
+        assert_eq!(regions.len(), program.stages.len(), "one region per stage");
+        Self::deploy_with(chip, program, |chip, _, i| {
+            chip.gather(regions[i].clone()).map(|o| o.id)
+        })
+    }
+
+    fn deploy_with(
+        chip: &mut VlsiChip,
+        program: StagedProgram,
+        mut gather: impl FnMut(&mut VlsiChip, &StagedStage, usize) -> Result<ProcessorId, CoreError>,
+    ) -> Result<StagedExecutor, CoreError> {
+        let mut procs = Vec::with_capacity(program.stages.len());
+        for (i, stage) in program.stages.iter().enumerate() {
+            let step = gather(chip, stage, i)
+                .and_then(|id| chip.install(id, stage.objects.clone()).map(|_| id));
+            match step {
+                Ok(id) => procs.push(id),
+                Err(e) => {
+                    for id in procs {
+                        let _ = chip.release_processor(id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(StagedExecutor { program, procs })
+    }
+
+    /// Runs the program for one input environment. Returns the program
+    /// outputs (in [`StagedProgram::outputs`] order; absent values read
+    /// as 0, matching the mailbox default) and run statistics.
+    pub fn run(
+        &self,
+        chip: &mut VlsiChip,
+        inputs: &HashMap<String, i64>,
+    ) -> Result<(Vec<i64>, StagedRunStats), CoreError> {
+        let mut env = inputs.clone();
+        let mut stats = StagedRunStats::default();
+        for (stage, &proc) in self.program.stages.iter().zip(&self.procs) {
+            for (var, mem_block) in &stage.inputs {
+                let v = env.get(var).copied().unwrap_or(0);
+                chip.write_mailbox(proc, *mem_block, 0, &[Word::from_i64(v)])?;
+                stats.mailbox_writes += 1;
+            }
+            chip.activate(proc)?;
+            let cfg = chip.configure(proc, stage.stream.clone())?;
+            stats.config_cycles += cfg.cycles;
+            let report = chip.execute(proc, 1, 1_000_000)?;
+            stats.exec_cycles += report.cycles;
+            stats.stages_executed += 1;
+            for (var, tap) in &stage.outputs {
+                let vals = report
+                    .taps
+                    .get(tap)
+                    .filter(|v| !v.is_empty())
+                    .ok_or(CoreError::Ap(vlsi_ap::ApError::ExecutionTimeout {
+                        cycles: report.cycles,
+                    }))?;
+                env.insert(var.clone(), vals[0].as_i64());
+            }
+            chip.deactivate(proc)?;
+        }
+        let outputs = self
+            .program
+            .outputs
+            .iter()
+            .map(|(_, var)| env.get(var).copied().unwrap_or(0))
+            .collect();
+        Ok((outputs, stats))
+    }
+
+    /// The deployed program.
+    pub fn program(&self) -> &StagedProgram {
+        &self.program
+    }
+
+    /// The processors holding the stages, in stage order.
+    pub fn processors(&self) -> &[ProcessorId] {
+        &self.procs
+    }
+
+    /// Releases every stage processor (all must be inactive — `run`
+    /// leaves them that way).
+    pub fn release(self, chip: &mut VlsiChip) -> Result<(), CoreError> {
+        for id in self.procs {
+            chip.release_processor(id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_object::{GlobalConfigElement, LocalConfig, Operation};
+    use vlsi_topology::{Cluster, Coord};
+
+    /// Hand-build a two-stage program computing `(a + b) * c`:
+    /// stage 0 computes `t = a + b`, stage 1 computes `out = t * c`.
+    fn two_stage_program() -> StagedProgram {
+        // Stage 0: mailbox loads a (block 0), b (block 1); t = a + b.
+        let s0 = {
+            let a = ObjectId(0);
+            let b = ObjectId(1);
+            let addr_a = ObjectId(2);
+            let addr_b = ObjectId(3);
+            let sum = ObjectId(4);
+            let probe = ObjectId(5);
+            let objects = vec![
+                LogicalObject::memory(a, LocalConfig::op(Operation::Load)).with_init(vec![
+                    Word(0),
+                    Word(0),
+                    Word(0),
+                ]),
+                LogicalObject::memory(b, LocalConfig::op(Operation::Load)).with_init(vec![
+                    Word(0),
+                    Word(1),
+                    Word(0),
+                ]),
+                LogicalObject::compute(addr_a, LocalConfig::with_imm(Operation::Const, Word(0))),
+                LogicalObject::compute(addr_b, LocalConfig::with_imm(Operation::Const, Word(0))),
+                LogicalObject::compute(sum, LocalConfig::op(Operation::IAdd)),
+                LogicalObject::compute(probe, LocalConfig::op(Operation::Pass)),
+            ];
+            let stream: GlobalConfigStream = [
+                GlobalConfigElement::unary(a, addr_a),
+                GlobalConfigElement::unary(b, addr_b),
+                GlobalConfigElement::binary(sum, a, b),
+                GlobalConfigElement::unary(probe, sum),
+            ]
+            .into_iter()
+            .collect();
+            StagedStage {
+                name: "s0".into(),
+                clusters: 4,
+                objects,
+                stream,
+                inputs: vec![("a".into(), 0), ("b".into(), 1)],
+                outputs: vec![("t".into(), probe)],
+            }
+        };
+        // Stage 1: mailbox loads t (block 0), c (block 1); out = t * c.
+        let s1 = {
+            let t = ObjectId(0);
+            let c = ObjectId(1);
+            let addr_t = ObjectId(2);
+            let addr_c = ObjectId(3);
+            let mul = ObjectId(4);
+            let probe = ObjectId(5);
+            let objects = vec![
+                LogicalObject::memory(t, LocalConfig::op(Operation::Load)).with_init(vec![
+                    Word(0),
+                    Word(0),
+                    Word(0),
+                ]),
+                LogicalObject::memory(c, LocalConfig::op(Operation::Load)).with_init(vec![
+                    Word(0),
+                    Word(1),
+                    Word(0),
+                ]),
+                LogicalObject::compute(addr_t, LocalConfig::with_imm(Operation::Const, Word(0))),
+                LogicalObject::compute(addr_c, LocalConfig::with_imm(Operation::Const, Word(0))),
+                LogicalObject::compute(mul, LocalConfig::op(Operation::IMul)),
+                LogicalObject::compute(probe, LocalConfig::op(Operation::Pass)),
+            ];
+            let stream: GlobalConfigStream = [
+                GlobalConfigElement::unary(t, addr_t),
+                GlobalConfigElement::unary(c, addr_c),
+                GlobalConfigElement::binary(mul, t, c),
+                GlobalConfigElement::unary(probe, mul),
+            ]
+            .into_iter()
+            .collect();
+            StagedStage {
+                name: "s1".into(),
+                clusters: 4,
+                objects,
+                stream,
+                inputs: vec![("t".into(), 0), ("c".into(), 1)],
+                outputs: vec![("out".into(), probe)],
+            }
+        };
+        StagedProgram {
+            name: "madd".into(),
+            stages: vec![s0, s1],
+            outputs: vec![("result".into(), "out".into())],
+        }
+    }
+
+    #[test]
+    fn staged_chain_passes_values_by_mailbox() {
+        let mut chip = VlsiChip::new(8, 8, Cluster::default());
+        let exec = StagedExecutor::deploy(&mut chip, two_stage_program()).unwrap();
+        assert_eq!(exec.processors().len(), 2);
+        for (a, b, c) in [(2i64, 3i64, 4i64), (-5, 5, 7), (0, 0, 9)] {
+            let inputs = HashMap::from([
+                ("a".to_string(), a),
+                ("b".to_string(), b),
+                ("c".to_string(), c),
+            ]);
+            let (out, stats) = exec.run(&mut chip, &inputs).unwrap();
+            assert_eq!(out, vec![(a.wrapping_add(b)).wrapping_mul(c)]);
+            assert_eq!(stats.stages_executed, 2);
+            assert_eq!(stats.mailbox_writes, 4);
+        }
+        exec.release(&mut chip).unwrap();
+    }
+
+    #[test]
+    fn deploy_placed_binds_exact_regions() {
+        let mut chip = VlsiChip::new(8, 8, Cluster::default());
+        let regions = vec![
+            Region::rect(Coord::new(0, 0), 2, 2),
+            Region::rect(Coord::new(4, 0), 2, 2),
+        ];
+        let exec = StagedExecutor::deploy_placed(&mut chip, two_stage_program(), &regions).unwrap();
+        let inputs = HashMap::from([
+            ("a".to_string(), 10i64),
+            ("b".to_string(), 20i64),
+            ("c".to_string(), 3i64),
+        ]);
+        let (out, _) = exec.run(&mut chip, &inputs).unwrap();
+        assert_eq!(out, vec![90]);
+        exec.release(&mut chip).unwrap();
+        assert_eq!(chip.free_clusters(), 64);
+    }
+
+    #[test]
+    fn failed_deploy_releases_partial_gathers() {
+        // A 2×2 die cannot hold two 4-cluster stages: the second gather
+        // fails, and the first must be rolled back.
+        let mut chip = VlsiChip::new(2, 2, Cluster::default());
+        let err = StagedExecutor::deploy(&mut chip, two_stage_program());
+        assert!(err.is_err());
+        assert_eq!(chip.free_clusters(), 4);
+    }
+}

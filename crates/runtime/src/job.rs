@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use vlsi_core::ProcessorId;
+use vlsi_core::{ProcessorId, StagedProgram};
 use vlsi_workloads::{Program, StreamKernel};
 
 /// Identifier of a submitted job, in submission order.
@@ -40,6 +40,19 @@ pub enum Workload {
         /// The variable to read out of each final environment.
         result_var: String,
     },
+    /// A compiler-emitted staged dataflow program (vlsi-compile): stages
+    /// deployed one processor each, executed in index order, live values
+    /// passed by mailbox writes. The compiler provides the reference
+    /// outputs (one vector per dataset, in program-output order); a
+    /// mismatch fails the job.
+    Staged {
+        /// The compiled program.
+        program: StagedProgram,
+        /// Input environments, one per dataset.
+        datasets: Vec<HashMap<String, i64>>,
+        /// Reference outputs from the netlist evaluator, if checking.
+        expected: Option<Vec<Vec<i64>>>,
+    },
     /// Pure occupancy: hold the gathered clusters for `ticks` simulated
     /// ticks without executing (a reserved-capacity tenant).
     Idle {
@@ -54,6 +67,7 @@ impl Workload {
         match self {
             Workload::Stream { .. } => "stream",
             Workload::Blocks { .. } => "blocks",
+            Workload::Staged { .. } => "staged",
             Workload::Idle { .. } => "idle",
         }
     }
@@ -142,6 +156,26 @@ impl JobSpec {
         )
     }
 
+    /// A compiled staged-program job; the cluster request is the sum of
+    /// the stage regions the placement pass shaped.
+    pub fn for_staged(
+        name: impl Into<String>,
+        program: StagedProgram,
+        datasets: Vec<HashMap<String, i64>>,
+        expected: Option<Vec<Vec<i64>>>,
+    ) -> JobSpec {
+        let clusters = program.clusters().max(1);
+        JobSpec::new(
+            name,
+            clusters,
+            Workload::Staged {
+                program,
+                datasets,
+                expected,
+            },
+        )
+    }
+
     /// Sets the priority (builder style).
     pub fn with_priority(mut self, priority: u8) -> JobSpec {
         self.priority = priority;
@@ -168,6 +202,8 @@ pub enum JobOutput {
     Stream(Vec<u64>),
     /// Per-dataset values of the result variable of a blocks job.
     Blocks(Vec<i64>),
+    /// Per-dataset program-output vectors of a staged (compiled) job.
+    Staged(Vec<Vec<i64>>),
     /// Idle jobs produce nothing.
     None,
 }

@@ -523,10 +523,10 @@ impl Runtime {
                     Err(_) => self.requeue_job(job_id),
                 }
             }
-            Workload::Blocks { .. } => {
-                // Block processors idle Inactive between runs, and the
-                // outputs are already computed — a quiet relocation keeps
-                // the tenancy intact.
+            Workload::Blocks { .. } | Workload::Staged { .. } => {
+                // Block/stage processors idle Inactive between runs, and
+                // the outputs are already computed — a quiet relocation
+                // keeps the tenancy intact.
                 match self.chip.relocate(pid) {
                     Ok(_) => {
                         let rec = self.jobs.get_mut(&job_id).expect("running job");
@@ -605,7 +605,9 @@ impl Runtime {
                 }
                 JobOutput::Stream(got)
             }
-            Workload::Blocks { .. } => self.jobs[&job_id].output.clone().unwrap_or(JobOutput::None),
+            Workload::Blocks { .. } | Workload::Staged { .. } => {
+                self.jobs[&job_id].output.clone().unwrap_or(JobOutput::None)
+            }
             Workload::Idle { .. } => {
                 let pid = self.jobs[&job_id].procs[0];
                 self.chip.deactivate(pid)?;
@@ -813,6 +815,11 @@ impl Runtime {
                 datasets,
                 result_var,
             } => self.admit_blocks(job_id, clusters, attempts, program, datasets, result_var),
+            Workload::Staged {
+                program,
+                datasets,
+                expected,
+            } => self.admit_staged(job_id, clusters, attempts, program, datasets, expected),
         }
     }
 
@@ -1024,6 +1031,100 @@ impl Runtime {
             duration,
         );
         Ok(())
+    }
+
+    fn admit_staged(
+        &mut self,
+        job_id: JobId,
+        clusters: usize,
+        attempts: u32,
+        program: vlsi_core::StagedProgram,
+        datasets: Vec<std::collections::HashMap<String, i64>>,
+        expected: Option<Vec<Vec<i64>>>,
+    ) -> Result<(), RuntimeError> {
+        let mut exec = match self.deploy_staged(&program) {
+            Some(e) => Some(e),
+            None if self.compact_for(clusters) => self.deploy_staged(&program),
+            None => None,
+        };
+        let Some(exec) = exec.take() else {
+            self.back_off(job_id, attempts);
+            return Ok(());
+        };
+        let procs: Vec<ProcessorId> = exec.processors().to_vec();
+
+        let mut outs = Vec::with_capacity(datasets.len());
+        let mut cfg_total = 0u64;
+        let mut exec_total = 0u64;
+        for (i, ds) in datasets.iter().enumerate() {
+            let (out, run) = match exec.run(&mut self.chip, ds) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.release_all(&procs)?;
+                    self.fail_job(
+                        job_id,
+                        RuntimeError::Workload {
+                            job: job_id,
+                            detail: e.to_string(),
+                        },
+                    );
+                    return Ok(());
+                }
+            };
+            cfg_total += run.config_cycles;
+            exec_total += run.exec_cycles;
+            // The compiler hands down the netlist evaluator's reference
+            // outputs — the staged analogue of the stream/blocks checks.
+            if let Some(exp) = expected.as_ref().and_then(|e| e.get(i)) {
+                if &out != exp {
+                    self.release_all(&procs)?;
+                    self.fail_job(
+                        job_id,
+                        RuntimeError::Workload {
+                            job: job_id,
+                            detail: format!(
+                                "staged dataset {i}: output {out:?}, reference says {exp:?}"
+                            ),
+                        },
+                    );
+                    return Ok(());
+                }
+            }
+            outs.push(out);
+        }
+
+        let latency: u64 = procs
+            .iter()
+            .map(|p| self.chip.processor(*p).map(|sp| sp.config_latency))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .sum();
+        let duration = self.to_ticks(latency + cfg_total + exec_total);
+        {
+            let rec = self.jobs.get_mut(&job_id).expect("queued job");
+            rec.output = Some(JobOutput::Staged(outs));
+        }
+        self.mark_admitted(
+            job_id,
+            procs,
+            attempts,
+            false,
+            latency + cfg_total,
+            exec_total,
+            duration,
+        );
+        Ok(())
+    }
+
+    /// Deploys a staged program, releasing any partially-gathered
+    /// processors if the deploy fails midway (the executor rolls back
+    /// its own gathers; this exists for symmetry with `deploy_blocks`
+    /// and to own the clone).
+    fn deploy_staged(
+        &mut self,
+        program: &vlsi_core::StagedProgram,
+    ) -> Option<vlsi_core::StagedExecutor> {
+        vlsi_core::StagedExecutor::deploy(&mut self.chip, program.clone()).ok()
     }
 
     /// Deploys a program's blocks, releasing any partially-gathered

@@ -161,6 +161,49 @@ impl FabricIndex {
         self.defects
     }
 
+    /// Whether the `w × h` rectangle anchored at `origin` lies entirely
+    /// on the die with every cell unowned and non-defective. Zero-sized
+    /// rectangles are never free: a placement that asks for nothing is
+    /// a caller bug, not an allocatable region.
+    pub fn rect_is_free(&self, origin: Coord, w: u16, h: u16) -> bool {
+        if w == 0 || h == 0 {
+            return false;
+        }
+        if usize::from(origin.x) + usize::from(w) > usize::from(self.width)
+            || usize::from(origin.y) + usize::from(h) > usize::from(self.height)
+        {
+            return false;
+        }
+        for dy in 0..h {
+            let row = usize::from(origin.y + dy) * usize::from(self.width);
+            for dx in 0..w {
+                if !self.is_free_at(row + usize::from(origin.x + dx)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Row-major first-fit probe: the lowest `(y, x)` origin whose
+    /// `w × h` rectangle is entirely free, or `None` when no such
+    /// window exists. Deterministic by construction — placement passes
+    /// lean on this to make compiled layouts reproducible.
+    pub fn first_rect_fit(&self, w: u16, h: u16) -> Option<Coord> {
+        if w == 0 || h == 0 || w > self.width || h > self.height {
+            return None;
+        }
+        for y in 0..=(self.height - h) {
+            for x in 0..=(self.width - w) {
+                let origin = Coord::new(x, y);
+                if self.rect_is_free(origin, w, h) {
+                    return Some(origin);
+                }
+            }
+        }
+        None
+    }
+
     /// Defective coordinates in row-major order — a deterministic view,
     /// unlike the hash-ordered set this slab replaced.
     pub fn defect_coords(&self) -> impl Iterator<Item = Coord> + '_ {
@@ -221,6 +264,46 @@ mod tests {
             got,
             vec![Coord::new(1, 0), Coord::new(0, 1), Coord::new(2, 2)]
         );
+    }
+
+    #[test]
+    fn rect_probes_respect_owners_defects_and_bounds() {
+        let mut ix = FabricIndex::new(4, 3);
+        assert!(ix.rect_is_free(Coord::new(0, 0), 4, 3));
+        assert!(!ix.rect_is_free(Coord::new(0, 0), 5, 1)); // off the die
+        assert!(!ix.rect_is_free(Coord::new(3, 2), 2, 1)); // overhangs
+        assert!(!ix.rect_is_free(Coord::new(0, 0), 0, 2)); // zero-sized
+        ix.mark_defective(Coord::new(1, 1));
+        assert!(!ix.rect_is_free(Coord::new(0, 0), 2, 2));
+        assert!(ix.rect_is_free(Coord::new(2, 0), 2, 2));
+        ix.set_owner(Coord::new(2, 0), RegionTag(1));
+        assert!(!ix.rect_is_free(Coord::new(2, 0), 2, 2));
+    }
+
+    #[test]
+    fn first_rect_fit_scans_row_major_around_obstacles() {
+        let mut ix = FabricIndex::new(4, 3);
+        assert_eq!(ix.first_rect_fit(2, 2), Some(Coord::new(0, 0)));
+        // Block the top-left candidate with a defect; the scan must
+        // slide right along the same row before dropping down.
+        ix.mark_defective(Coord::new(0, 0));
+        assert_eq!(ix.first_rect_fit(2, 2), Some(Coord::new(1, 0)));
+        // Fill row 0 entirely: next fit starts on row 1.
+        for x in 0..4 {
+            ix.set_owner(Coord::new(x, 0), RegionTag(5));
+        }
+        assert_eq!(ix.first_rect_fit(2, 2), Some(Coord::new(0, 1)));
+        // Too tall / too wide for the die → no fit, not a panic.
+        assert_eq!(ix.first_rect_fit(5, 1), None);
+        assert_eq!(ix.first_rect_fit(1, 4), None);
+        assert_eq!(ix.first_rect_fit(0, 1), None);
+        // Saturate the die: nothing fits.
+        for y in 0..3 {
+            for x in 0..4 {
+                ix.set_owner(Coord::new(x, y), RegionTag(9));
+            }
+        }
+        assert_eq!(ix.first_rect_fit(1, 1), None);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   of Figure 7(a)→(b), and a compiler from basic blocks to datapaths;
 //! * [`figure7`] — the paper's worked example, prebuilt;
 //! * [`jobmix`] — deterministic generators of verified workload
-//!   instances for the runtime's multi-tenant job mixes.
+//!   instances for the runtime's multi-tenant job mixes;
+//! * [`netgen`] — deterministic dataflow-graph corpus generator
+//!   (chains, trees, butterflies, random DAGs) emitting the netlist
+//!   text `vlsi-compile` ingests.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@
 pub mod arrivals;
 pub mod figure7;
 pub mod jobmix;
+pub mod netgen;
 pub mod ocode;
 pub mod optimizer;
 pub mod program;
@@ -33,6 +37,7 @@ pub mod randpath;
 pub mod streaming;
 
 pub use arrivals::{arrival_trace, ArrivalEvent, ArrivalProfile};
+pub use netgen::GraphKind;
 pub use ocode::{assemble, disassemble};
 pub use optimizer::optimize_stream;
 pub use program::{BasicBlock, BlockDatapath, Expr, Program, Stmt, Terminator};

@@ -37,7 +37,10 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    fn operation(self) -> Operation {
+    /// The AP operation implementing this operator (used by both the
+    /// block→datapath compiler here and the netlist compiler in
+    /// `vlsi-compile`).
+    pub fn operation(self) -> Operation {
         match self {
             BinOp::Add => Operation::IAdd,
             BinOp::Sub => Operation::ISub,
@@ -48,7 +51,8 @@ impl BinOp {
         }
     }
 
-    fn eval(self, a: i64, b: i64) -> i64 {
+    /// Reference semantics: wrapping arithmetic, 0/1 comparisons.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
         match self {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),

@@ -5,6 +5,7 @@
 //! per-paper-section inventory.
 
 pub use vlsi_ap as ap;
+pub use vlsi_compile as compile;
 pub use vlsi_core as core;
 pub use vlsi_cost as cost;
 pub use vlsi_csd as csd;
