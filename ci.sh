@@ -50,6 +50,14 @@ cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t1b"
 cmp "$BENCH_SMOKE_DIR/digest.t8" "$BENCH_SMOKE_DIR/digest.t8b"
 cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t2"
 cmp "$BENCH_SMOKE_DIR/digest.t1" "$BENCH_SMOKE_DIR/digest.t8"
+
+echo "== per-AP vs SoA equivalence (soa_sweep digests must match)"
+# The digest file carries one line per path; the region sweep must
+# produce byte-identical reports and memory images to the per-AP loop.
+perap="$(awk '/^soa_sweep_1024ap digest_perap/ {print $3}' "$BENCH_SMOKE_DIR/digest.t1")"
+soa="$(awk '/^soa_sweep_1024ap digest_soa/ {print $3}' "$BENCH_SMOKE_DIR/digest.t1")"
+test -n "$perap"
+test "$perap" = "$soa"
 cargo test -q --offline --test parallel_determinism
 
 echo "== telemetry determinism (same seed => byte-identical exports)"

@@ -49,15 +49,15 @@ pub struct NodeSpec {
 }
 
 /// Per-port input latch indices.
-const LHS: usize = 0;
-const RHS: usize = 1;
-const PRED: usize = 2;
+pub(crate) const LHS: usize = 0;
+pub(crate) const RHS: usize = 1;
+pub(crate) const PRED: usize = 2;
 
 #[derive(Clone, Debug)]
-struct Node {
-    spec: NodeSpec,
-    srcs: [Option<usize>; 3],
-    succs: Vec<(usize, usize)>, // (node index, port)
+pub(crate) struct Node {
+    pub(crate) spec: NodeSpec,
+    pub(crate) srcs: [Option<usize>; 3],
+    pub(crate) succs: Vec<(usize, usize)>, // (node index, port)
     inputs: [Option<Word>; 3],
     in_flight: Option<(u32, Option<Word>)>,
     out: Option<Word>,
@@ -107,7 +107,7 @@ pub struct ExecutionReport {
 /// A configured, executable datapath.
 #[derive(Clone, Debug)]
 pub struct Datapath {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     index: HashMap<ObjectId, usize>,
 }
 
@@ -486,6 +486,16 @@ impl Datapath {
     /// the bound objects.
     pub fn specs(&self) -> impl Iterator<Item = &NodeSpec> {
         self.nodes.iter().map(|n| &n.spec)
+    }
+
+    /// Writes register state produced by a batch run back into the node
+    /// specs, exactly as [`run`](Self::run) mutates them in place —
+    /// stream pointers must advance across runs on either path.
+    pub(crate) fn write_back_regs(&mut self, regs: &[[Word; PHYS_REGISTERS]]) {
+        debug_assert_eq!(regs.len(), self.nodes.len());
+        for (n, r) in self.nodes.iter_mut().zip(regs) {
+            n.spec.regs = *r;
+        }
     }
 }
 

@@ -22,6 +22,10 @@
 //! * [`processor`] — [`AdaptiveProcessor`], gluing the above to the object
 //!   library and memory blocks, including virtual hardware (swap-in/out,
 //!   §2.5);
+//! * [`soa`] — struct-of-arrays batch execution: a datapath flattened
+//!   into a [`SoaLane`] of parallel slabs so a region executor can
+//!   advance many APs in one cache-friendly sweep per tick, bit-identical
+//!   to the per-AP path;
 //! * [`metrics`] — counters every layer reports into.
 
 #![deny(missing_docs)]
@@ -34,6 +38,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod processor;
 pub mod schedule;
+pub mod soa;
 pub mod stack;
 pub mod wsrf;
 
@@ -44,5 +49,6 @@ pub use metrics::ApMetrics;
 pub use pipeline::{ConfigureOutcome, Pipeline, PipelineStage, TraceEvent};
 pub use processor::{AdaptiveProcessor, ApConfig};
 pub use schedule::ReplacementScheduler;
+pub use soa::SoaLane;
 pub use stack::{ObjectStack, ReferenceOutcome};
 pub use wsrf::{Acquirement, WorkingSetRegisterFile};

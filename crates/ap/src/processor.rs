@@ -22,6 +22,7 @@ use crate::datapath::{Datapath, ExecutionReport, NodeSpec};
 use crate::error::ApError;
 use crate::metrics::ApMetrics;
 use crate::pipeline::{ConfigureOutcome, Pipeline, TraceEvent, CFB_COUNT, STAGES};
+use crate::soa::SoaLane;
 use crate::stack::{ObjectStack, ReferenceOutcome};
 use crate::wsrf::{WorkingSetRegisterFile, WSRF_ENTRIES};
 use std::collections::HashMap;
@@ -390,6 +391,58 @@ impl AdaptiveProcessor {
         let report = resident.dp.run(&mut self.memory, tap_limit, max_cycles)?;
         // Persist advanced register state (stream pointers) back into the
         // bound objects so a later swap-out writes it to the library.
+        let specs: Vec<NodeSpec> = resident.dp.specs().cloned().collect();
+        for spec in specs {
+            if let Some(b) = self.stack.get_mut(spec.id) {
+                b.regs = spec.regs;
+            } else if let Some(b) = self.memory_binds.iter_mut().find(|b| b.id() == spec.id) {
+                b.regs = spec.regs;
+            }
+        }
+        Datapath::report_metrics(&report, &mut self.metrics);
+        Ok(report)
+    }
+
+    /// Detaches the most recently configured datapath (plus this AP's
+    /// memory blocks) into a [`SoaLane`] for struct-of-arrays batch
+    /// execution. The lane must come back through
+    /// [`finish_batch`](Self::finish_batch) — until then the AP has no
+    /// memory and must not execute.
+    pub fn begin_batch(&mut self) -> Result<SoaLane, ApError> {
+        if self.datapaths.is_empty() {
+            return Err(ApError::EmptyDatapath);
+        }
+        self.begin_batch_at(self.datapaths.len() - 1)
+    }
+
+    /// Detaches resident datapath `index` (configuration order) into a
+    /// [`SoaLane`] — see [`begin_batch`](Self::begin_batch).
+    pub fn begin_batch_at(&mut self, index: usize) -> Result<SoaLane, ApError> {
+        let Some(resident) = self.datapaths.get(index) else {
+            return Err(ApError::EmptyDatapath);
+        };
+        let mut lane = SoaLane::from_datapath(&resident.dp, index);
+        lane.attach_memory(std::mem::take(&mut self.memory));
+        Ok(lane)
+    }
+
+    /// Reattaches a completed [`SoaLane`]: memory comes home, advanced
+    /// register state (stream pointers) is written back into the
+    /// datapath and persisted to the bound objects, and metrics fold in
+    /// — exactly the bookkeeping [`execute_datapath`](Self::execute_datapath)
+    /// does after a per-AP run. On a failed lane the register write-back
+    /// into the datapath still happens (the per-AP path mutates specs in
+    /// place as it runs) but nothing is persisted and no metrics fold,
+    /// matching the early-return error path.
+    pub fn finish_batch(&mut self, lane: SoaLane) -> Result<ExecutionReport, ApError> {
+        let index = lane.datapath_index;
+        let (memory, regs, outcome) = lane.finish();
+        self.memory = memory;
+        let Some(resident) = self.datapaths.get_mut(index) else {
+            return Err(ApError::EmptyDatapath);
+        };
+        resident.dp.write_back_regs(&regs);
+        let report = outcome?;
         let specs: Vec<NodeSpec> = resident.dp.specs().cloned().collect();
         for spec in specs {
             if let Some(b) = self.stack.get_mut(spec.id) {

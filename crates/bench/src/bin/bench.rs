@@ -1,11 +1,11 @@
 //! `bench` — the BENCH-emitting runner.
 //!
 //! Executes the sched / faults / hotpath / fleet / cluster / ingest /
-//! compile workload families and writes `BENCH_sched.json`,
+//! compile / soa workload families and writes `BENCH_sched.json`,
 //! `BENCH_faults.json`, `BENCH_hotpath.json`, `BENCH_fleet.json`,
-//! `BENCH_cluster.json`, `BENCH_ingest.json`, and `BENCH_compile.json`
-//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
-//! machine-readable at the repo root.
+//! `BENCH_cluster.json`, `BENCH_ingest.json`, `BENCH_compile.json`,
+//! and `BENCH_soa.json` (median ns/iter, ops/s, seed, git rev) so the
+//! perf trajectory is machine-readable at the repo root.
 //!
 //! ```text
 //! bench [--smoke] [--threads N] [--out DIR]   run workloads, write + validate JSONs
@@ -26,14 +26,16 @@
 //! `--digest` exists to prove.
 
 use vlsi_bench::harness::{
-    git_rev, measure, parse_medians, parse_seed, render_json, validate_json, BenchSample,
+    git_rev, measure, parse_medians, parse_seed, render_json, sample_from_times, validate_json,
+    BenchSample,
 };
 use vlsi_bench::hotpath::{
-    chaos_mix, cluster_4x, compile_corpus, faults_noc, faults_sched, fleet_mix,
-    gather_release_churn, ingest_open_loop, noc_storm, sched_acceptance, sched_mix, SEED,
+    chaos_mix, chaos_mix_sized, cluster_4x, compile_corpus, faults_noc, faults_sched, fleet_mix,
+    gather_release_churn, ingest_open_loop, noc_storm, sched_acceptance, sched_mix, soa_sweep,
+    SEED, SOA_SWEEP_LANES,
 };
 
-const FILES: [&str; 7] = [
+const FILES: [&str; 8] = [
     "BENCH_sched.json",
     "BENCH_faults.json",
     "BENCH_hotpath.json",
@@ -41,6 +43,7 @@ const FILES: [&str; 7] = [
     "BENCH_cluster.json",
     "BENCH_ingest.json",
     "BENCH_compile.json",
+    "BENCH_soa.json",
 ];
 
 /// Default for `--check-threshold`: median regressions beyond this
@@ -147,6 +150,7 @@ fn main() {
         &rev,
         compile_samples(iters, threads),
     );
+    emit(&out_dir, "soa", SEED, &rev, soa_samples(iters, threads));
 }
 
 fn sched_samples(iters: u64) -> Vec<BenchSample> {
@@ -286,6 +290,43 @@ fn compile_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
     samples
 }
 
+fn soa_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
+    let mut perap_times = Vec::with_capacity(iters as usize);
+    let mut soa_times = Vec::with_capacity(iters as usize);
+    let mut last = None;
+    for _ in 0..iters {
+        let r = soa_sweep(threads, SOA_SWEEP_LANES, 64);
+        assert_eq!(
+            r.digest_perap, r.digest_soa,
+            "SoA region sweep must match the per-AP path bit for bit"
+        );
+        perap_times.push(r.perap_ns);
+        soa_times.push(r.soa_ns);
+        last = Some(r);
+    }
+    let r = last.expect("at least one iteration ran");
+    let mut samples = Vec::new();
+    let mut s = sample_from_times("soa_sweep_1024ap_perap", perap_times);
+    s.extra.push(("lanes", r.lanes));
+    s.extra.push(("digest_fnv", r.digest_perap));
+    samples.push(s);
+    let mut s = sample_from_times("soa_sweep_1024ap_soa", soa_times);
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("lanes", r.lanes));
+    s.extra.push(("digest_fnv", r.digest_soa));
+    samples.push(s);
+    let mut fnv = 0u64;
+    let (mut s, makespan) = measure("chaos_mix_128x128", iters, || {
+        let (summary, checksum) = chaos_mix_sized(128, 40);
+        fnv = checksum;
+        summary.makespan
+    });
+    s.extra.push(("makespan", makespan));
+    s.extra.push(("event_log_fnv", fnv));
+    samples.push(s);
+    samples
+}
+
 fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
     for s in &samples {
         println!(
@@ -313,6 +354,8 @@ fn digest(file: &str, threads: usize) {
     let (cluster_completed, cluster_msgs, cluster_fnv) = cluster_4x(threads);
     let ingest = ingest_open_loop(threads);
     let (compile_graphs, compile_completed, compile_fnv) = compile_corpus(threads);
+    let sweep = soa_sweep(threads, SOA_SWEEP_LANES, 64);
+    let (_, chaos128_fnv) = chaos_mix_sized(128, 40);
     let text = format!(
         "seed {SEED}\n\
          fleet_64x64x4 completed {completed}\n\
@@ -330,11 +373,18 @@ fn digest(file: &str, threads: usize) {
          ingest_open_loop_4x digest_fnv {ingest_fnv:#018x}\n\
          compile_corpus_12 graphs {compile_graphs}\n\
          compile_corpus_12 completed {compile_completed}\n\
-         compile_corpus_12 digest_fnv {compile_fnv:#018x}\n",
+         compile_corpus_12 digest_fnv {compile_fnv:#018x}\n\
+         soa_sweep_1024ap lanes {lanes}\n\
+         soa_sweep_1024ap digest_perap {digest_perap:#018x}\n\
+         soa_sweep_1024ap digest_soa {digest_soa:#018x}\n\
+         chaos_mix_128x128 event_log_fnv {chaos128_fnv:#018x}\n",
         arrivals = ingest.arrivals,
         accepted = ingest.accepted,
         ingest_completed = ingest.completed,
         ingest_fnv = ingest.digest_fnv,
+        lanes = sweep.lanes,
+        digest_perap = sweep.digest_perap,
+        digest_soa = sweep.digest_soa,
     );
     print!("{text}");
     std::fs::write(file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));

@@ -57,6 +57,27 @@ pub fn measure(name: &str, iters: u64, mut routine: impl FnMut() -> u64) -> (Ben
     )
 }
 
+/// Builds a sample from externally-timed per-iteration nanoseconds —
+/// used when a workload times a sub-phase (e.g. execution only, setup
+/// excluded) rather than letting [`measure`] time the whole routine.
+pub fn sample_from_times(name: &str, mut times: Vec<u64>) -> BenchSample {
+    assert!(!times.is_empty(), "at least one timed iteration");
+    times.sort_unstable();
+    let median_ns = median_of_sorted(&times);
+    let ops_per_s = if median_ns == 0 {
+        0.0
+    } else {
+        1e9 / median_ns as f64
+    };
+    BenchSample {
+        name: name.to_string(),
+        median_ns,
+        ops_per_s,
+        iters: times.len() as u64,
+        extra: Vec::new(),
+    }
+}
+
 fn median_of_sorted(sorted: &[u64]) -> u64 {
     let n = sorted.len();
     if n % 2 == 1 {

@@ -29,11 +29,21 @@
 //!   while a chip dies mid-run: admission sheds typed, the client backs
 //!   off, and the exact conservation ledger plus sojourn quantiles land
 //!   in `BENCH_ingest.json`.
+//! * **soa** — the AP hot-loop sweep: 1024 two-by-two-cluster APs
+//!   filling a 64×64 die, each streaming a load→mul→store kernel,
+//!   executed once through the per-AP loop and once through the
+//!   struct-of-arrays region sweep ([`soa_sweep`]); the two execution
+//!   digests must be identical (the ci.sh equivalence step compares
+//!   them) and the execution-only timings land in `BENCH_soa.json`,
+//!   alongside the 128×128 chaos mix that exercises the packed switch
+//!   slab at scale.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use crate::harness::fnv1a;
+use vlsi_ap::ExecutionReport;
 use vlsi_core::{ProcessorId, VlsiChip};
 use vlsi_fabric::{Cluster as ChipCluster, ClusterConfig, ClusterTopology};
 use vlsi_faults::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
@@ -41,6 +51,9 @@ use vlsi_ingest::{
     accounting, run_trace, AdmissionConfig, ClientConfig, IngestClient, IngestConfig, IngestService,
 };
 use vlsi_noc::NocNetwork;
+use vlsi_object::{
+    GlobalConfigElement, GlobalConfigStream, LocalConfig, LogicalObject, ObjectId, Operation, Word,
+};
 use vlsi_par::Pool;
 use vlsi_prng::Prng;
 use vlsi_runtime::mix::mixed_jobs;
@@ -203,15 +216,22 @@ pub fn gather_release_churn(rounds: usize) -> u64 {
 /// hurts, 40 mixed jobs, and ~8 switches sticking mid-run. Returns the
 /// summary and the event-log checksum.
 pub fn chaos_mix() -> (RuntimeSummary, u64) {
-    let chip = VlsiChip::new(64, 64, Cluster::default());
+    chaos_mix_sized(64, 40)
+}
+
+/// [`chaos_mix`] at an arbitrary square die size — the 128×128 variant
+/// in `BENCH_soa.json` exercises the packed switch slab and the
+/// occupancy index at the scale the memory diet exists for.
+pub fn chaos_mix_sized(dim: u16, jobs: usize) -> (RuntimeSummary, u64) {
+    let chip = VlsiChip::new(dim, dim, Cluster::default());
     let mut rt = Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default());
     let plan = FaultPlanBuilder::new(SEED)
-        .grid(64, 64)
+        .grid(dim, dim)
         .horizon(120)
         .switch_stuck_rate(0.002)
         .build();
     rt.attach_fault_plan(plan);
-    for spec in mixed_jobs(SEED, 40) {
+    for spec in mixed_jobs(SEED, jobs) {
         rt.submit(spec);
     }
     let summary = rt.run_until_idle(500_000).expect("chaos mix must drain");
@@ -529,6 +549,160 @@ pub fn noc_storm(threads: usize) -> u64 {
     fnv1a(text.as_bytes())
 }
 
+/// APs in the [`soa_sweep`] region (exactly fills a 64×64 die at 2×2
+/// clusters each).
+pub const SOA_SWEEP_LANES: usize = 1024;
+
+/// Words each [`soa_sweep`] lane streams through its kernel.
+const SOA_STREAM_LEN: u64 = 256;
+
+/// What [`soa_sweep`] reports: execution-only wall time of each path
+/// plus the digest over every report and every stored output word. The
+/// two digests must be equal — the ci.sh equivalence step compares the
+/// lines the bench `--digest` mode emits for them.
+#[derive(Clone, Copy, Debug)]
+pub struct SoaSweepReport {
+    /// APs in the region.
+    pub lanes: u64,
+    /// Per-AP execute loop, execution-only nanoseconds.
+    pub perap_ns: u64,
+    /// SoA region sweep, execution-only nanoseconds.
+    pub soa_ns: u64,
+    /// FNV digest of the per-AP reports + memory outputs.
+    pub digest_perap: u64,
+    /// FNV digest of the SoA reports + memory outputs.
+    pub digest_soa: u64,
+}
+
+/// Gathers `lanes` 2×2 APs on a `width × width` die, installs the
+/// stream kernel (stream-load `SOA_STREAM_LEN` words from block 0 →
+/// six-stage ALU chain → stream-store back to block 0 past the inputs)
+/// in each, fills block 0 through the mailbox, and activates +
+/// configures everything. The chain is deep enough that each lane's
+/// datapath state is a real working set — the regime the SoA layout is
+/// for — rather than a trivial three-node loop that fits in a cache
+/// line either way.
+fn soa_ready_chip(width: u16, lanes: usize, threads: usize) -> (VlsiChip, Vec<ProcessorId>) {
+    let mut chip = VlsiChip::new(width, width, Cluster::default());
+    if threads > 1 {
+        chip.set_region_parallel(Pool::new(threads));
+    }
+    let mut ids = Vec::with_capacity(lanes);
+    for k in 0..lanes {
+        let id = chip.gather_any(4).expect("the die must fit every lane").id;
+        chip.install(
+            id,
+            vec![
+                LogicalObject::memory(ObjectId(0), LocalConfig::op(Operation::Load))
+                    .with_init(vec![Word(0), Word(0), Word(SOA_STREAM_LEN)]),
+                LogicalObject::compute(
+                    ObjectId(1),
+                    LocalConfig::with_imm(Operation::MulImm, Word(3 + (k as u64 % 5))),
+                ),
+                LogicalObject::compute(
+                    ObjectId(2),
+                    LocalConfig::with_imm(Operation::AddImm, Word(7)),
+                ),
+                LogicalObject::compute(ObjectId(3), LocalConfig::op(Operation::INot)),
+                LogicalObject::compute(
+                    ObjectId(4),
+                    LocalConfig::with_imm(Operation::MulImm, Word(5)),
+                ),
+                LogicalObject::compute(
+                    ObjectId(5),
+                    LocalConfig::with_imm(Operation::AddImm, Word(k as u64 % 7)),
+                ),
+                LogicalObject::compute(ObjectId(6), LocalConfig::op(Operation::INot)),
+                LogicalObject::memory(ObjectId(7), LocalConfig::op(Operation::Store))
+                    .with_init(vec![Word(SOA_STREAM_LEN), Word(0), Word(0)]),
+            ],
+        )
+        .expect("install stream kernel");
+        let words: Vec<Word> = (0..SOA_STREAM_LEN)
+            .map(|i| Word((k as u64).wrapping_mul(1_000_003).wrapping_add(i)))
+            .collect();
+        chip.write_mailbox(id, 0, 0, &words).expect("fill block 0");
+        chip.activate(id).expect("activate");
+        let stream: GlobalConfigStream = [
+            GlobalConfigElement::unary(ObjectId(1), ObjectId(0)),
+            GlobalConfigElement::unary(ObjectId(2), ObjectId(1)),
+            GlobalConfigElement::unary(ObjectId(3), ObjectId(2)),
+            GlobalConfigElement::unary(ObjectId(4), ObjectId(3)),
+            GlobalConfigElement::unary(ObjectId(5), ObjectId(4)),
+            GlobalConfigElement::unary(ObjectId(6), ObjectId(5)),
+            GlobalConfigElement {
+                sink: ObjectId(7),
+                src_lhs: None,
+                src_rhs: Some(ObjectId(6)),
+                src_pred: None,
+            },
+        ]
+        .into_iter()
+        .collect();
+        chip.configure(id, stream).expect("configure");
+        ids.push(id);
+    }
+    (chip, ids)
+}
+
+/// FNV digest over every lane's report (taps and node firings sorted by
+/// object id) and the stored output words read back through the
+/// mailbox. Deactivates each processor to read its memory.
+fn sweep_digest(chip: &mut VlsiChip, ids: &[ProcessorId], reports: &[ExecutionReport]) -> u64 {
+    let mut text = String::new();
+    for (i, (&id, r)) in ids.iter().zip(reports).enumerate() {
+        let mut taps: Vec<(u32, &Vec<Word>)> = r.taps.iter().map(|(o, v)| (o.0, v)).collect();
+        taps.sort_unstable_by_key(|(o, _)| *o);
+        let mut firings: Vec<(u32, u64)> = r.node_firings.iter().map(|(o, &n)| (o.0, n)).collect();
+        firings.sort_unstable_by_key(|(o, _)| *o);
+        let _ = writeln!(
+            text,
+            "{i} cycles {} firings {} loads {} stores {} drained {} tokens {} \
+             taps {taps:?} node_firings {firings:?} release {:?}",
+            r.cycles, r.firings, r.loads, r.stores, r.drained, r.release_tokens, r.release_order,
+        );
+        chip.deactivate(id).expect("deactivate for readback");
+        let out = chip
+            .read_mailbox(id, 0, SOA_STREAM_LEN, SOA_STREAM_LEN as usize)
+            .expect("read outputs");
+        let _ = writeln!(text, "{i} out {out:?}");
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// The SoA sweep workload: the same `lanes`-AP region executed twice
+/// from identical setups — once through the per-AP `execute` loop,
+/// once through `execute_batch`'s struct-of-arrays region sweep on a
+/// `threads`-wide pool. Only the execution phase is timed (gathering
+/// and configuring 1024 APs dwarfs the sweep itself); the digests pin
+/// both paths to the same reports and the same memory image.
+pub fn soa_sweep(threads: usize, lanes: usize, width: u16) -> SoaSweepReport {
+    let (mut chip, ids) = soa_ready_chip(width, lanes, 1);
+    let t = Instant::now();
+    let reports: Vec<ExecutionReport> = ids
+        .iter()
+        .map(|&id| chip.execute(id, 1, 1_000_000).expect("per-AP execute"))
+        .collect();
+    let perap_ns = t.elapsed().as_nanos() as u64;
+    let digest_perap = sweep_digest(&mut chip, &ids, &reports);
+
+    let (mut chip, ids) = soa_ready_chip(width, lanes, threads);
+    let t = Instant::now();
+    let reports = chip
+        .execute_batch(&ids, 1, 1_000_000)
+        .expect("SoA region sweep");
+    let soa_ns = t.elapsed().as_nanos() as u64;
+    let digest_soa = sweep_digest(&mut chip, &ids, &reports);
+
+    SoaSweepReport {
+        lanes: lanes as u64,
+        perap_ns,
+        soa_ns,
+        digest_perap,
+        digest_soa,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +738,22 @@ mod tests {
         assert_eq!(a_fnv, b_fnv);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.completed + a.failed, 40);
+    }
+
+    #[test]
+    fn soa_sweep_matches_per_ap_and_replays() {
+        // A small instance keeps the test quick; the full 1024-lane
+        // region runs in the bench binary and the ci.sh digest gate.
+        let a = soa_sweep(1, 16, 8);
+        assert_eq!(a.lanes, 16);
+        assert_eq!(
+            a.digest_perap, a.digest_soa,
+            "SoA sweep must reproduce the per-AP path bit for bit"
+        );
+        for threads in [2usize, 8] {
+            let b = soa_sweep(threads, 16, 8);
+            assert_eq!(a.digest_soa, b.digest_soa, "identical at {threads} threads");
+            assert_eq!(b.digest_perap, b.digest_soa);
+        }
     }
 }

@@ -10,12 +10,15 @@
 //! reservation flag that makes concurrent gathers conflict-free.
 
 use crate::error::CoreError;
+use crate::region;
 use crate::scaled::{ProcessorId, ScaledProcessor};
 use crate::state::ProcState;
 use std::collections::BTreeMap;
-use vlsi_ap::{AdaptiveProcessor, ConfigureOutcome, ExecutionReport};
+use std::sync::Arc;
+use vlsi_ap::{AdaptiveProcessor, ConfigureOutcome, ExecutionReport, SoaLane};
 use vlsi_noc::NocNetwork;
 use vlsi_object::{GlobalConfigStream, LogicalObject, ObjectId, Word};
+use vlsi_par::Pool;
 use vlsi_telemetry::TelemetryHandle;
 use vlsi_topology::switch::RegionTag;
 use vlsi_topology::{
@@ -104,6 +107,10 @@ pub struct VlsiChip {
     supervisor: Coord,
     next_id: u32,
     strategy: ConfigStrategy,
+    /// Worker pool for [`Self::execute_batch`] region sweeps. The
+    /// default is the inline serial pool;
+    /// [`Self::set_region_parallel`] attaches a threaded one.
+    region_pool: Arc<Pool>,
     /// Observability sink; the default handle is a no-op. Threaded into
     /// the fabric, the NoC, and every gathered processor's AP, so one
     /// registry sees the whole chip.
@@ -170,13 +177,14 @@ impl VlsiChip {
     ) -> VlsiChip {
         VlsiChip {
             grid: ClusterGrid::new(width, height, cluster),
-            fabric: SwitchFabric::with_telemetry(telemetry.clone()),
+            fabric: SwitchFabric::sized_with_telemetry(width, height, telemetry.clone()),
             noc: NocNetwork::with_telemetry(width, height, telemetry.clone()),
             processors: BTreeMap::new(),
             index: FabricIndex::new(width, height),
             supervisor: Coord::new(0, 0),
             next_id: 1,
             strategy: ConfigStrategy::default(),
+            region_pool: Pool::serial(),
             telemetry,
         }
     }
@@ -208,6 +216,14 @@ impl VlsiChip {
     /// control, never observable in results).
     pub fn set_noc_parallel(&mut self, pool: std::sync::Arc<vlsi_par::Pool>, min_resident: usize) {
         self.noc.set_parallel(pool, min_resident);
+    }
+
+    /// Attaches a worker pool to [`Self::execute_batch`]: region sweeps
+    /// shard their lanes into contiguous row stripes and run on the
+    /// pool, bit-identical to the serial schedule at every thread count
+    /// (lanes are fully independent).
+    pub fn set_region_parallel(&mut self, pool: Arc<Pool>) {
+        self.region_pool = pool;
     }
 
     /// Marks a cluster defective: no future gather may include it.
@@ -775,6 +791,78 @@ impl VlsiChip {
         Ok(self.processor_mut(id)?.ap.execute(tap_limit, max_cycles)?)
     }
 
+    /// Executes the most recently configured datapath of every
+    /// processor in `ids` as one struct-of-arrays **region sweep**: each
+    /// AP is detached into a flat [`SoaLane`], the lanes are swept
+    /// lane-major (sharded into row stripes across the pool
+    /// attached via [`Self::set_region_parallel`]), and every AP gets
+    /// its memory, register state, and metrics back exactly as a
+    /// per-AP [`Self::execute`] loop would have left them.
+    ///
+    /// Reports come back in `ids` order. All named processors must be
+    /// distinct and active. If any lane fails (memory fault or cycle
+    /// budget), every AP is still restored first and the first failure
+    /// (in `ids` order) is returned — the same error a sequential
+    /// `execute` loop would have hit on that processor.
+    pub fn execute_batch(
+        &mut self,
+        ids: &[ProcessorId],
+        tap_limit: u64,
+        max_cycles: u64,
+    ) -> Result<Vec<ExecutionReport>, CoreError> {
+        for id in ids {
+            self.require_state(*id, ProcState::Active)?;
+        }
+        // Duplicate check via a sorted copy (the quadratic prefix scan
+        // dominated batch setup at 1024 lanes); on detection, re-scan to
+        // report the same id the prefix scan would have.
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            for (i, id) in ids.iter().enumerate() {
+                if ids[..i].contains(id) {
+                    return Err(CoreError::DuplicateInBatch(*id));
+                }
+            }
+        }
+        // Detach every AP's datapath + memory into a lane.
+        let mut lanes: Vec<SoaLane> = Vec::with_capacity(ids.len());
+        for id in ids {
+            match self.processor_mut(*id)?.ap.begin_batch() {
+                Ok(lane) => lanes.push(lane),
+                Err(e) => {
+                    // Roll already-detached lanes back before failing so
+                    // no AP is left without its memory.
+                    for (done, lane) in ids.iter().zip(lanes.drain(..)) {
+                        let _ = self.processor_mut(*done)?.ap.finish_batch(lane);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        // One region sweep over all lanes.
+        let pool = Arc::clone(&self.region_pool);
+        region::sweep_lanes(&pool, &mut lanes, tap_limit, max_cycles);
+        // Reattach in processor order; surface the first failure only
+        // after every AP has its state back.
+        let mut reports = Vec::with_capacity(ids.len());
+        let mut first_err: Option<CoreError> = None;
+        for (id, lane) in ids.iter().zip(lanes) {
+            match self.processor_mut(*id)?.ap.finish_batch(lane) {
+                Ok(r) => reports.push(r),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e.into());
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(reports),
+        }
+    }
+
     /// Scalar (virtual-hardware) execution on an active processor.
     pub fn execute_scalar(
         &mut self,
@@ -1148,6 +1236,107 @@ mod tests {
         c.configure(id, stream).unwrap();
         let report = c.execute(id, 1, 100_000).unwrap();
         assert_eq!(report.taps[&ObjectId(1)], vec![Word(8)]);
+    }
+
+    /// Gathers `n` 2×2 processors, installs a distinct const→add kernel
+    /// in each, and activates + configures them all.
+    fn batch_ready_chip(n: usize, threads: usize) -> (VlsiChip, Vec<ProcessorId>) {
+        use vlsi_object::{LocalConfig, Operation};
+        let mut c = chip();
+        if threads > 1 {
+            c.set_region_parallel(Pool::new(threads));
+        }
+        let mut ids = Vec::new();
+        for k in 0..n {
+            let id = c.gather_any(4).unwrap().id;
+            c.install(
+                id,
+                vec![
+                    LogicalObject::compute(
+                        ObjectId(0),
+                        LocalConfig::with_imm(Operation::Const, Word(10 + k as u64)),
+                    ),
+                    LogicalObject::compute(
+                        ObjectId(1),
+                        LocalConfig::with_imm(Operation::AddImm, Word(k as u64)),
+                    ),
+                ],
+            )
+            .unwrap();
+            c.activate(id).unwrap();
+            let stream: GlobalConfigStream = [vlsi_object::GlobalConfigElement::unary(
+                ObjectId(1),
+                ObjectId(0),
+            )]
+            .into_iter()
+            .collect();
+            c.configure(id, stream).unwrap();
+            ids.push(id);
+        }
+        (c, ids)
+    }
+
+    #[test]
+    fn execute_batch_matches_per_ap_loop() {
+        let (mut serial, ids_s) = batch_ready_chip(6, 1);
+        let per_ap: Vec<_> = ids_s
+            .iter()
+            .map(|&id| serial.execute(id, 1, 100_000).unwrap())
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let (mut batch, ids_b) = batch_ready_chip(6, threads);
+            let reports = batch.execute_batch(&ids_b, 1, 100_000).unwrap();
+            assert_eq!(reports.len(), per_ap.len());
+            for (k, (a, b)) in per_ap.iter().zip(&reports).enumerate() {
+                assert_eq!(a.cycles, b.cycles, "proc {k} cycles at {threads}t");
+                assert_eq!(a.taps, b.taps, "proc {k} taps at {threads}t");
+                assert_eq!(a.firings, b.firings, "proc {k} firings");
+                assert_eq!(a.release_order, b.release_order, "proc {k} release");
+            }
+            assert_eq!(
+                serial.metrics().ap,
+                batch.metrics().ap,
+                "merged AP metrics identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_batch_rejects_duplicates_and_bad_state() {
+        let (mut c, ids) = batch_ready_chip(2, 1);
+        let dup = [ids[0], ids[1], ids[0]];
+        assert_eq!(
+            c.execute_batch(&dup, 1, 100_000).unwrap_err(),
+            CoreError::DuplicateInBatch(ids[0])
+        );
+        c.deactivate(ids[1]).unwrap();
+        assert!(matches!(
+            c.execute_batch(&ids, 1, 100_000).unwrap_err(),
+            CoreError::BadState { .. }
+        ));
+        // The duplicate/bad-state probes must not have stranded memory:
+        // the healthy processor still executes normally.
+        let r = c.execute(ids[0], 1, 100_000).unwrap();
+        assert_eq!(r.taps[&ObjectId(1)], vec![Word(10)]);
+    }
+
+    #[test]
+    fn execute_batch_surfaces_lane_timeouts_after_restoring_all() {
+        let (mut c, ids) = batch_ready_chip(3, 1);
+        // A zero cycle budget times out every lane, the same typed error
+        // a sequential execute loop would hit first.
+        let err = c.execute_batch(&ids, 1, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Ap(vlsi_ap::ApError::ExecutionTimeout { .. })
+            ),
+            "{err}"
+        );
+        // Every AP got its memory back and still runs.
+        for &id in &ids {
+            c.execute(id, 1, 100_000).unwrap();
+        }
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub enum CoreError {
         /// Its state at the time.
         state: ProcState,
     },
+    /// A batch execution named the same processor twice.
+    DuplicateInBatch(ProcessorId),
     /// Fusing requires the two regions to be disjoint and their union
     /// connected.
     CannotFuse,
@@ -77,6 +79,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ProtectionViolation { id, state } => {
                 write!(f, "{id} is {state}: memory is protected")
+            }
+            CoreError::DuplicateInBatch(id) => {
+                write!(f, "processor {id} named twice in one batch")
             }
             CoreError::CannotFuse => write!(f, "regions cannot fuse"),
             CoreError::BadSplit => write!(f, "parts do not partition the region"),

@@ -19,7 +19,11 @@
 //!   (Figure 7(d));
 //! * [`staged`] — execution of compiler-emitted dataflow stage chains
 //!   ([`StagedProgram`]) over the same mailbox choreography, with
-//!   placement-directed deployment.
+//!   placement-directed deployment;
+//! * [`region`] — the SoA region executor behind
+//!   [`VlsiChip::execute_batch`]: whole regions of APs advanced in one
+//!   cache-friendly sweep per tick, row-striped across a worker pool,
+//!   bit-identical to the per-AP path.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@
 pub mod blockexec;
 pub mod chip;
 pub mod error;
+pub mod region;
 pub mod scaled;
 pub mod staged;
 pub mod state;

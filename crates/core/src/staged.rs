@@ -132,9 +132,47 @@ impl StagedExecutor {
         Ok(StagedExecutor { program, procs })
     }
 
+    /// Groups stages into dependency **levels**: stage `j` sits one
+    /// level past the deepest earlier stage whose outputs feed `j`'s
+    /// inputs. Stages in one level share no data edges, so the whole
+    /// level can execute as a single SoA region sweep without changing
+    /// any value the sequential stage walk would produce.
+    fn levels(&self) -> Vec<Vec<usize>> {
+        let stages = &self.program.stages;
+        let mut level = vec![0usize; stages.len()];
+        for j in 0..stages.len() {
+            let mut lv = 0;
+            for (var, _) in &stages[j].inputs {
+                // The value stage j reads is whatever the *latest*
+                // earlier producer of `var` wrote — depend on that one.
+                for i in (0..j).rev() {
+                    if stages[i].outputs.iter().any(|(v, _)| v == var) {
+                        lv = lv.max(level[i] + 1);
+                        break;
+                    }
+                }
+            }
+            level[j] = lv;
+        }
+        let depth = level.iter().max().map_or(0, |m| m + 1);
+        let mut groups = vec![Vec::new(); depth];
+        for (j, &lv) in level.iter().enumerate() {
+            groups[lv].push(j);
+        }
+        groups
+    }
+
     /// Runs the program for one input environment. Returns the program
     /// outputs (in [`StagedProgram::outputs`] order; absent values read
     /// as 0, matching the mailbox default) and run statistics.
+    ///
+    /// Stages execute level by level: each level's mailboxes are
+    /// written and its processors activated and configured in stage
+    /// order, then the whole level runs as one
+    /// [`VlsiChip::execute_batch`] region sweep, then taps are read
+    /// back in stage order. Independent stages therefore advance in one
+    /// SoA sweep instead of one `execute` call each, while every value,
+    /// report, and statistic stays identical to the sequential walk.
     pub fn run(
         &self,
         chip: &mut VlsiChip,
@@ -142,29 +180,38 @@ impl StagedExecutor {
     ) -> Result<(Vec<i64>, StagedRunStats), CoreError> {
         let mut env = inputs.clone();
         let mut stats = StagedRunStats::default();
-        for (stage, &proc) in self.program.stages.iter().zip(&self.procs) {
-            for (var, mem_block) in &stage.inputs {
-                let v = env.get(var).copied().unwrap_or(0);
-                chip.write_mailbox(proc, *mem_block, 0, &[Word::from_i64(v)])?;
-                stats.mailbox_writes += 1;
+        for level in self.levels() {
+            for &j in &level {
+                let stage = &self.program.stages[j];
+                let proc = self.procs[j];
+                for (var, mem_block) in &stage.inputs {
+                    let v = env.get(var).copied().unwrap_or(0);
+                    chip.write_mailbox(proc, *mem_block, 0, &[Word::from_i64(v)])?;
+                    stats.mailbox_writes += 1;
+                }
+                chip.activate(proc)?;
+                let cfg = chip.configure(proc, stage.stream.clone())?;
+                stats.config_cycles += cfg.cycles;
             }
-            chip.activate(proc)?;
-            let cfg = chip.configure(proc, stage.stream.clone())?;
-            stats.config_cycles += cfg.cycles;
-            let report = chip.execute(proc, 1, 1_000_000)?;
-            stats.exec_cycles += report.cycles;
-            stats.stages_executed += 1;
-            for (var, tap) in &stage.outputs {
-                let vals = report
-                    .taps
-                    .get(tap)
-                    .filter(|v| !v.is_empty())
-                    .ok_or(CoreError::Ap(vlsi_ap::ApError::ExecutionTimeout {
-                        cycles: report.cycles,
-                    }))?;
-                env.insert(var.clone(), vals[0].as_i64());
+            let ids: Vec<ProcessorId> = level.iter().map(|&j| self.procs[j]).collect();
+            let reports = chip.execute_batch(&ids, 1, 1_000_000)?;
+            for (&j, report) in level.iter().zip(&reports) {
+                let stage = &self.program.stages[j];
+                stats.exec_cycles += report.cycles;
+                stats.stages_executed += 1;
+                for (var, tap) in &stage.outputs {
+                    let vals =
+                        report
+                            .taps
+                            .get(tap)
+                            .filter(|v| !v.is_empty())
+                            .ok_or(CoreError::Ap(vlsi_ap::ApError::ExecutionTimeout {
+                                cycles: report.cycles,
+                            }))?;
+                    env.insert(var.clone(), vals[0].as_i64());
+                }
+                chip.deactivate(self.procs[j])?;
             }
-            chip.deactivate(proc)?;
         }
         let outputs = self
             .program
@@ -329,6 +376,95 @@ mod tests {
         assert_eq!(out, vec![90]);
         exec.release(&mut chip).unwrap();
         assert_eq!(chip.free_clusters(), 64);
+    }
+
+    /// Three stages: s0 and s1 are independent (level 0), s2 consumes
+    /// both (level 1) — `t0 + t1` where `t0 = a + b`, `t1 = a * b`.
+    fn diamond_program() -> StagedProgram {
+        let arith_stage = |name: &str, op: Operation, out_var: &str| {
+            let x = ObjectId(0);
+            let y = ObjectId(1);
+            let addr_x = ObjectId(2);
+            let addr_y = ObjectId(3);
+            let f = ObjectId(4);
+            let probe = ObjectId(5);
+            let objects = vec![
+                LogicalObject::memory(x, LocalConfig::op(Operation::Load)).with_init(vec![
+                    Word(0),
+                    Word(0),
+                    Word(0),
+                ]),
+                LogicalObject::memory(y, LocalConfig::op(Operation::Load)).with_init(vec![
+                    Word(0),
+                    Word(1),
+                    Word(0),
+                ]),
+                LogicalObject::compute(addr_x, LocalConfig::with_imm(Operation::Const, Word(0))),
+                LogicalObject::compute(addr_y, LocalConfig::with_imm(Operation::Const, Word(0))),
+                LogicalObject::compute(f, LocalConfig::op(op)),
+                LogicalObject::compute(probe, LocalConfig::op(Operation::Pass)),
+            ];
+            let stream: GlobalConfigStream = [
+                GlobalConfigElement::unary(x, addr_x),
+                GlobalConfigElement::unary(y, addr_y),
+                GlobalConfigElement::binary(f, x, y),
+                GlobalConfigElement::unary(probe, f),
+            ]
+            .into_iter()
+            .collect();
+            StagedStage {
+                name: name.into(),
+                clusters: 4,
+                objects,
+                stream,
+                inputs: vec![("a".into(), 0), ("b".into(), 1)],
+                outputs: vec![(out_var.into(), probe)],
+            }
+        };
+        let mut join = arith_stage("join", Operation::IAdd, "out");
+        join.inputs = vec![("t0".into(), 0), ("t1".into(), 1)];
+        StagedProgram {
+            name: "diamond".into(),
+            stages: vec![
+                arith_stage("s0", Operation::IAdd, "t0"),
+                arith_stage("s1", Operation::IMul, "t1"),
+                join,
+            ],
+            outputs: vec![("result".into(), "out".into())],
+        }
+    }
+
+    #[test]
+    fn independent_stages_share_a_level_and_batch() {
+        let mut chip = VlsiChip::new(8, 8, Cluster::default());
+        let exec = StagedExecutor::deploy(&mut chip, diamond_program()).unwrap();
+        assert_eq!(
+            exec.levels(),
+            vec![vec![0, 1], vec![2]],
+            "s0/s1 independent, join depends on both"
+        );
+        for (a, b) in [(2i64, 3i64), (-4, 6), (0, 9)] {
+            let inputs = HashMap::from([("a".to_string(), a), ("b".to_string(), b)]);
+            let (out, stats) = exec.run(&mut chip, &inputs).unwrap();
+            let expect = a.wrapping_add(b).wrapping_add(a.wrapping_mul(b));
+            assert_eq!(out, vec![expect]);
+            assert_eq!(stats.stages_executed, 3);
+            assert_eq!(stats.mailbox_writes, 6);
+        }
+        exec.release(&mut chip).unwrap();
+        assert_eq!(chip.free_clusters(), 64);
+    }
+
+    #[test]
+    fn chained_stages_stay_sequentially_levelled() {
+        let mut chip = VlsiChip::new(8, 8, Cluster::default());
+        let exec = StagedExecutor::deploy(&mut chip, two_stage_program()).unwrap();
+        assert_eq!(
+            exec.levels(),
+            vec![vec![0], vec![1]],
+            "s1 reads s0's t: strictly sequential"
+        );
+        exec.release(&mut chip).unwrap();
     }
 
     #[test]

@@ -75,9 +75,13 @@ pub struct TokenBucket {
 
 impl TokenBucket {
     /// A bucket holding at most `burst` jobs, refilled at `rate_milli`
-    /// milli-jobs per tick. Starts full.
+    /// milli-jobs per tick. Starts full. A `burst` of zero means a
+    /// zero-capacity bucket: it admits nothing, ever — refills cap at
+    /// the (zero) capacity, so a tenant configured to admit nothing
+    /// really does admit nothing rather than being silently bumped to a
+    /// one-job allowance.
     pub fn new(burst: u64, rate_milli: u64) -> TokenBucket {
-        let capacity_milli = burst.max(1) * 1000;
+        let capacity_milli = burst * 1000;
         TokenBucket {
             level_milli: capacity_milli,
             capacity_milli,
@@ -234,6 +238,33 @@ mod tests {
             b.refill();
         }
         assert_eq!(b.level_milli(), 2000, "capped at the burst");
+    }
+
+    #[test]
+    fn zero_burst_bucket_admits_nothing() {
+        let mut b = TokenBucket::new(0, 5000);
+        assert_eq!(b.level_milli(), 0, "zero-burst bucket starts empty");
+        assert!(!b.try_take(), "nothing to take");
+        for _ in 0..100 {
+            b.refill();
+        }
+        assert_eq!(b.level_milli(), 0, "refill caps at the zero capacity");
+        assert!(!b.try_take(), "still nothing after any number of refills");
+
+        // And through the controller: a zero-burst tenant is rejected
+        // with the typed rate-limit reason on every request.
+        let mut a = AdmissionControl::new(AdmissionConfig {
+            tenant_rate_milli: 1500,
+            tenant_burst: 0,
+            ..AdmissionConfig::default()
+        });
+        for _ in 0..5 {
+            a.begin_tick();
+            assert_eq!(
+                a.verdict(3, 2, None, 1, 0),
+                AdmissionVerdict::Rejected(RejectReason::RateLimited)
+            );
+        }
     }
 
     #[test]

@@ -57,6 +57,16 @@ impl Histogram {
         }
     }
 
+    /// The inclusive upper boundary of bucket `i`: the largest value that
+    /// still lands in the bucket (`2^i - 1` past the zero bucket).
+    pub fn bucket_ceiling(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+
     /// Records one sample. Returns `true` when adding the sample
     /// saturated the running sum — the sum pins at `u64::MAX` instead of
     /// wrapping, but from that point on `sum` and `mean` understate the
@@ -154,10 +164,12 @@ impl Histogram {
     }
 
     /// The quantile at `permille` (500 = p50, 990 = p99), reported as
-    /// the floor of the bucket the rank-th sample landed in — a lower
-    /// bound quantised to the log2 boundaries, integer-only and
-    /// byte-stable like every other export. Returns 0 when empty;
-    /// `permille` is clamped to 1000.
+    /// the inclusive upper bound of the bucket the rank-th sample landed
+    /// in — a conservative (never under-reporting) estimate quantised to
+    /// the log2 boundaries, integer-only and byte-stable like every
+    /// other export. Reporting the bucket *floor* here would under-state
+    /// tail latency by up to 2× near a bucket's top. Returns 0 when
+    /// empty; `permille` is clamped to 1000.
     pub fn percentile(&self, permille: u64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -167,10 +179,10 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Self::bucket_floor(i);
+                return Self::bucket_ceiling(i);
             }
         }
-        Self::bucket_floor(HISTOGRAM_BUCKETS - 1)
+        Self::bucket_ceiling(HISTOGRAM_BUCKETS - 1)
     }
 
     /// `(bucket floor, occupancy)` for every non-empty bucket, in
@@ -204,7 +216,10 @@ mod tests {
             assert_eq!(Histogram::bucket_of(b), k, "floor of bucket {k}");
             assert_eq!(Histogram::bucket_of(b * 2 - 1), k, "ceiling of bucket {k}");
             assert_eq!(Histogram::bucket_floor(k), b);
+            assert_eq!(Histogram::bucket_ceiling(k), b * 2 - 1);
         }
+        assert_eq!(Histogram::bucket_ceiling(0), 0);
+        assert_eq!(Histogram::bucket_ceiling(64), u64::MAX);
     }
 
     #[test]
@@ -292,8 +307,8 @@ mod tests {
     #[test]
     fn percentiles_walk_the_bucket_ranks() {
         let mut h = Histogram::new();
-        // 90 samples of 1 (bucket 1, floor 1), 9 of 100 (bucket 7,
-        // floor 64), 1 of 5000 (bucket 13, floor 4096).
+        // 90 samples of 1 (bucket 1, ceiling 1), 9 of 100 (bucket 7,
+        // ceiling 127), 1 of 5000 (bucket 13, ceiling 8191).
         for _ in 0..90 {
             h.record(1);
         }
@@ -303,13 +318,30 @@ mod tests {
         h.record(5000);
         assert_eq!(h.percentile(500), 1, "p50 in the bulk");
         assert_eq!(h.percentile(900), 1, "rank 90 is still a 1-sample");
-        assert_eq!(h.percentile(990), 64, "p99 lands on the 100s");
-        assert_eq!(h.percentile(1000), 4096, "p100 is the max bucket");
-        assert_eq!(h.percentile(5000), 4096, "permille clamps");
-        // A single sample answers every quantile.
+        assert_eq!(h.percentile(990), 127, "p99 lands on the 100s");
+        assert_eq!(h.percentile(1000), 8191, "p100 is the max bucket");
+        assert_eq!(h.percentile(5000), 8191, "permille clamps");
+        // A single sample answers every quantile, and the estimate never
+        // drops below the sample itself.
         let mut one = Histogram::new();
         one.record(7);
-        assert_eq!(one.percentile(1), 4);
-        assert_eq!(one.percentile(999), 4);
+        assert_eq!(one.percentile(1), 7);
+        assert_eq!(one.percentile(999), 7);
+    }
+
+    #[test]
+    fn percentile_never_under_reports_the_sample() {
+        // The inclusive-upper-bound report dominates every recorded
+        // value at that rank: a single sample at each bucket top must
+        // come back no smaller than itself.
+        for v in [1u64, 3, 7, 127, 4095, 5000] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert!(
+                h.percentile(990) >= v,
+                "p99 of single sample {v} reported {}",
+                h.percentile(990)
+            );
+        }
     }
 }

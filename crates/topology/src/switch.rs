@@ -18,10 +18,21 @@
 //! stores "to avoid a resource (cluster) allocation conflict among the
 //! scaling configurations" (§3.3): a switch owned by one region rejects
 //! programming by any other region until released.
+//!
+//! ## Storage
+//!
+//! A fabric built with [`SwitchFabric::sized`] packs every in-grid
+//! switch into a dense row-major slab at 8 bytes per cell
+//! (`PackedSwitch`: owner tag + flag byte + two `Dir`-index bytes + a
+//! chain bitmask), so a 128×128 mesh costs 128 KiB instead of a
+//! per-cell hash map of unpacked [`SwitchState`] entries. Coordinates
+//! the slab does not cover — stacked layers, out-of-range coords, or
+//! any coordinate of an unsized fabric — spill to a `BTreeMap`, whose
+//! ordered iteration keeps every fabric walk deterministic.
 
 use crate::coord::{Coord, Dir};
 use crate::error::TopologyError;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use vlsi_telemetry::TelemetryHandle;
 
@@ -55,10 +66,83 @@ impl SwitchState {
     }
 }
 
+/// Set when `reserved` carries a live owner tag (tag values are
+/// unrestricted, so presence needs its own bit rather than a sentinel).
+const HAS_OWNER: u8 = 1;
+
+/// One switch packed into 8 bytes for the dense slab.
+///
+/// `shift_in`/`shift_out` store `Dir::index() + 1` with 0 meaning
+/// unprogrammed; `chained` is a bitmask over [`Dir::index`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PackedSwitch {
+    reserved: u32,
+    flags: u8,
+    shift_in: u8,
+    shift_out: u8,
+    chained: u8,
+}
+
+impl PackedSwitch {
+    const DEFAULT: PackedSwitch = PackedSwitch {
+        reserved: 0,
+        flags: 0,
+        shift_in: 0,
+        shift_out: 0,
+        chained: 0,
+    };
+
+    fn pack(s: SwitchState) -> PackedSwitch {
+        let dir = |d: Option<Dir>| d.map_or(0, |d| d.index() as u8 + 1);
+        let mut chained = 0u8;
+        for (i, &bit) in s.chained.iter().enumerate() {
+            if bit {
+                chained |= 1 << i;
+            }
+        }
+        PackedSwitch {
+            reserved: s.reserved_by.map_or(0, |t| t.0),
+            flags: if s.reserved_by.is_some() {
+                HAS_OWNER
+            } else {
+                0
+            },
+            shift_in: dir(s.shift_in),
+            shift_out: dir(s.shift_out),
+            chained,
+        }
+    }
+
+    fn unpack(self) -> SwitchState {
+        let dir = |b: u8| (b > 0).then(|| Dir::ALL[usize::from(b - 1)]);
+        let mut chained = [false; 6];
+        for (i, bit) in chained.iter_mut().enumerate() {
+            *bit = self.chained & (1 << i) != 0;
+        }
+        SwitchState {
+            shift_in: dir(self.shift_in),
+            shift_out: dir(self.shift_out),
+            chained,
+            reserved_by: (self.flags & HAS_OWNER != 0).then_some(RegionTag(self.reserved)),
+        }
+    }
+
+    fn is_default(self) -> bool {
+        self == PackedSwitch::DEFAULT
+    }
+}
+
 /// The chip-wide collection of programmable switches.
 #[derive(Clone, Debug, Default)]
 pub struct SwitchFabric {
-    switches: HashMap<Coord, SwitchState>,
+    /// Dense row-major slab over layer-0 coordinates inside
+    /// `slab_width × slab_height`; empty for unsized fabrics.
+    slab: Vec<PackedSwitch>,
+    slab_width: u16,
+    slab_height: u16,
+    /// Deterministic overflow store for every coordinate the slab does
+    /// not cover (unsized fabrics, stacked layers, out-of-range).
+    spill: BTreeMap<Coord, SwitchState>,
     /// Switch-health tracking: coordinates whose programming registers
     /// are stuck. A stuck switch rejects every further store (reserve,
     /// chain, program) with [`TopologyError::SwitchStuck`]; releases
@@ -86,14 +170,57 @@ impl SwitchFabric {
         }
     }
 
+    /// A fabric whose layer-0 `width × height` grid is pre-packed into
+    /// the dense slab (8 bytes per switch). Coordinates outside the
+    /// grid still work; they spill to the ordered overflow map.
+    pub fn sized(width: u16, height: u16) -> SwitchFabric {
+        SwitchFabric::sized_with_telemetry(width, height, TelemetryHandle::disabled())
+    }
+
+    /// [`sized`](Self::sized) with a telemetry sink attached.
+    pub fn sized_with_telemetry(
+        width: u16,
+        height: u16,
+        telemetry: TelemetryHandle,
+    ) -> SwitchFabric {
+        SwitchFabric {
+            slab: vec![PackedSwitch::DEFAULT; usize::from(width) * usize::from(height)],
+            slab_width: width,
+            slab_height: height,
+            telemetry,
+            ..SwitchFabric::default()
+        }
+    }
+
     fn store(&mut self, n: u64) {
         self.programming_stores += n;
         self.telemetry.count("topology.switch_stores", n);
     }
 
+    fn slab_index(&self, c: Coord) -> Option<usize> {
+        (c.layer == 0 && c.x < self.slab_width && c.y < self.slab_height)
+            .then(|| usize::from(c.y) * usize::from(self.slab_width) + usize::from(c.x))
+    }
+
+    /// Applies `f` to the switch state at `c`, storing the result back
+    /// into the slab (packed) or the spill map.
+    fn update(&mut self, c: Coord, f: impl FnOnce(&mut SwitchState)) {
+        match self.slab_index(c) {
+            Some(i) => {
+                let mut s = self.slab[i].unpack();
+                f(&mut s);
+                self.slab[i] = PackedSwitch::pack(s);
+            }
+            None => f(self.spill.entry(c).or_default()),
+        }
+    }
+
     /// The switch state at `c` (default state if never touched).
     pub fn state(&self, c: Coord) -> SwitchState {
-        self.switches.get(&c).copied().unwrap_or_default()
+        match self.slab_index(c) {
+            Some(i) => self.slab[i].unpack(),
+            None => self.spill.get(&c).copied().unwrap_or_default(),
+        }
     }
 
     /// The owner of the switch at `c`.
@@ -131,11 +258,10 @@ impl SwitchFabric {
     /// region holds the switch.
     pub fn reserve(&mut self, c: Coord, owner: RegionTag) -> Result<(), TopologyError> {
         self.check_healthy(c)?;
-        let s = self.switches.entry(c).or_default();
-        match s.reserved_by {
+        match self.owner(c) {
             Some(o) if o != owner => Err(TopologyError::SwitchConflict { at: c }),
             _ => {
-                s.reserved_by = Some(owner);
+                self.update(c, |s| s.reserved_by = Some(owner));
                 self.store(1);
                 Ok(())
             }
@@ -151,7 +277,7 @@ impl SwitchFabric {
             if self.owner(c) != Some(owner) {
                 return Err(TopologyError::SwitchConflict { at: c });
             }
-            self.switches.entry(c).or_default().chained[dir.index()] = true;
+            self.update(c, |s| s.chained[dir.index()] = true);
             self.store(1);
         }
         Ok(())
@@ -162,7 +288,7 @@ impl SwitchFabric {
         let d = a.dir_to(b).ok_or(TopologyError::NotAdjacent(a, b))?;
         for (c, dir) in [(a, d), (b, d.opposite())] {
             self.check_healthy(c)?;
-            self.switches.entry(c).or_default().chained[dir.index()] = false;
+            self.update(c, |s| s.chained[dir.index()] = false);
             self.store(1);
         }
         Ok(())
@@ -196,8 +322,8 @@ impl SwitchFabric {
             if self.owner(b) != Some(owner) {
                 return Err(TopologyError::SwitchConflict { at: b });
             }
-            self.switches.entry(a).or_default().shift_out = Some(d);
-            self.switches.entry(b).or_default().shift_in = Some(d.opposite());
+            self.update(a, |s| s.shift_out = Some(d));
+            self.update(b, |s| s.shift_in = Some(d.opposite()));
             self.store(2);
             self.chain(a, b, owner)?;
         }
@@ -208,8 +334,8 @@ impl SwitchFabric {
                 .ok_or(TopologyError::NotAdjacent(last, first))?;
             self.check_healthy(last)?;
             self.check_healthy(first)?;
-            self.switches.entry(last).or_default().shift_out = Some(d);
-            self.switches.entry(first).or_default().shift_in = Some(d.opposite());
+            self.update(last, |s| s.shift_out = Some(d));
+            self.update(first, |s| s.shift_in = Some(d.opposite()));
             self.store(2);
             self.chain(last, first, owner)?;
         }
@@ -230,10 +356,11 @@ impl SwitchFabric {
         if self.owner(c) != Some(owner) {
             return Err(TopologyError::SwitchConflict { at: c });
         }
-        let s = self.switches.entry(c).or_default();
-        s.shift_in = program.shift_in;
-        s.shift_out = program.shift_out;
-        s.chained = program.chained;
+        self.update(c, |s| {
+            s.shift_in = program.shift_in;
+            s.shift_out = program.shift_out;
+            s.chained = program.chained;
+        });
         self.store(1);
         Ok(())
     }
@@ -243,7 +370,13 @@ impl SwitchFabric {
     /// release", §3.4).
     pub fn release_owner(&mut self, owner: RegionTag) -> usize {
         let mut released = 0;
-        for s in self.switches.values_mut() {
+        for p in self.slab.iter_mut() {
+            if p.flags & HAS_OWNER != 0 && p.reserved == owner.0 {
+                *p = PackedSwitch::DEFAULT;
+                released += 1;
+            }
+        }
+        for s in self.spill.values_mut() {
             if s.reserved_by == Some(owner) {
                 *s = SwitchState::default();
                 released += 1;
@@ -282,12 +415,21 @@ impl SwitchFabric {
         self.programming_stores
     }
 
-    /// Coordinates whose switch deviates from the default state.
+    /// Coordinates whose switch deviates from the default state, slab
+    /// row-major first, then spill coordinates in order.
     pub fn programmed_coords(&self) -> impl Iterator<Item = Coord> + '_ {
-        self.switches
+        let w = usize::from(self.slab_width);
+        self.slab
             .iter()
-            .filter(|(_, s)| s.is_programmed() || s.reserved_by.is_some())
-            .map(|(&c, _)| c)
+            .enumerate()
+            .filter(|(_, p)| !p.is_default())
+            .map(move |(i, _)| Coord::new((i % w) as u16, (i / w) as u16))
+            .chain(
+                self.spill
+                    .iter()
+                    .filter(|(_, s)| s.is_programmed() || s.reserved_by.is_some())
+                    .map(|(&c, _)| c),
+            )
     }
 }
 
@@ -440,5 +582,70 @@ mod tests {
         f.reserve(c(1, 0), RegionTag(1)).unwrap();
         f.chain(c(0, 0), c(1, 0), RegionTag(1)).unwrap();
         assert!(f.store_count() > before);
+    }
+
+    #[test]
+    fn packed_switch_round_trips_every_field() {
+        let mut state = SwitchState {
+            shift_in: Some(Dir::Up),
+            shift_out: Some(Dir::West),
+            chained: [true, false, true, false, true, true],
+            reserved_by: Some(RegionTag(u32::MAX)),
+        };
+        assert_eq!(PackedSwitch::pack(state).unpack(), state);
+        // Tag 0 and no tag must stay distinguishable.
+        state.reserved_by = Some(RegionTag(0));
+        assert_eq!(PackedSwitch::pack(state).unpack(), state);
+        state.reserved_by = None;
+        assert_eq!(PackedSwitch::pack(state).unpack(), state);
+        assert!(PackedSwitch::pack(SwitchState::default()).is_default());
+        assert_eq!(std::mem::size_of::<PackedSwitch>(), 8);
+    }
+
+    #[test]
+    fn sized_fabric_matches_unsized_behaviour() {
+        let mut sized = SwitchFabric::sized(4, 4);
+        let mut lazy = SwitchFabric::new();
+        for f in [&mut sized, &mut lazy] {
+            let path = [c(0, 0), c(1, 0), c(1, 1)];
+            for &p in &path {
+                f.reserve(p, RegionTag(3)).unwrap();
+            }
+            f.program_path(&path, RegionTag(3), false).unwrap();
+            f.reserve(c(3, 3), RegionTag(9)).unwrap();
+        }
+        for x in 0..4 {
+            for y in 0..4 {
+                assert_eq!(sized.state(c(x, y)), lazy.state(c(x, y)));
+            }
+        }
+        assert_eq!(sized.store_count(), lazy.store_count());
+        let mut a: Vec<Coord> = sized.programmed_coords().collect();
+        let mut b: Vec<Coord> = lazy.programmed_coords().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(sized.release_owner(RegionTag(3)), 3);
+        assert_eq!(lazy.release_owner(RegionTag(3)), 3);
+        assert_eq!(sized.owner(c(3, 3)), Some(RegionTag(9)));
+    }
+
+    #[test]
+    fn sized_fabric_spills_out_of_grid_and_stacked_coords() {
+        let mut f = SwitchFabric::sized(2, 2);
+        // Beyond the slab bounds.
+        f.reserve(c(7, 7), RegionTag(1)).unwrap();
+        assert_eq!(f.owner(c(7, 7)), Some(RegionTag(1)));
+        // On a stacked layer above a slab-covered (x, y).
+        let up = Coord::on_layer(0, 0, 1);
+        f.reserve(up, RegionTag(2)).unwrap();
+        assert_eq!(f.owner(up), Some(RegionTag(2)));
+        // The layer-0 cell underneath is untouched.
+        assert_eq!(f.owner(c(0, 0)), None);
+        let coords: Vec<Coord> = f.programmed_coords().collect();
+        assert_eq!(coords.len(), 2);
+        assert!(coords.contains(&up) && coords.contains(&c(7, 7)));
+        assert_eq!(f.release_owner(RegionTag(1)), 1);
+        assert_eq!(f.owner(c(7, 7)), None);
     }
 }

@@ -137,4 +137,80 @@ proptest! {
         }
         prop_assert_eq!(conflicted, !a.is_disjoint(&b));
     }
+
+    /// `rect_is_free` agrees with a cell-by-cell reference scan at every
+    /// origin (including off-die ones), and `first_rect_fit` returns
+    /// exactly the row-major first origin the reference accepts — under
+    /// arbitrary defect and owner patterns and window sizes from
+    /// degenerate (0) through full-die to oversized.
+    #[test]
+    fn fabric_index_rect_fit_matches_exhaustive_scan(
+        defects in prop::collection::vec((0u16..8, 0u16..8), 0..12),
+        owned in prop::collection::vec((0u16..8, 0u16..8), 0..12),
+        w in 0u16..10, h in 0u16..10,
+    ) {
+        let mut idx = vlsi_topology::FabricIndex::new(8, 8);
+        let mut blocked = std::collections::HashSet::new();
+        for &(x, y) in &defects {
+            idx.mark_defective(Coord::new(x, y));
+            blocked.insert(Coord::new(x, y));
+        }
+        for &(x, y) in &owned {
+            idx.set_owner(Coord::new(x, y), RegionTag(7));
+            blocked.insert(Coord::new(x, y));
+        }
+        let reference = |ox: u16, oy: u16| -> bool {
+            w != 0
+                && h != 0
+                && ox + w <= 8
+                && oy + h <= 8
+                && (0..h).all(|dy| (0..w).all(|dx| !blocked.contains(&Coord::new(ox + dx, oy + dy))))
+        };
+        for oy in 0..10u16 {
+            for ox in 0..10u16 {
+                prop_assert_eq!(
+                    idx.rect_is_free(Coord::new(ox, oy), w, h),
+                    reference(ox, oy),
+                    "origin ({}, {})", ox, oy
+                );
+            }
+        }
+        let mut expect = None;
+        'scan: for oy in 0..8u16 {
+            for ox in 0..8u16 {
+                if reference(ox, oy) {
+                    expect = Some(Coord::new(ox, oy));
+                    break 'scan;
+                }
+            }
+        }
+        prop_assert_eq!(idx.first_rect_fit(w, h), expect);
+    }
+
+    /// Boundary windows: the full-die rectangle fits exactly when the die
+    /// is entirely clean, and the single-cell window lands on the
+    /// row-major first free cell.
+    #[test]
+    fn fabric_index_full_die_and_single_cell(
+        defects in prop::collection::vec((0u16..8, 0u16..8), 0..20),
+    ) {
+        let mut idx = vlsi_topology::FabricIndex::new(8, 8);
+        let mut blocked = std::collections::HashSet::new();
+        for &(x, y) in &defects {
+            idx.mark_defective(Coord::new(x, y));
+            blocked.insert(Coord::new(x, y));
+        }
+        let full = if blocked.is_empty() { Some(Coord::new(0, 0)) } else { None };
+        prop_assert_eq!(idx.first_rect_fit(8, 8), full);
+        let mut expect = None;
+        'scan: for y in 0..8u16 {
+            for x in 0..8u16 {
+                if !blocked.contains(&Coord::new(x, y)) {
+                    expect = Some(Coord::new(x, y));
+                    break 'scan;
+                }
+            }
+        }
+        prop_assert_eq!(idx.first_rect_fit(1, 1), expect);
+    }
 }

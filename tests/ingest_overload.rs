@@ -183,6 +183,50 @@ fn chaos_runs_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn zero_burst_tenant_admits_nothing_and_ledger_balances() {
+    // Regression: TokenBucket::new used to clamp burst=0 up to a
+    // one-job capacity and start full, so a tenant configured to admit
+    // nothing still got jobs through. A zero-burst bucket must reject
+    // every request with the typed rate-limit reason while the
+    // conservation ledger stays exactly balanced.
+    let mut cluster = ChipCluster::with_telemetry(
+        ClusterTopology::ring(2),
+        (8, 8),
+        Pool::serial(),
+        ClusterConfig::standard(),
+        TelemetryHandle::active(),
+    );
+    for _ in 0..2 {
+        let chip = VlsiChip::new(8, 8, Cluster::default());
+        cluster.push_chip(Runtime::new(chip, Box::new(Fifo), RuntimeConfig::default()));
+    }
+    let mut service = IngestService::new(
+        cluster,
+        IngestConfig {
+            ring_capacity: 6,
+            admission: AdmissionConfig {
+                tenant_rate_milli: 1500,
+                tenant_burst: 0,
+                high_water: 48,
+                low_water: 16,
+                max_degraded_level: 4,
+            },
+        },
+    );
+    let mut client = client_for(&service, 21, &TelemetryHandle::disabled());
+    let trace = arrival_trace(21, ArrivalProfile::Sustained { rate_milli: 900 }, 120, 4);
+    run_trace(&mut service, &mut client, &trace, 200_000).expect("still drains");
+    let ledger = accounting(&service, &client);
+    assert!(ledger.is_balanced(), "unbalanced: {ledger:?}");
+    assert_eq!(ledger.stats.accepted, 0, "zero burst admits nothing");
+    assert_eq!(ledger.completed, 0, "nothing admitted, nothing runs");
+    assert!(
+        ledger.stats.rejected_rate > 0,
+        "every drained request rejects typed: {ledger:?}"
+    );
+}
+
+#[test]
 fn hung_guard_fires_typed_instead_of_hanging() {
     // A tick budget far smaller than the trace horizon must surface the
     // bounded-progress guard as a typed error, never a hang.
