@@ -36,11 +36,13 @@ trap 'rm -rf "$BENCH_SMOKE_DIR"' EXIT
 
 echo "== thread-matrix determinism (bench --digest at 1/2/8 threads, double-run)"
 # The digest covers the fleet, sharded-NoC, acceptance, chaos,
-# cluster_4x, ingest_open_loop, and compile_corpus workloads — the
-# cluster lines gate the inter-chip fabric, the ingest lines the
-# admission front door, and the compile lines pin the compiler's full
-# artifact trail plus its executed output on both fleet and cluster
-# sinks to one byte pattern at every thread count.
+# cluster_4x, ingest_open_loop, compile_corpus, soa_sweep, and
+# staged_pipeline workloads — the cluster lines gate the inter-chip
+# fabric, the ingest lines the admission front door, the compile lines
+# pin the compiler's full artifact trail plus its executed output on
+# both fleet and cluster sinks, and the staged_pipeline lines pin the
+# Fig. 7(d) cross-dataset wavefront's outputs to one byte pattern at
+# every thread count.
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1" --threads 1 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t1b" --threads 1 >/dev/null
 ./target/release/bench --digest "$BENCH_SMOKE_DIR/digest.t2" --threads 2 >/dev/null
@@ -58,6 +60,14 @@ perap="$(awk '/^soa_sweep_1024ap digest_perap/ {print $3}' "$BENCH_SMOKE_DIR/dig
 soa="$(awk '/^soa_sweep_1024ap digest_soa/ {print $3}' "$BENCH_SMOKE_DIR/digest.t1")"
 test -n "$perap"
 test "$perap" = "$soa"
+
+echo "== sequential vs pipelined equivalence (staged_pipeline digests must match)"
+# The pipelined wavefront must drain every dataset to byte-identical
+# outputs against the N-sequential-runs walk.
+seq="$(awk '/^staged_pipeline digest_seq/ {print $3}' "$BENCH_SMOKE_DIR/digest.t1")"
+pipe="$(awk '/^staged_pipeline digest_pipe/ {print $3}' "$BENCH_SMOKE_DIR/digest.t1")"
+test -n "$seq"
+test "$seq" = "$pipe"
 cargo test -q --offline --test parallel_determinism
 
 echo "== telemetry determinism (same seed => byte-identical exports)"

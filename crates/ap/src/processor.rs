@@ -26,6 +26,7 @@ use crate::soa::SoaLane;
 use crate::stack::{ObjectStack, ReferenceOutcome};
 use crate::wsrf::{WorkingSetRegisterFile, WSRF_ENTRIES};
 use std::collections::HashMap;
+use std::sync::Arc;
 use vlsi_csd::DynamicCsd;
 use vlsi_object::{
     BoundObject, GlobalConfigStream, LogicalObject, MemoryBlock, ObjectId, ObjectKind,
@@ -117,7 +118,11 @@ pub struct AdaptiveProcessor {
 
 #[derive(Clone, Debug)]
 struct ResidentDatapath {
-    stream: GlobalConfigStream,
+    /// Shared, not owned: callers that keep a program resident (the
+    /// staged executor, the pipelined batch path) hand the same
+    /// `Arc` in on every reconfigure instead of deep-copying the
+    /// stream's elements each time.
+    stream: Arc<GlobalConfigStream>,
     dp: Datapath,
     routes: Vec<vlsi_csd::RouteId>,
 }
@@ -204,7 +209,16 @@ impl AdaptiveProcessor {
     /// chains freed, their objects left cached in the stack). To keep
     /// earlier datapaths resident, use
     /// [`configure_another`](Self::configure_another).
-    pub fn configure(&mut self, stream: GlobalConfigStream) -> Result<ConfigureOutcome, ApError> {
+    ///
+    /// The stream is accepted as anything convertible into an
+    /// `Arc<GlobalConfigStream>`: owned streams work as before, while
+    /// callers that configure the same stream repeatedly (the staged
+    /// executor's deploy/run paths) can pass a cheap `Arc` clone and
+    /// never copy the elements.
+    pub fn configure(
+        &mut self,
+        stream: impl Into<Arc<GlobalConfigStream>>,
+    ) -> Result<ConfigureOutcome, ApError> {
         self.release();
         self.configure_another(stream)
     }
@@ -220,16 +234,17 @@ impl AdaptiveProcessor {
     /// chained" replay, at object-cache-hit cost.
     pub fn configure_another(
         &mut self,
-        stream: GlobalConfigStream,
+        stream: impl Into<Arc<GlobalConfigStream>>,
     ) -> Result<ConfigureOutcome, ApError> {
+        let stream: Arc<GlobalConfigStream> = stream.into();
         let memory_ids = self.memory_ids();
         // Combined compute working set must stay resident.
         let mut combined: Vec<ObjectId> = Vec::new();
         for s in self
             .datapaths
             .iter()
-            .map(|r| &r.stream)
-            .chain(std::iter::once(&stream))
+            .map(|r| r.stream.as_ref())
+            .chain(std::iter::once(stream.as_ref()))
         {
             for id in s.working_set() {
                 if !memory_ids.contains(&id) && !combined.contains(&id) {
@@ -260,7 +275,7 @@ impl AdaptiveProcessor {
             routes: outcome.route_ids.clone(),
         });
         for i in 0..self.datapaths.len() - 1 {
-            let s = self.datapaths[i].stream.clone();
+            let s = Arc::clone(&self.datapaths[i].stream);
             let re = self.configure_one(&s, &memory_ids)?;
             let dp = self.build_datapath(&s)?;
             self.datapaths[i].routes = re.route_ids.clone();

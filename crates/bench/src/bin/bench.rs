@@ -1,11 +1,12 @@
 //! `bench` — the BENCH-emitting runner.
 //!
 //! Executes the sched / faults / hotpath / fleet / cluster / ingest /
-//! compile / soa workload families and writes `BENCH_sched.json`,
-//! `BENCH_faults.json`, `BENCH_hotpath.json`, `BENCH_fleet.json`,
-//! `BENCH_cluster.json`, `BENCH_ingest.json`, `BENCH_compile.json`,
-//! and `BENCH_soa.json` (median ns/iter, ops/s, seed, git rev) so the
-//! perf trajectory is machine-readable at the repo root.
+//! compile / soa / pipeline workload families and writes
+//! `BENCH_sched.json`, `BENCH_faults.json`, `BENCH_hotpath.json`,
+//! `BENCH_fleet.json`, `BENCH_cluster.json`, `BENCH_ingest.json`,
+//! `BENCH_compile.json`, `BENCH_soa.json`, and `BENCH_pipeline.json`
+//! (median ns/iter, ops/s, seed, git rev) so the perf trajectory is
+//! machine-readable at the repo root.
 //!
 //! ```text
 //! bench [--smoke] [--threads N] [--out DIR]   run workloads, write + validate JSONs
@@ -32,10 +33,10 @@ use vlsi_bench::harness::{
 use vlsi_bench::hotpath::{
     chaos_mix, chaos_mix_sized, cluster_4x, compile_corpus, faults_noc, faults_sched, fleet_mix,
     gather_release_churn, ingest_open_loop, noc_storm, sched_acceptance, sched_mix, soa_sweep,
-    SEED, SOA_SWEEP_LANES,
+    staged_pipeline, PIPELINE_DATASETS, SEED, SOA_SWEEP_LANES,
 };
 
-const FILES: [&str; 8] = [
+const FILES: [&str; 9] = [
     "BENCH_sched.json",
     "BENCH_faults.json",
     "BENCH_hotpath.json",
@@ -44,6 +45,7 @@ const FILES: [&str; 8] = [
     "BENCH_ingest.json",
     "BENCH_compile.json",
     "BENCH_soa.json",
+    "BENCH_pipeline.json",
 ];
 
 /// Default for `--check-threshold`: median regressions beyond this
@@ -151,6 +153,13 @@ fn main() {
         compile_samples(iters, threads),
     );
     emit(&out_dir, "soa", SEED, &rev, soa_samples(iters, threads));
+    emit(
+        &out_dir,
+        "pipeline",
+        SEED,
+        &rev,
+        pipeline_samples(iters, threads),
+    );
 }
 
 fn sched_samples(iters: u64) -> Vec<BenchSample> {
@@ -327,6 +336,49 @@ fn soa_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
     samples
 }
 
+fn pipeline_samples(iters: u64, threads: usize) -> Vec<BenchSample> {
+    let mut seq_times = Vec::with_capacity(iters as usize);
+    let mut pipe_times = Vec::with_capacity(iters as usize);
+    let mut last = None;
+    for _ in 0..iters {
+        let r = staged_pipeline(threads, PIPELINE_DATASETS);
+        assert_eq!(
+            r.digest_seq, r.digest_pipe,
+            "pipelined outputs must match the sequential walk bit for bit"
+        );
+        seq_times.push(r.seq_ns);
+        pipe_times.push(r.pipe_ns);
+        last = Some(r);
+    }
+    let r = last.expect("at least one iteration ran");
+    let total_datasets = r.graphs * r.datasets;
+    // datasets/s from the median execution-only time of each path — the
+    // headline throughput numbers Ablation IX quotes.
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let seq_rate = total_datasets * 1_000_000_000 / median(seq_times.clone()).max(1);
+    let pipe_rate = total_datasets * 1_000_000_000 / median(pipe_times.clone()).max(1);
+    let mut samples = Vec::new();
+    let mut s = sample_from_times("staged_pipeline_seq", seq_times);
+    s.extra.push(("graphs", r.graphs));
+    s.extra.push(("datasets", total_datasets));
+    s.extra.push(("datasets_per_s", seq_rate));
+    s.extra.push(("digest_fnv", r.digest_seq));
+    samples.push(s);
+    let mut s = sample_from_times("staged_pipeline_pipe", pipe_times);
+    s.extra.push(("threads", threads as u64));
+    s.extra.push(("graphs", r.graphs));
+    s.extra.push(("datasets", total_datasets));
+    s.extra.push(("datasets_per_s", pipe_rate));
+    s.extra
+        .push(("utilization_milli_sum", r.utilization_milli_sum));
+    s.extra.push(("digest_fnv", r.digest_pipe));
+    samples.push(s);
+    samples
+}
+
 fn emit(dir: &str, bench: &str, seed: u64, rev: &str, samples: Vec<BenchSample>) {
     for s in &samples {
         println!(
@@ -356,6 +408,7 @@ fn digest(file: &str, threads: usize) {
     let (compile_graphs, compile_completed, compile_fnv) = compile_corpus(threads);
     let sweep = soa_sweep(threads, SOA_SWEEP_LANES, 64);
     let (_, chaos128_fnv) = chaos_mix_sized(128, 40);
+    let pipe = staged_pipeline(threads, PIPELINE_DATASETS);
     let text = format!(
         "seed {SEED}\n\
          fleet_64x64x4 completed {completed}\n\
@@ -377,7 +430,10 @@ fn digest(file: &str, threads: usize) {
          soa_sweep_1024ap lanes {lanes}\n\
          soa_sweep_1024ap digest_perap {digest_perap:#018x}\n\
          soa_sweep_1024ap digest_soa {digest_soa:#018x}\n\
-         chaos_mix_128x128 event_log_fnv {chaos128_fnv:#018x}\n",
+         chaos_mix_128x128 event_log_fnv {chaos128_fnv:#018x}\n\
+         staged_pipeline datasets {pipe_datasets}\n\
+         staged_pipeline digest_seq {digest_seq:#018x}\n\
+         staged_pipeline digest_pipe {digest_pipe:#018x}\n",
         arrivals = ingest.arrivals,
         accepted = ingest.accepted,
         ingest_completed = ingest.completed,
@@ -385,6 +441,9 @@ fn digest(file: &str, threads: usize) {
         lanes = sweep.lanes,
         digest_perap = sweep.digest_perap,
         digest_soa = sweep.digest_soa,
+        pipe_datasets = pipe.graphs * pipe.datasets,
+        digest_seq = pipe.digest_seq,
+        digest_pipe = pipe.digest_pipe,
     );
     print!("{text}");
     std::fs::write(file, &text).unwrap_or_else(|e| panic!("writing {file}: {e}"));

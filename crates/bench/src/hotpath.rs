@@ -37,6 +37,13 @@
 //!   them) and the execution-only timings land in `BENCH_soa.json`,
 //!   alongside the 128×128 chaos mix that exercises the packed switch
 //!   slab at scale.
+//! * **pipeline** — the Fig. 7(d) cross-dataset overlap: every compiled
+//!   netgen graph deployed on its placed regions and fed 32 datasets,
+//!   once as 32 sequential `run` calls and once as one
+//!   [`run_pipelined`](vlsi_core::StagedExecutor::run_pipelined)
+//!   wavefront ([`staged_pipeline`]); the output digests must be
+//!   identical (the ci.sh equivalence step compares them) and the
+//!   execution-only throughputs land in `BENCH_pipeline.json`.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -44,7 +51,7 @@ use std::time::Instant;
 
 use crate::harness::fnv1a;
 use vlsi_ap::ExecutionReport;
-use vlsi_core::{ProcessorId, VlsiChip};
+use vlsi_core::{ProcessorId, StagedExecutor, VlsiChip};
 use vlsi_fabric::{Cluster as ChipCluster, ClusterConfig, ClusterTopology};
 use vlsi_faults::{Fault, FaultKind, FaultPlan, FaultPlanBuilder};
 use vlsi_ingest::{
@@ -703,6 +710,118 @@ pub fn soa_sweep(threads: usize, lanes: usize, width: u16) -> SoaSweepReport {
     }
 }
 
+/// Datasets each graph pumps through [`staged_pipeline`].
+pub const PIPELINE_DATASETS: usize = 32;
+
+/// What [`staged_pipeline`] reports: execution-only wall time of the
+/// sequential and pipelined walks over the same dataset batches, plus a
+/// digest over every output vector from each path. The two digests must
+/// be equal — the ci.sh equivalence step compares the lines the bench
+/// `--digest` mode emits for them.
+#[derive(Clone, Copy, Debug)]
+pub struct StagedPipelineReport {
+    /// Compiled graphs driven through both paths.
+    pub graphs: u64,
+    /// Datasets per graph.
+    pub datasets: u64,
+    /// N sequential `run` calls, execution-only nanoseconds.
+    pub seq_ns: u64,
+    /// One `run_pipelined` wavefront, execution-only nanoseconds.
+    pub pipe_ns: u64,
+    /// FNV digest of every sequential output vector.
+    pub digest_seq: u64,
+    /// FNV digest of every pipelined output vector.
+    pub digest_pipe: u64,
+    /// Sum of per-graph pipeline-occupancy (‰ of stage×tick slots busy).
+    pub utilization_milli_sum: u64,
+}
+
+/// The staged-pipeline workload: the 12-graph netgen corpus compiled
+/// through every vlsi-compile pass, each program deployed on its placed
+/// regions, then fed `datasets` seeded input environments twice — once
+/// as `datasets` sequential [`StagedExecutor::run`] calls (release
+/// nothing, but configure every stage per dataset) and once as a single
+/// [`StagedExecutor::run_pipelined`] wavefront (configure once, overlap
+/// datasets across levels). Each path runs on a freshly deployed chip
+/// and only the run loop is timed; every pipelined output is also
+/// checked against the netlist evaluator, so the digest doubles as a
+/// correctness pin. With `threads > 1` the per-tick wavefront sweeps on
+/// a `threads`-wide pool — the digests must not move.
+pub fn staged_pipeline(threads: usize, datasets: usize) -> StagedPipelineReport {
+    use std::collections::HashMap;
+    use vlsi_compile::{compile, CompileOptions};
+
+    let opts = CompileOptions::default();
+    let corpus = vlsi_workloads::netgen::corpus(SEED);
+    let mut report = StagedPipelineReport {
+        graphs: corpus.len() as u64,
+        datasets: datasets as u64,
+        seq_ns: 0,
+        pipe_ns: 0,
+        digest_seq: 0,
+        digest_pipe: 0,
+        utilization_milli_sum: 0,
+    };
+    let mut seq_text = String::new();
+    let mut pipe_text = String::new();
+    let deploy = |c: &vlsi_compile::Compilation, threads: usize| {
+        let mut chip = VlsiChip::new(opts.chip_width, opts.chip_height, Cluster::default());
+        if threads > 1 {
+            chip.set_region_parallel(Pool::new(threads));
+        }
+        let exec =
+            StagedExecutor::deploy_placed(&mut chip, c.program.clone(), &c.placement.regions)
+                .expect("the default die must fit every corpus program");
+        (chip, exec)
+    };
+    for (name, src) in &corpus {
+        let c = compile(src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut rng = Prng::seed_from_u64(SEED ^ fnv1a(name.as_bytes()));
+        let batch: Vec<HashMap<String, i64>> = (0..datasets)
+            .map(|_| {
+                c.netlist
+                    .input_names()
+                    .iter()
+                    .map(|v| (v.to_string(), i64::from(rng.gen_range(-500..500i32))))
+                    .collect()
+            })
+            .collect();
+
+        let (mut chip, exec) = deploy(&c, threads);
+        let t = Instant::now();
+        let seq_outs: Vec<Vec<i64>> = batch
+            .iter()
+            .map(|env| exec.run(&mut chip, env).expect("sequential run").0)
+            .collect();
+        report.seq_ns += t.elapsed().as_nanos() as u64;
+
+        let (mut chip, exec) = deploy(&c, threads);
+        let t = Instant::now();
+        let (pipe_outs, stats) = exec
+            .run_pipelined(&mut chip, &batch)
+            .expect("pipelined run");
+        report.pipe_ns += t.elapsed().as_nanos() as u64;
+        report.utilization_milli_sum += stats.utilization_milli;
+
+        for (i, (env, out)) in batch.iter().zip(&pipe_outs).enumerate() {
+            assert_eq!(
+                *out,
+                c.netlist.evaluate(env),
+                "{name} dataset {i}: pipelined outputs must match the evaluator"
+            );
+        }
+        for (i, out) in seq_outs.iter().enumerate() {
+            let _ = writeln!(seq_text, "{name} {i} {out:?}");
+        }
+        for (i, out) in pipe_outs.iter().enumerate() {
+            let _ = writeln!(pipe_text, "{name} {i} {out:?}");
+        }
+    }
+    report.digest_seq = fnv1a(seq_text.as_bytes());
+    report.digest_pipe = fnv1a(pipe_text.as_bytes());
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +857,26 @@ mod tests {
         assert_eq!(a_fnv, b_fnv);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.completed + a.failed, 40);
+    }
+
+    #[test]
+    fn staged_pipeline_digests_match_and_replay() {
+        // A small dataset count keeps the test quick; the full 32-set
+        // batch runs in the bench binary and the ci.sh digest gate.
+        let a = staged_pipeline(1, 4);
+        assert_eq!(a.graphs, 12);
+        assert_eq!(
+            a.digest_seq, a.digest_pipe,
+            "pipelined outputs must reproduce the sequential walk bit for bit"
+        );
+        for threads in [2usize, 8] {
+            let b = staged_pipeline(threads, 4);
+            assert_eq!(
+                a.digest_pipe, b.digest_pipe,
+                "identical at {threads} threads"
+            );
+            assert_eq!(b.digest_seq, b.digest_pipe);
+        }
     }
 
     #[test]

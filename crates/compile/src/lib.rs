@@ -7,7 +7,7 @@
 //! is handed. This crate is that compiler for the repo's simulated
 //! target. It ingests a line-oriented **netlist** text format (a
 //! dataflow DAG of binary integer ops, in the spirit of
-//! `vlsi-workloads`' ocode assembler) and lowers it through six
+//! `vlsi-workloads`' ocode assembler) and lowers it through seven
 //! explicit, individually testable passes:
 //!
 //! 1. [`netlist`] — **parse**: text → [`Netlist`], with typed
@@ -29,9 +29,13 @@
 //!    [`StagedProgram`](vlsi_core::StagedProgram) objects + optimised
 //!    configuration streams, directly submittable to the runtime as
 //!    [`Workload::Staged`](vlsi_runtime) jobs or executable in-process
-//!    via [`StagedExecutor`](vlsi_core::StagedExecutor).
+//!    via [`StagedExecutor`](vlsi_core::StagedExecutor);
+//! 7. [`pipemeta`] — **pipeline**: the scheduled stages' Fig. 7(d)
+//!    overlap contract ([`PipelineMeta`]): stage depth, double-buffered
+//!    mailbox requirements, and the §4 cost model's predicted
+//!    initiation interval for pipelined dataset batches.
 //!
-//! [`compile`] chains all six; [`Compilation::emit_after`] dumps any
+//! [`compile`] chains all seven; [`Compilation::emit_after`] dumps any
 //! intermediate artifact as deterministic text (the `vlsic` binary's
 //! `--emit-after=<pass>` flag). Everything is deterministic per input
 //! and options — byte-identical across runs and thread counts, which
@@ -45,6 +49,7 @@ pub mod error;
 pub mod netlist;
 pub mod partition;
 pub mod pipeline;
+pub mod pipemeta;
 pub mod place;
 pub mod schedule;
 pub mod shape;
@@ -54,6 +59,7 @@ pub use error::CompileError;
 pub use netlist::{NetOp, Netlist, NetlistError, NodeId};
 pub use partition::{partition, PartStage, Partition};
 pub use pipeline::{compile, Compilation, CompileOptions, Pass};
+pub use pipemeta::{pipeline_meta, PipelineMeta, StagePipeline};
 pub use place::{place, Placement};
 pub use schedule::schedule;
 pub use shape::{shape, Shape, StageShape};

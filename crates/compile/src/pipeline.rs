@@ -1,5 +1,5 @@
 //! The pass pipeline: parse → partition → shape → place → channels →
-//! schedule, with dumpable artifacts and per-pass telemetry.
+//! schedule → pipeline, with dumpable artifacts and per-pass telemetry.
 //!
 //! [`compile`] runs every pass in order and returns a [`Compilation`]
 //! holding *all* intermediate artifacts — each pass's output is a
@@ -17,6 +17,7 @@ use crate::channels::{assign_channels, Channels};
 use crate::error::CompileError;
 use crate::netlist::Netlist;
 use crate::partition::{partition, Partition};
+use crate::pipemeta::{pipeline_meta, PipelineMeta};
 use crate::place::{place, Placement};
 use crate::schedule::schedule;
 use crate::shape::{shape, Shape};
@@ -40,17 +41,21 @@ pub enum Pass {
     Channels,
     /// Everything → [`StagedProgram`].
     Schedule,
+    /// [`StagedProgram`] + [`Shape`] → [`PipelineMeta`] (Fig. 7(d)
+    /// depth, buffer requirements, predicted initiation interval).
+    Pipeline,
 }
 
 impl Pass {
     /// All passes, in pipeline order.
-    pub const ALL: [Pass; 6] = [
+    pub const ALL: [Pass; 7] = [
         Pass::Parse,
         Pass::Partition,
         Pass::Shape,
         Pass::Place,
         Pass::Channels,
         Pass::Schedule,
+        Pass::Pipeline,
     ];
 
     /// The pass's `--emit-after` name.
@@ -62,6 +67,7 @@ impl Pass {
             Pass::Place => "place",
             Pass::Channels => "channels",
             Pass::Schedule => "schedule",
+            Pass::Pipeline => "pipeline",
         }
     }
 
@@ -119,6 +125,8 @@ pub struct Compilation {
     pub channels: Channels,
     /// The executable program.
     pub program: StagedProgram,
+    /// The pipeline-overlap metadata.
+    pub pipeline: PipelineMeta,
 }
 
 /// Runs the full pipeline over netlist text.
@@ -160,7 +168,16 @@ pub fn compile(text: &str, opts: &CompileOptions) -> Result<Compilation, Compile
     let program = schedule(&netlist, &part, &placement, &channels)?;
     end("schedule", 5);
 
+    span("pipeline", 6);
+    let pipeline = pipeline_meta(&program, &shapes);
+    end("pipeline", 6);
+
     t.count("compile.graphs", 1);
+    t.gauge_set("compile.pipeline_depth", pipeline.depth() as i64);
+    t.gauge_set(
+        "compile.pipeline_ii_milli_ns",
+        (pipeline.predicted_ii_ns * 1000.0).round() as i64,
+    );
     t.gauge_set("compile.stages", part.stages.len() as i64);
     t.gauge_set("compile.cut_edges", part.cut_edges as i64);
     t.gauge_set("compile.channels", channels.total as i64);
@@ -179,6 +196,7 @@ pub fn compile(text: &str, opts: &CompileOptions) -> Result<Compilation, Compile
         placement,
         channels,
         program,
+        pipeline,
     })
 }
 
@@ -298,11 +316,37 @@ impl Compilation {
                     let _ = writeln!(o, "output {name} {var}");
                 }
             }
+            Pass::Pipeline => {
+                let p = &self.pipeline;
+                let _ = writeln!(
+                    o,
+                    "pipeline {} depth={} predicted_ii_ns={:.4} fill_ns={:.4}",
+                    self.program.name,
+                    p.depth(),
+                    p.predicted_ii_ns,
+                    p.fill_ns
+                );
+                for (l, group) in p.levels.iter().enumerate() {
+                    let names = group
+                        .iter()
+                        .map(|&j| p.stages[j].name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = writeln!(o, "level {l} stages=[{names}]");
+                }
+                for s in &p.stages {
+                    let _ = writeln!(
+                        o,
+                        "stage {} level={} buffer_words={} est_ns={:.4}",
+                        s.name, s.level, s.buffer_words, s.est_stage_ns
+                    );
+                }
+            }
         }
         o
     }
 
-    /// All six dumps concatenated (the full artifact trail).
+    /// Every pass's dump concatenated (the full artifact trail).
     pub fn emit_all(&self) -> String {
         Pass::ALL
             .iter()

@@ -1,0 +1,156 @@
+//! The pipeline-metadata pass: the Fig. 7(d) overlap contract of a
+//! compiled program.
+//!
+//! Once the schedule pass has lowered the stages, this pass derives
+//! what a *pipelined* deployment needs to know up front: the stage
+//! **depth** (dependency levels — how many datasets are in flight at
+//! steady state), the per-stage mailbox **buffer requirement** (every
+//! live-in is double-buffered: one word staged by the supervisor while
+//! the word in the region's memory block is being consumed), and the
+//! predicted **initiation interval** — the §4 cost model's estimate of
+//! the time between successive dataset completions, set by the slowest
+//! stage rather than the sum of all stages.
+//!
+//! The stage-time model reuses the shaping pass's numbers: a stage's
+//! region is clocked by the global wires that span it
+//! (`est_wire_delay_ns`, §4), and each of its physical objects fires
+//! once per dataset, so `est_stage_ns = objects × wire_ns`. The
+//! predicted II is the maximum stage time; the fill (pipeline start-up)
+//! latency is the sum over levels of each level's slowest stage.
+//! Ablation IX in EXPERIMENTS.md compares the predicted bottleneck
+//! against measured per-stage execution cycles.
+
+use crate::shape::Shape;
+use vlsi_core::StagedProgram;
+
+/// Pipeline metadata for one stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StagePipeline {
+    /// Stage label (matches the scheduled stage's name).
+    pub name: String,
+    /// Dependency level the stage executes in (0-based).
+    pub level: usize,
+    /// Mailbox words the stage's live-ins need with double buffering:
+    /// `2 ×` live-ins (one word in the region's block being consumed,
+    /// one staged supervisor-side for the next dataset).
+    pub buffer_words: usize,
+    /// Estimated stage time per dataset (ns): physical objects ×
+    /// the region's §4 global-wire delay.
+    pub est_stage_ns: f64,
+}
+
+/// The pipeline-metadata artifact: depth, levels, per-stage buffer
+/// requirements, and the predicted initiation interval.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PipelineMeta {
+    /// Dependency levels (stage indices), in wavefront order.
+    pub levels: Vec<Vec<usize>>,
+    /// Per-stage metadata, in stage order.
+    pub stages: Vec<StagePipeline>,
+    /// Predicted initiation interval (ns): the slowest stage's time —
+    /// the steady-state per-dataset cost once the pipeline is full.
+    pub predicted_ii_ns: f64,
+    /// Predicted fill latency (ns): sum over levels of the level's
+    /// slowest stage — the cost of the first dataset, which a
+    /// sequential walk pays for *every* dataset.
+    pub fill_ns: f64,
+}
+
+impl PipelineMeta {
+    /// Pipeline depth (number of dependency levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Derives the pipeline metadata from the scheduled program and the
+/// shaping pass's §4 region estimates (one shape per stage, same
+/// order).
+pub fn pipeline_meta(program: &StagedProgram, shape: &Shape) -> PipelineMeta {
+    let levels = program.levels();
+    let mut level_of = vec![0usize; program.stages.len()];
+    for (l, group) in levels.iter().enumerate() {
+        for &j in group {
+            level_of[j] = l;
+        }
+    }
+    let stages: Vec<StagePipeline> = program
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            let sh = &shape.stages[j];
+            let objects = sh.compute_objects + sh.memory_objects;
+            StagePipeline {
+                name: s.name.clone(),
+                level: level_of[j],
+                buffer_words: 2 * s.inputs.len(),
+                est_stage_ns: objects as f64 * sh.est_wire_delay_ns,
+            }
+        })
+        .collect();
+    let predicted_ii_ns = stages.iter().map(|s| s.est_stage_ns).fold(0.0, f64::max);
+    let fill_ns = levels
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .map(|&j| stages[j].est_stage_ns)
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    PipelineMeta {
+        levels,
+        stages,
+        predicted_ii_ns,
+        fill_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::partition::partition;
+    use crate::place::place;
+    use crate::schedule::schedule;
+    use crate::shape::shape;
+    use vlsi_topology::Cluster;
+
+    fn meta_for(text: &str, max_nodes: usize) -> PipelineMeta {
+        let cluster = Cluster::default();
+        let n = Netlist::parse(text).unwrap();
+        let p = partition(&n, max_nodes);
+        let s = shape(&n, &p, &cluster, 16, 16, 2012).unwrap();
+        let pl = place(&s, 16, 16, &[]).unwrap();
+        let ch = crate::channels::assign_channels(&n, &p, &s, &cluster).unwrap();
+        let prog = schedule(&n, &p, &pl, &ch).unwrap();
+        pipeline_meta(&prog, &s)
+    }
+
+    #[test]
+    fn chain_depth_equals_stage_count() {
+        // One node per stage forces a strict chain: depth = stages,
+        // and the II is the slowest single stage.
+        let m = meta_for(
+            "graph g\ninput x\nnode a add x x\nnode b mul a a\noutput o b\n",
+            1,
+        );
+        assert_eq!(m.depth(), 2);
+        assert_eq!(m.levels, vec![vec![0], vec![1]]);
+        let slowest = m.stages.iter().map(|s| s.est_stage_ns).fold(0.0, f64::max);
+        assert_eq!(m.predicted_ii_ns, slowest);
+        assert!(m.fill_ns >= m.predicted_ii_ns);
+        for s in &m.stages {
+            assert!(s.buffer_words >= 2, "every stage double-buffers live-ins");
+            assert!(s.est_stage_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_stage_fill_equals_ii() {
+        let m = meta_for("graph g\ninput x\nnode a add x x\noutput o a\n", 12);
+        assert_eq!(m.depth(), 1);
+        assert_eq!(m.fill_ns, m.predicted_ii_ns);
+    }
+}

@@ -137,7 +137,10 @@ pub fn schedule(
         }
 
         let raw: GlobalConfigStream = elements.into_iter().collect();
-        let stream = optimize_stream(&raw);
+        // Behind an Arc so every configure of the deployed stage —
+        // including each re-deploy of a pipelined batch — shares this
+        // one allocation instead of cloning the elements.
+        let stream = std::sync::Arc::new(optimize_stream(&raw));
         stages.push(StagedStage {
             name: format!("s{i}"),
             clusters: placement.regions[i].len(),

@@ -770,11 +770,14 @@ impl VlsiChip {
         Ok(())
     }
 
-    /// Configures a streaming datapath on an active processor.
+    /// Configures a streaming datapath on an active processor. The
+    /// stream is anything convertible into an `Arc<GlobalConfigStream>`,
+    /// so repeat callers (the staged executor) can share one allocation
+    /// across configures instead of cloning the elements every time.
     pub fn configure(
         &mut self,
         id: ProcessorId,
-        stream: GlobalConfigStream,
+        stream: impl Into<Arc<GlobalConfigStream>>,
     ) -> Result<ConfigureOutcome, CoreError> {
         self.require_state(id, ProcState::Active)?;
         Ok(self.processor_mut(id)?.ap.configure(stream)?)

@@ -40,5 +40,5 @@ pub use blockexec::{BlockExecutor, PipelineReport, RunStats};
 pub use chip::{ChipMetrics, ConfigStrategy, GatherOutcome, VlsiChip};
 pub use error::CoreError;
 pub use scaled::{ProcessorId, ScaledProcessor};
-pub use staged::{StagedExecutor, StagedProgram, StagedRunStats, StagedStage};
+pub use staged::{PipelineRunStats, StagedExecutor, StagedProgram, StagedRunStats, StagedStage};
 pub use state::ProcState;

@@ -137,6 +137,14 @@ impl TelemetryHandle {
         }
     }
 
+    /// Sets lane `index` of the gauge family `name` (rendered
+    /// `name[index]` in exports).
+    pub fn gauge_set_at(&self, name: &'static str, index: u64, value: i64) {
+        if let Some(mut r) = self.lock() {
+            r.gauge_set_at(name, index, value);
+        }
+    }
+
     /// Records a sample into the log2 histogram `name`.
     pub fn record(&self, name: &'static str, value: u64) {
         if let Some(mut r) = self.lock() {

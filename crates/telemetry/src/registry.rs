@@ -103,7 +103,20 @@ impl Registry {
 
     /// Adds `delta` (possibly negative) to the gauge `name`.
     pub fn gauge_add(&mut self, name: &'static str, delta: i64) {
-        let i = self.slot(name, None, || Instrument::Gauge(0));
+        self.gauge_add_at_opt(name, None, delta);
+    }
+
+    /// Sets lane `index` of the gauge family `name` (rendered
+    /// `name[index]` in exports, like counter families).
+    pub fn gauge_set_at(&mut self, name: &'static str, index: u64, value: i64) {
+        let i = self.slot(name, Some(index), || Instrument::Gauge(0));
+        if let Instrument::Gauge(g) = &mut self.instruments[i].1 {
+            *g = value;
+        }
+    }
+
+    fn gauge_add_at_opt(&mut self, name: &'static str, index: Option<u64>, delta: i64) {
+        let i = self.slot(name, index, || Instrument::Gauge(0));
         if let Instrument::Gauge(g) = &mut self.instruments[i].1 {
             *g += delta;
         }
@@ -141,7 +154,7 @@ impl Registry {
         for (key, ins) in &other.instruments {
             match ins {
                 Instrument::Counter(c) => self.count_at_opt(key.name, key.index, *c),
-                Instrument::Gauge(g) => self.gauge_add(key.name, *g),
+                Instrument::Gauge(g) => self.gauge_add_at_opt(key.name, key.index, *g),
                 Instrument::Histogram(h) => {
                     let i = self.slot(
                         key.name,

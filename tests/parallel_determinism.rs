@@ -206,3 +206,23 @@ fn cluster_chaos_run_is_bit_identical_across_thread_counts() {
         assert_eq!(cluster_4x(threads), serial, "{threads} threads");
     }
 }
+
+#[test]
+fn staged_pipeline_is_bit_identical_across_thread_counts() {
+    // The Fig. 7(d) cross-dataset wavefront: pipelined outputs must
+    // equal the sequential walk's *and* stay put when the per-tick
+    // region sweep runs on 2 or 8 workers.
+    use vlsi_bench::hotpath::staged_pipeline;
+    let serial = staged_pipeline(1, 6);
+    assert_eq!(
+        serial.digest_seq, serial.digest_pipe,
+        "pipelined outputs must match the sequential walk"
+    );
+    for threads in THREADS {
+        let r = staged_pipeline(threads, 6);
+        assert_eq!(r.digest_pipe, serial.digest_pipe, "{threads} threads");
+        assert_eq!(r.digest_seq, serial.digest_seq, "{threads} threads");
+    }
+    // Determinism also means replay: the same thread count twice.
+    assert_eq!(staged_pipeline(8, 6).digest_pipe, serial.digest_pipe);
+}
